@@ -1,0 +1,141 @@
+//! AODV protocol configuration (RFC 3561 §10 defaults, adapted to the
+//! PSM environment's beacon-paced hop latency).
+
+use rcast_engine::SimDuration;
+
+/// Tunables of the AODV implementation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AodvConfig {
+    /// Soft-state lifetime of an active route
+    /// (ACTIVE_ROUTE_TIMEOUT, RFC default 3 s).
+    pub active_route_timeout: SimDuration,
+    /// Hello beacon period, `None` disables hellos
+    /// (HELLO_INTERVAL, RFC default 1 s).
+    pub hello_interval: Option<SimDuration>,
+    /// Missed hellos before a neighbor is declared gone
+    /// (ALLOWED_HELLO_LOSS, RFC default 2).
+    pub allowed_hello_loss: u32,
+    /// TTL of the first ring-search request (TTL_START).
+    pub ttl_start: u8,
+    /// TTL added per ring-search round (TTL_INCREMENT).
+    pub ttl_increment: u8,
+    /// Ring-search ceiling; beyond it requests go network-wide
+    /// (TTL_THRESHOLD).
+    pub ttl_threshold: u8,
+    /// Network-wide TTL (NET_DIAMETER).
+    pub net_diameter: u8,
+    /// Retries after the first network-wide request (RREQ_RETRIES).
+    pub rreq_retries: u32,
+    /// Time to wait for a reply per discovery round; scaled by TTL in
+    /// the RFC, kept flat here and sized for beacon-paced hops.
+    pub discovery_timeout: SimDuration,
+    /// Packets buffered while discovery runs.
+    pub buffer_capacity: usize,
+    /// How long a buffered packet may wait.
+    pub buffer_timeout: SimDuration,
+    /// Whether intermediates with fresh routes answer requests
+    /// (the RFC's default; `false` = destination-only flag).
+    pub intermediate_reply: bool,
+    /// Maximum RERR messages a node may originate per second
+    /// (RERR_RATELIMIT, RFC default 10).
+    pub rerr_rate_limit: u32,
+}
+
+impl Default for AodvConfig {
+    fn default() -> Self {
+        AodvConfig {
+            active_route_timeout: SimDuration::from_secs(3),
+            hello_interval: Some(SimDuration::from_secs(1)),
+            allowed_hello_loss: 2,
+            ttl_start: 2,
+            ttl_increment: 2,
+            ttl_threshold: 7,
+            net_diameter: 16,
+            rreq_retries: 2,
+            discovery_timeout: SimDuration::from_secs(4),
+            buffer_capacity: 64,
+            buffer_timeout: SimDuration::from_secs(30),
+            intermediate_reply: true,
+            rerr_rate_limit: 10,
+        }
+    }
+}
+
+impl AodvConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.active_route_timeout.is_zero() {
+            return Err("active route timeout must be positive".into());
+        }
+        if let Some(h) = self.hello_interval {
+            if h.is_zero() {
+                return Err("hello interval must be positive when enabled".into());
+            }
+            if self.allowed_hello_loss == 0 {
+                return Err("allowed hello loss must be at least 1".into());
+            }
+        }
+        if self.ttl_start == 0 || self.net_diameter == 0 {
+            return Err("TTLs must be positive".into());
+        }
+        if self.ttl_start > self.net_diameter {
+            return Err("TTL_START exceeds NET_DIAMETER".into());
+        }
+        if self.discovery_timeout.is_zero() {
+            return Err("discovery timeout must be positive".into());
+        }
+        if self.buffer_capacity == 0 {
+            return Err("buffer capacity must be positive".into());
+        }
+        if self.rerr_rate_limit == 0 {
+            return Err("RERR rate limit must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        assert!(AodvConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = AodvConfig::default();
+        c.active_route_timeout = SimDuration::ZERO;
+        assert!(c.validate().is_err());
+
+        let mut c = AodvConfig::default();
+        c.hello_interval = Some(SimDuration::ZERO);
+        assert!(c.validate().is_err());
+
+        let mut c = AodvConfig::default();
+        c.allowed_hello_loss = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = AodvConfig::default();
+        c.ttl_start = 20;
+        c.net_diameter = 16;
+        assert!(c.validate().is_err());
+
+        let mut c = AodvConfig::default();
+        c.buffer_capacity = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn hello_can_be_disabled() {
+        let mut c = AodvConfig::default();
+        c.hello_interval = None;
+        c.allowed_hello_loss = 0; // irrelevant without hellos
+        assert!(c.validate().is_ok());
+    }
+}

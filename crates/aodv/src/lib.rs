@@ -1,0 +1,42 @@
+//! Ad hoc On-demand Distance Vector routing (AODV, RFC 3561 core).
+//!
+//! The Rcast paper contrasts DSR with AODV (Section 1, footnote 1):
+//! AODV "takes a conservative approach to gather route information: it
+//! does not allow overhearing and eliminates existing route information
+//! using timeout. However, this necessitates more RREQ messages" — with
+//! Das et al.'s observation that 90 % of AODV's routing overhead is
+//! RREQ traffic. The paper also notes (Section 1) that table-driven and
+//! hello-based protocols "tend to consume more energy with IEEE 802.11
+//! PSM" because periodic control broadcasts wake entire neighborhoods.
+//!
+//! This crate implements the protocol slice needed to measure those
+//! claims against DSR + Rcast:
+//!
+//! * [`RoutingTable`] — sequence-numbered soft-state routes with
+//!   precursor lists and RFC freshness rules,
+//! * [`AodvPacket`] — RREQ / RREP / RERR / hello / data with realistic
+//!   wire sizes (data carries no source route: AODV's wire advantage),
+//! * [`AodvNode`] — the event-driven engine: expanding-ring search,
+//!   intermediate replies, hello-based liveness, RERR cascades.
+//!
+//! Like `rcast-dsr`, the crate is MAC-agnostic: events in,
+//! [`AodvAction`]s out; `rcast-core` maps them onto MAC frames. AODV
+//! packets never request overhearing — there is nothing useful for a
+//! bystander in a distance-vector hop — which is exactly why the paper
+//! pairs Rcast with DSR.
+//!
+//! Out of scope (documented simplifications): gratuitous RREPs, local
+//! repair, multicast (MAODV), and RREP-ACKs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod node;
+mod packet;
+mod table;
+
+pub use config::AodvConfig;
+pub use node::{AodvAction, AodvCounters, AodvDropReason, AodvNode};
+pub use packet::{AodvData, AodvPacket, AodvRerr, AodvRrep, AodvRreq};
+pub use table::{Route, RoutingTable};

@@ -1,0 +1,1057 @@
+//! The per-node AODV state machine.
+//!
+//! Event-driven like its DSR sibling: receptions, link failures and
+//! timer ticks come in; [`AodvAction`]s come out. AODV differs from DSR
+//! in exactly the ways the Rcast paper highlights (Section 1, footnote
+//! 1): no overhearing — route state lives in soft-state tables kept
+//! alive by timeouts and hello beacons — so route information decays
+//! unless refreshed by *more flooding*.
+
+use std::collections::{HashMap, HashSet};
+
+use rcast_engine::{NodeId, SimTime};
+
+use crate::config::AodvConfig;
+use crate::packet::{AodvData, AodvPacket, AodvRerr, AodvRrep, AodvRreq};
+use crate::table::RoutingTable;
+
+/// Why a data packet was abandoned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AodvDropReason {
+    /// The send buffer was full.
+    BufferFull,
+    /// The packet outlived the buffer timeout.
+    BufferTimeout,
+    /// Discovery exhausted its retries.
+    DiscoveryFailed,
+    /// A relay had no route (and is not the source).
+    NoRoute,
+    /// The next hop broke mid-flight at a relay.
+    LinkBroken,
+}
+
+/// An output of the AODV state machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AodvAction {
+    /// Transmit `packet` to `next_hop`.
+    Unicast {
+        /// Layer-2 receiver.
+        next_hop: NodeId,
+        /// The packet.
+        packet: AodvPacket,
+    },
+    /// Flood `packet` to all neighbors.
+    Broadcast {
+        /// The packet.
+        packet: AodvPacket,
+    },
+    /// This node is the data packet's destination.
+    Delivered {
+        /// The arrived packet.
+        packet: AodvData,
+    },
+    /// The node gave up on a data packet.
+    Dropped {
+        /// The abandoned packet.
+        packet: AodvData,
+        /// Why.
+        reason: AodvDropReason,
+    },
+}
+
+/// Cumulative per-node statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AodvCounters {
+    /// Discoveries initiated (including ring-search rounds).
+    pub rreq_originated: u64,
+    /// RREQ rebroadcasts.
+    pub rreq_forwarded: u64,
+    /// Replies generated as the target.
+    pub rrep_from_target: u64,
+    /// Replies generated from the routing table.
+    pub rrep_from_table: u64,
+    /// Replies relayed.
+    pub rrep_forwarded: u64,
+    /// Hello beacons sent.
+    pub hello_sent: u64,
+    /// Route errors sent.
+    pub rerr_sent: u64,
+    /// Data packets sent as source.
+    pub data_sent: u64,
+    /// Data packets relayed.
+    pub data_forwarded: u64,
+    /// Data packets delivered here.
+    pub data_delivered: u64,
+    /// Data packets abandoned here.
+    pub data_dropped: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Buffered {
+    flow: u32,
+    seq: u64,
+    dst: NodeId,
+    payload_bytes: usize,
+    generated_at: SimTime,
+    buffered_at: SimTime,
+}
+
+#[derive(Debug, Clone)]
+struct Discovery {
+    round: u32,
+    ttl: u8,
+    deadline: SimTime,
+}
+
+/// The AODV protocol engine for one node.
+///
+/// # Example
+///
+/// ```
+/// use rcast_aodv::{AodvAction, AodvConfig, AodvNode, AodvPacket};
+/// use rcast_engine::{NodeId, SimTime};
+///
+/// let mut node = AodvNode::new(NodeId::new(0), AodvConfig::default());
+/// let actions = node.originate(0, 0, NodeId::new(5), 512, SimTime::ZERO);
+/// assert!(matches!(
+///     actions.as_slice(),
+///     [AodvAction::Broadcast { packet: AodvPacket::Rreq(_) }]
+/// ));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AodvNode {
+    id: NodeId,
+    cfg: AodvConfig,
+    table: RoutingTable,
+    seq: u32,
+    next_rreq_id: u32,
+    seen_rreq: HashSet<(NodeId, u32)>,
+    buffer: Vec<Buffered>,
+    discoveries: HashMap<NodeId, Discovery>,
+    /// Last time each neighbor was heard (hello liveness).
+    last_heard: HashMap<NodeId, SimTime>,
+    /// Last time this node sent or relayed anything (hello gating).
+    last_activity: Option<SimTime>,
+    next_hello_at: SimTime,
+    /// RERR rate limiting: window start and count within it.
+    rerr_window: (SimTime, u32),
+    counters: AodvCounters,
+}
+
+impl AodvNode {
+    /// Creates the engine for node `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`AodvConfig::validate`].
+    pub fn new(id: NodeId, cfg: AodvConfig) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid AODV config: {e}");
+        }
+        AodvNode {
+            id,
+            cfg,
+            table: RoutingTable::new(cfg.active_route_timeout),
+            seq: 0,
+            next_rreq_id: 0,
+            seen_rreq: HashSet::new(),
+            buffer: Vec::new(),
+            discoveries: HashMap::new(),
+            last_heard: HashMap::new(),
+            last_activity: None,
+            next_hello_at: SimTime::ZERO,
+            rerr_window: (SimTime::ZERO, 0),
+            counters: AodvCounters::default(),
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Cumulative statistics.
+    pub fn counters(&self) -> AodvCounters {
+        self.counters
+    }
+
+    /// Read access to the routing table.
+    pub fn table(&self) -> &RoutingTable {
+        &self.table
+    }
+
+    /// Packets parked awaiting routes.
+    pub fn buffer_len(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// `true` while a discovery for `target` is outstanding.
+    pub fn discovering(&self, target: NodeId) -> bool {
+        self.discoveries.contains_key(&target)
+    }
+
+    fn note_activity(&mut self, now: SimTime) {
+        self.last_activity = Some(now);
+    }
+
+    fn note_neighbor(&mut self, from: NodeId, now: SimTime) {
+        self.last_heard.insert(from, now);
+        // A heard neighbor is a valid 1-hop route (RFC 3561 §6.2:
+        // create/refresh the route to the previous hop).
+        let seq = self.table.known_seq(from).unwrap_or(0);
+        self.table.update(from, from, 1, seq, now);
+    }
+
+    // ------------------------------------------------------------------
+    // Application interface
+    // ------------------------------------------------------------------
+
+    /// The application asks to send `payload_bytes` to `dst`.
+    pub fn originate(
+        &mut self,
+        flow: u32,
+        seq: u64,
+        dst: NodeId,
+        payload_bytes: usize,
+        now: SimTime,
+    ) -> Vec<AodvAction> {
+        self.note_activity(now);
+        if let Some(next_hop) = self.table.next_hop(dst, now) {
+            self.counters.data_sent += 1;
+            return vec![AodvAction::Unicast {
+                next_hop,
+                packet: AodvPacket::Data(AodvData {
+                    flow,
+                    seq,
+                    src: self.id,
+                    dst,
+                    payload_bytes,
+                    generated_at: now,
+                    hops: 0,
+                }),
+            }];
+        }
+        if self.buffer.len() >= self.cfg.buffer_capacity {
+            self.counters.data_dropped += 1;
+            return vec![AodvAction::Dropped {
+                packet: self.orphan(flow, seq, dst, payload_bytes, now),
+                reason: AodvDropReason::BufferFull,
+            }];
+        }
+        self.buffer.push(Buffered {
+            flow,
+            seq,
+            dst,
+            payload_bytes,
+            generated_at: now,
+            buffered_at: now,
+        });
+        if !self.discoveries.contains_key(&dst) {
+            return self.start_discovery(dst, now);
+        }
+        Vec::new()
+    }
+
+    fn orphan(
+        &self,
+        flow: u32,
+        seq: u64,
+        dst: NodeId,
+        payload_bytes: usize,
+        generated_at: SimTime,
+    ) -> AodvData {
+        AodvData {
+            flow,
+            seq,
+            src: self.id,
+            dst,
+            payload_bytes,
+            generated_at,
+            hops: 0,
+        }
+    }
+
+    fn start_discovery(&mut self, target: NodeId, now: SimTime) -> Vec<AodvAction> {
+        let ttl = self.cfg.ttl_start;
+        self.discoveries.insert(
+            target,
+            Discovery {
+                round: 0,
+                ttl,
+                deadline: now + self.cfg.discovery_timeout,
+            },
+        );
+        vec![self.emit_rreq(target, ttl)]
+    }
+
+    fn emit_rreq(&mut self, target: NodeId, ttl: u8) -> AodvAction {
+        // RFC 3561 §6.3: increment own sequence number before a RREQ.
+        self.seq += 1;
+        let id = self.next_rreq_id;
+        self.next_rreq_id += 1;
+        self.seen_rreq.insert((self.id, id));
+        self.counters.rreq_originated += 1;
+        AodvAction::Broadcast {
+            packet: AodvPacket::Rreq(AodvRreq {
+                origin: self.id,
+                origin_seq: self.seq,
+                target,
+                target_seq: self.table.known_seq(target),
+                id,
+                hop_count: 0,
+                ttl,
+            }),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Timers
+    // ------------------------------------------------------------------
+
+    /// Advances protocol timers; call at least once per beacon interval.
+    pub fn tick(&mut self, now: SimTime) -> Vec<AodvAction> {
+        let mut out = Vec::new();
+
+        // Buffer expiry.
+        let timeout = self.cfg.buffer_timeout;
+        let (expired, kept): (Vec<_>, Vec<_>) = std::mem::take(&mut self.buffer)
+            .into_iter()
+            .partition(|b| now.saturating_since(b.buffered_at) > timeout);
+        self.buffer = kept;
+        for b in expired {
+            self.counters.data_dropped += 1;
+            let p = self.orphan(b.flow, b.seq, b.dst, b.payload_bytes, b.generated_at);
+            out.push(AodvAction::Dropped {
+                packet: p,
+                reason: AodvDropReason::BufferTimeout,
+            });
+        }
+
+        // Cancel discoveries with nothing waiting.
+        let live: HashSet<NodeId> = self.buffer.iter().map(|b| b.dst).collect();
+        self.discoveries.retain(|t, _| live.contains(t));
+
+        // Ring-search escalation / abandonment (sorted: HashMap
+        // iteration order must not leak into the simulation).
+        let mut due: Vec<NodeId> = self
+            .discoveries
+            .iter()
+            .filter(|(_, d)| d.deadline <= now)
+            .map(|(&t, _)| t)
+            .collect();
+        due.sort_unstable();
+        for target in due {
+            let d = self.discoveries[&target].clone();
+            let at_network_ttl = d.ttl >= self.cfg.net_diameter;
+            if at_network_ttl && d.round >= self.cfg.rreq_retries {
+                self.discoveries.remove(&target);
+                let (dead, kept): (Vec<_>, Vec<_>) = std::mem::take(&mut self.buffer)
+                    .into_iter()
+                    .partition(|b| b.dst == target);
+                self.buffer = kept;
+                for b in dead {
+                    self.counters.data_dropped += 1;
+                    let p = self.orphan(b.flow, b.seq, b.dst, b.payload_bytes, b.generated_at);
+                    out.push(AodvAction::Dropped {
+                        packet: p,
+                        reason: AodvDropReason::DiscoveryFailed,
+                    });
+                }
+                continue;
+            }
+            let next_ttl = if d.ttl >= self.cfg.ttl_threshold {
+                self.cfg.net_diameter
+            } else {
+                (d.ttl + self.cfg.ttl_increment).min(self.cfg.net_diameter)
+            };
+            let next_round = if at_network_ttl { d.round + 1 } else { d.round };
+            if let Some(entry) = self.discoveries.get_mut(&target) {
+                entry.ttl = next_ttl;
+                entry.round = next_round;
+                entry.deadline = now + self.cfg.discovery_timeout;
+            }
+            out.push(self.emit_rreq(target, next_ttl));
+        }
+
+        // Hello beacons.
+        if let Some(interval) = self.cfg.hello_interval {
+            if now >= self.next_hello_at {
+                self.next_hello_at = now + interval;
+                let active = self
+                    .last_activity
+                    .is_some_and(|t| now.saturating_since(t) <= self.cfg.active_route_timeout);
+                if active {
+                    self.counters.hello_sent += 1;
+                    out.push(AodvAction::Broadcast {
+                        packet: AodvPacket::Rrep(AodvRrep {
+                            target: self.id,
+                            target_seq: self.seq,
+                            origin: self.id,
+                            hop_count: 0,
+                        }),
+                    });
+                }
+            }
+            // Hello-based liveness, evaluated continuously: next hops
+            // silent for allowed_hello_loss intervals are gone.
+            let deadline = interval * u64::from(self.cfg.allowed_hello_loss);
+            let mut silent: Vec<NodeId> = self
+                .last_heard
+                .iter()
+                .filter(|(_, &t)| now.saturating_since(t) > deadline)
+                .map(|(&n, _)| n)
+                .collect();
+            // Sorted: HashMap iteration order must not leak into the
+            // simulation's event order.
+            silent.sort_unstable();
+            for neighbor in silent {
+                self.last_heard.remove(&neighbor);
+                out.extend(self.break_link(neighbor, now));
+            }
+        }
+        out
+    }
+
+    /// Emits a RERR unless the RFC's RERR_RATELIMIT window is exhausted.
+    fn emit_rerr(&mut self, unreachable: Vec<(NodeId, u32)>, now: SimTime) -> Option<AodvAction> {
+        let (window_start, count) = self.rerr_window;
+        let one_second = rcast_engine::SimDuration::from_secs(1);
+        if now.saturating_since(window_start) >= one_second {
+            self.rerr_window = (now, 0);
+        }
+        if self.rerr_window.1 >= self.cfg.rerr_rate_limit {
+            let _ = count;
+            return None;
+        }
+        self.rerr_window.1 += 1;
+        self.counters.rerr_sent += 1;
+        Some(AodvAction::Broadcast {
+            packet: AodvPacket::Rerr(AodvRerr { unreachable }),
+        })
+    }
+
+    fn break_link(&mut self, neighbor: NodeId, now: SimTime) -> Vec<AodvAction> {
+        let broken = self.table.invalidate_via(neighbor, now);
+        // RFC 3561 §6.11: a RERR advertises only routes *in use* —
+        // those with precursors (upstream nodes forwarding through us).
+        // Unused entries (e.g. idle 1-hop neighbor routes learned from
+        // hellos) die silently.
+        let unreachable: Vec<(NodeId, u32)> = broken
+            .iter()
+            .filter(|(_, _, pre)| !pre.is_empty())
+            .map(|&(d, s, _)| (d, s))
+            .collect();
+        if unreachable.is_empty() {
+            return Vec::new();
+        }
+        self.emit_rerr(unreachable, now).into_iter().collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Reception
+    // ------------------------------------------------------------------
+
+    /// Handles a packet addressed to this node (or a received broadcast).
+    pub fn receive(&mut self, packet: AodvPacket, from: NodeId, now: SimTime) -> Vec<AodvAction> {
+        self.note_neighbor(from, now);
+        match packet {
+            AodvPacket::Rreq(r) => self.receive_rreq(r, from, now),
+            AodvPacket::Rrep(r) => self.receive_rrep(r, from, now),
+            AodvPacket::Rerr(e) => self.receive_rerr(e, from, now),
+            AodvPacket::Data(d) => self.receive_data(d, from, now),
+        }
+    }
+
+    fn receive_rreq(&mut self, r: AodvRreq, from: NodeId, now: SimTime) -> Vec<AodvAction> {
+        let mut out = Vec::new();
+        if r.origin == self.id || !self.seen_rreq.insert((r.origin, r.id)) {
+            return out;
+        }
+        // Reverse route to the origin through the previous hop.
+        self.table
+            .update(r.origin, from, r.hop_count + 1, r.origin_seq, now);
+
+        if r.target == self.id {
+            // RFC 3561 §6.6.1: the destination bumps its sequence number
+            // to at least the requested one.
+            self.seq = self.seq.max(r.target_seq.unwrap_or(0)).max(self.seq);
+            if r.target_seq == Some(self.seq) {
+                self.seq += 1;
+            }
+            self.note_activity(now);
+            self.counters.rrep_from_target += 1;
+            out.push(AodvAction::Unicast {
+                next_hop: from,
+                packet: AodvPacket::Rrep(AodvRrep {
+                    target: self.id,
+                    target_seq: self.seq,
+                    origin: r.origin,
+                    hop_count: 0,
+                }),
+            });
+            return out;
+        }
+
+        // Intermediate reply when we know a fresh-enough route.
+        if self.cfg.intermediate_reply {
+            if let Some(route) = self.table.route_for(r.target, now) {
+                let fresh = match r.target_seq {
+                    None => true,
+                    Some(wanted) => route.dst_seq >= wanted,
+                };
+                if fresh {
+                    let (hops, seq, fwd_next) = (route.hops, route.dst_seq, route.next_hop);
+                    self.table.add_precursor(r.target, from);
+                    self.table.add_precursor(r.origin, fwd_next);
+                    self.counters.rrep_from_table += 1;
+                    out.push(AodvAction::Unicast {
+                        next_hop: from,
+                        packet: AodvPacket::Rrep(AodvRrep {
+                            target: r.target,
+                            target_seq: seq,
+                            origin: r.origin,
+                            hop_count: hops,
+                        }),
+                    });
+                    return out;
+                }
+            }
+        }
+
+        if r.ttl > 1 {
+            self.counters.rreq_forwarded += 1;
+            out.push(AodvAction::Broadcast {
+                packet: AodvPacket::Rreq(AodvRreq {
+                    hop_count: r.hop_count + 1,
+                    ttl: r.ttl - 1,
+                    ..r
+                }),
+            });
+        }
+        out
+    }
+
+    fn receive_rrep(&mut self, r: AodvRrep, from: NodeId, now: SimTime) -> Vec<AodvAction> {
+        let mut out = Vec::new();
+        if r.is_hello() {
+            // note_neighbor already refreshed the 1-hop route; upgrade
+            // its sequence number.
+            self.table.update(from, from, 1, r.target_seq, now);
+            return out;
+        }
+        // Forward route to the target via the reply's sender.
+        self.table
+            .update(r.target, from, r.hop_count + 1, r.target_seq, now);
+
+        if r.origin == self.id {
+            self.discoveries.remove(&r.target);
+            out.extend(self.drain_buffer(now));
+            return out;
+        }
+        // Relay toward the origin along the reverse route.
+        if let Some(back) = self.table.next_hop(r.origin, now) {
+            self.table.add_precursor(r.target, back);
+            self.table.add_precursor(r.origin, from);
+            self.note_activity(now);
+            self.counters.rrep_forwarded += 1;
+            out.push(AodvAction::Unicast {
+                next_hop: back,
+                packet: AodvPacket::Rrep(AodvRrep {
+                    hop_count: r.hop_count + 1,
+                    ..r
+                }),
+            });
+        }
+        out
+    }
+
+    fn receive_rerr(&mut self, e: AodvRerr, from: NodeId, now: SimTime) -> Vec<AodvAction> {
+        let mut cascaded = Vec::new();
+        for &(dst, seq) in &e.unreachable {
+            let via_sender = self
+                .table
+                .peek(dst)
+                .is_some_and(|r| r.next_hop == from);
+            if !via_sender {
+                continue;
+            }
+            match self.table.invalidate_dst(dst, seq, now) {
+                // Cascade only for routes someone upstream was using.
+                Some(precursors) if !precursors.is_empty() => cascaded.push((dst, seq)),
+                _ => {}
+            }
+        }
+        if cascaded.is_empty() {
+            return Vec::new();
+        }
+        self.emit_rerr(cascaded, now).into_iter().collect()
+    }
+
+    fn receive_data(&mut self, d: AodvData, from: NodeId, now: SimTime) -> Vec<AodvAction> {
+        let mut out = Vec::new();
+        if d.dst == self.id {
+            self.note_activity(now);
+            self.counters.data_delivered += 1;
+            out.push(AodvAction::Delivered { packet: d });
+            return out;
+        }
+        match self.table.next_hop(d.dst, now) {
+            Some(next_hop) => {
+                self.table.add_precursor(d.dst, from);
+                // Keep the reverse route alive for replies.
+                let _ = self.table.next_hop(d.src, now);
+                self.note_activity(now);
+                self.counters.data_forwarded += 1;
+                out.push(AodvAction::Unicast {
+                    next_hop,
+                    packet: AodvPacket::Data(AodvData {
+                        hops: d.hops + 1,
+                        ..d
+                    }),
+                });
+            }
+            None => {
+                // No route: drop and advertise the hole (RFC §6.11 case
+                // ii), subject to the RERR rate limit.
+                let seq = self.table.known_seq(d.dst).map_or(0, |s| s + 1);
+                self.counters.data_dropped += 1;
+                out.push(AodvAction::Dropped {
+                    packet: d,
+                    reason: AodvDropReason::NoRoute,
+                });
+                out.extend(self.emit_rerr(vec![(d.dst, seq)], now));
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Link failures
+    // ------------------------------------------------------------------
+
+    /// The MAC reports `next_hop` unreachable and returns the packet.
+    pub fn link_failure(
+        &mut self,
+        next_hop: NodeId,
+        packet: AodvPacket,
+        now: SimTime,
+    ) -> Vec<AodvAction> {
+        let mut out = self.break_link(next_hop, now);
+        self.last_heard.remove(&next_hop);
+        let AodvPacket::Data(d) = packet else {
+            return out;
+        };
+        if d.src == self.id {
+            // Re-enter discovery.
+            if self.buffer.len() < self.cfg.buffer_capacity {
+                self.buffer.push(Buffered {
+                    flow: d.flow,
+                    seq: d.seq,
+                    dst: d.dst,
+                    payload_bytes: d.payload_bytes,
+                    generated_at: d.generated_at,
+                    buffered_at: now,
+                });
+                if !self.discoveries.contains_key(&d.dst) {
+                    out.extend(self.start_discovery(d.dst, now));
+                }
+            } else {
+                self.counters.data_dropped += 1;
+                out.push(AodvAction::Dropped {
+                    packet: d,
+                    reason: AodvDropReason::BufferFull,
+                });
+            }
+        } else {
+            self.counters.data_dropped += 1;
+            out.push(AodvAction::Dropped {
+                packet: d,
+                reason: AodvDropReason::LinkBroken,
+            });
+        }
+        out
+    }
+
+    fn drain_buffer(&mut self, now: SimTime) -> Vec<AodvAction> {
+        let mut out = Vec::new();
+        let mut remaining = Vec::with_capacity(self.buffer.len());
+        for b in std::mem::take(&mut self.buffer) {
+            match self.table.next_hop(b.dst, now) {
+                Some(next_hop) => {
+                    self.counters.data_sent += 1;
+                    self.discoveries.remove(&b.dst);
+                    out.push(AodvAction::Unicast {
+                        next_hop,
+                        packet: AodvPacket::Data(AodvData {
+                            flow: b.flow,
+                            seq: b.seq,
+                            src: self.id,
+                            dst: b.dst,
+                            payload_bytes: b.payload_bytes,
+                            generated_at: b.generated_at,
+                            hops: 0,
+                        }),
+                    });
+                }
+                None => remaining.push(b),
+            }
+        }
+        self.buffer = remaining;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcast_engine::SimDuration;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn node(i: u32) -> AodvNode {
+        AodvNode::new(n(i), AodvConfig::default())
+    }
+
+    fn no_hello(i: u32) -> AodvNode {
+        let mut cfg = AodvConfig::default();
+        cfg.hello_interval = None;
+        AodvNode::new(n(i), cfg)
+    }
+
+    #[test]
+    fn originate_without_route_ring_searches() {
+        let mut s = node(0);
+        let actions = s.originate(0, 0, n(9), 512, SimTime::ZERO);
+        match &actions[..] {
+            [AodvAction::Broadcast { packet: AodvPacket::Rreq(r) }] => {
+                assert_eq!(r.origin, n(0));
+                assert_eq!(r.target, n(9));
+                assert_eq!(r.ttl, AodvConfig::default().ttl_start);
+                assert_eq!(r.origin_seq, 1, "own seq bumped before RREQ");
+                assert_eq!(r.target_seq, None, "unknown destination seq");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(s.discovering(n(9)));
+        assert_eq!(s.buffer_len(), 1);
+    }
+
+    #[test]
+    fn rreq_builds_reverse_route_and_target_replies() {
+        let mut t = node(2);
+        let rreq = AodvRreq {
+            origin: n(0),
+            origin_seq: 4,
+            target: n(2),
+            target_seq: None,
+            id: 0,
+            hop_count: 1,
+            ttl: 14,
+        };
+        let actions = t.receive(AodvPacket::Rreq(rreq), n(1), SimTime::ZERO);
+        match &actions[..] {
+            [AodvAction::Unicast { next_hop, packet: AodvPacket::Rrep(r) }] => {
+                assert_eq!(*next_hop, n(1));
+                assert_eq!(r.target, n(2));
+                assert_eq!(r.origin, n(0));
+                assert_eq!(r.hop_count, 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Reverse route: origin reachable via the previous hop, 2 hops.
+        let route = t.table().peek(n(0)).expect("reverse route");
+        assert_eq!(route.next_hop, n(1));
+        assert_eq!(route.hops, 2);
+    }
+
+    #[test]
+    fn duplicate_rreq_suppressed_and_ttl_respected() {
+        let mut m = node(1);
+        let rreq = AodvRreq {
+            origin: n(0),
+            origin_seq: 1,
+            target: n(9),
+            target_seq: None,
+            id: 3,
+            hop_count: 0,
+            ttl: 5,
+        };
+        let first = m.receive(AodvPacket::Rreq(rreq), n(0), SimTime::ZERO);
+        match &first[..] {
+            [AodvAction::Broadcast { packet: AodvPacket::Rreq(f) }] => {
+                assert_eq!(f.ttl, 4);
+                assert_eq!(f.hop_count, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(m
+            .receive(AodvPacket::Rreq(rreq), n(5), SimTime::ZERO)
+            .is_empty());
+        // TTL 1 dies here.
+        let mut m2 = node(4);
+        let dying = AodvRreq { ttl: 1, id: 9, ..rreq };
+        assert!(m2
+            .receive(AodvPacket::Rreq(dying), n(0), SimTime::ZERO)
+            .is_empty());
+    }
+
+    #[test]
+    fn intermediate_replies_from_fresh_table() {
+        let mut m = node(1);
+        // Seed a fresh route to the target.
+        m.table.update(n(9), n(5), 2, 7, SimTime::ZERO);
+        let rreq = AodvRreq {
+            origin: n(0),
+            origin_seq: 1,
+            target: n(9),
+            target_seq: Some(6),
+            id: 0,
+            hop_count: 0,
+            ttl: 10,
+        };
+        let actions = m.receive(AodvPacket::Rreq(rreq), n(0), SimTime::ZERO);
+        match &actions[..] {
+            [AodvAction::Unicast { next_hop, packet: AodvPacket::Rrep(r) }] => {
+                assert_eq!(*next_hop, n(0));
+                assert_eq!(r.target_seq, 7);
+                assert_eq!(r.hop_count, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(m.counters().rrep_from_table, 1);
+        // A staler table entry does not satisfy a fresher request.
+        let mut m2 = node(2);
+        m2.table.update(n(9), n(5), 2, 4, SimTime::ZERO);
+        let picky = AodvRreq { target_seq: Some(6), id: 1, ..rreq };
+        let actions = m2.receive(AodvPacket::Rreq(picky), n(0), SimTime::ZERO);
+        assert!(matches!(
+            &actions[..],
+            [AodvAction::Broadcast { packet: AodvPacket::Rreq(_) }]
+        ));
+    }
+
+    #[test]
+    fn rrep_installs_forward_route_and_drains_buffer() {
+        let mut s = no_hello(0);
+        s.originate(3, 0, n(2), 512, SimTime::ZERO);
+        let rrep = AodvRrep {
+            target: n(2),
+            target_seq: 5,
+            origin: n(0),
+            hop_count: 0,
+        };
+        let actions = s.receive(AodvPacket::Rrep(rrep), n(1), SimTime::from_secs(1));
+        let sent = actions.iter().find_map(|a| match a {
+            AodvAction::Unicast { next_hop, packet: AodvPacket::Data(d) } => {
+                Some((*next_hop, *d))
+            }
+            _ => None,
+        });
+        let (hop, d) = sent.expect("buffered packet must flush");
+        assert_eq!(hop, n(1));
+        assert_eq!(d.flow, 3);
+        assert!(!s.discovering(n(2)));
+        assert_eq!(s.buffer_len(), 0);
+    }
+
+    #[test]
+    fn data_forwards_by_table_and_delivers() {
+        let mut relay = no_hello(1);
+        relay.table.update(n(2), n(2), 1, 1, SimTime::ZERO);
+        let d = AodvData {
+            flow: 0,
+            seq: 0,
+            src: n(0),
+            dst: n(2),
+            payload_bytes: 512,
+            generated_at: SimTime::ZERO,
+            hops: 0,
+        };
+        let actions = relay.receive(AodvPacket::Data(d), n(0), SimTime::ZERO);
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            AodvAction::Unicast { next_hop, packet: AodvPacket::Data(x) }
+                if *next_hop == n(2) && x.hops == 1
+        )));
+        let mut dest = no_hello(2);
+        let actions = dest.receive(AodvPacket::Data(d), n(1), SimTime::ZERO);
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, AodvAction::Delivered { .. })));
+    }
+
+    #[test]
+    fn routeless_relay_drops_and_advertises() {
+        let mut relay = no_hello(1);
+        let d = AodvData {
+            flow: 0,
+            seq: 0,
+            src: n(0),
+            dst: n(9),
+            payload_bytes: 512,
+            generated_at: SimTime::ZERO,
+            hops: 0,
+        };
+        let actions = relay.receive(AodvPacket::Data(d), n(0), SimTime::ZERO);
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, AodvAction::Dropped { reason: AodvDropReason::NoRoute, .. })));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            AodvAction::Broadcast { packet: AodvPacket::Rerr(_) }
+        )));
+    }
+
+    #[test]
+    fn link_failure_invalidates_and_rediscovers_at_source() {
+        let mut s = no_hello(0);
+        s.table.update(n(9), n(1), 2, 3, SimTime::ZERO);
+        let d = AodvData {
+            flow: 0,
+            seq: 0,
+            src: n(0),
+            dst: n(9),
+            payload_bytes: 512,
+            generated_at: SimTime::ZERO,
+            hops: 0,
+        };
+        let actions = s.link_failure(n(1), AodvPacket::Data(d), SimTime::from_secs(1));
+        // The source has no upstream precursors, so no RERR goes out —
+        // it simply rediscovers.
+        assert!(!actions.iter().any(|a| matches!(
+            a,
+            AodvAction::Broadcast { packet: AodvPacket::Rerr(_) }
+        )));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            AodvAction::Broadcast { packet: AodvPacket::Rreq(_) }
+        )));
+        assert!(s.discovering(n(9)));
+        assert!(s.table().peek(n(9)).unwrap().expires <= SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn link_failure_at_relay_reports_to_precursors() {
+        let mut relay = no_hello(1);
+        relay.table.update(n(9), n(2), 2, 3, SimTime::ZERO);
+        relay.table.add_precursor(n(9), n(0));
+        let d = AodvData {
+            flow: 0,
+            seq: 0,
+            src: n(0),
+            dst: n(9),
+            payload_bytes: 512,
+            generated_at: SimTime::ZERO,
+            hops: 1,
+        };
+        let actions = relay.link_failure(n(2), AodvPacket::Data(d), SimTime::from_secs(1));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            AodvAction::Broadcast { packet: AodvPacket::Rerr(e) }
+                if e.unreachable.iter().any(|&(dst, _)| dst == n(9))
+        )));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            AodvAction::Dropped { reason: AodvDropReason::LinkBroken, .. }
+        )));
+    }
+
+    #[test]
+    fn rerr_cascades_only_over_matching_next_hops() {
+        let mut m = no_hello(1);
+        m.table.update(n(9), n(2), 2, 3, SimTime::ZERO);
+        m.table.add_precursor(n(9), n(0));
+        m.table.update(n(8), n(5), 2, 3, SimTime::ZERO);
+        m.table.add_precursor(n(8), n(0));
+        let rerr = AodvRerr {
+            unreachable: vec![(n(9), 4), (n(8), 4)],
+        };
+        let actions = m.receive(AodvPacket::Rerr(rerr), n(2), SimTime::ZERO);
+        match &actions[..] {
+            [AodvAction::Broadcast { packet: AodvPacket::Rerr(e) }] => {
+                assert_eq!(e.unreachable, vec![(n(9), 4)], "only the route via the sender dies");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(m.table.peek(n(8)).unwrap().expires > SimTime::ZERO);
+    }
+
+    #[test]
+    fn hello_emitted_only_when_active_and_silence_breaks_links() {
+        let mut m = node(1);
+        // Idle node: no hello.
+        let t1 = SimTime::from_secs(1);
+        assert!(m.tick(t1).is_empty());
+        // Activity enables hellos.
+        m.originate(0, 0, n(9), 64, t1); // buffers + RREQ, marks activity
+        let actions = m.tick(SimTime::from_secs(2));
+        assert!(
+            actions.iter().any(|a| matches!(
+                a,
+                AodvAction::Broadcast { packet: AodvPacket::Rrep(h) } if h.is_hello()
+            )),
+            "{actions:?}"
+        );
+        // A neighbor heard once and then silent for > 2 intervals breaks.
+        let mut x = node(3);
+        x.note_activity(SimTime::ZERO);
+        x.receive(
+            AodvPacket::Rrep(AodvRrep {
+                target: n(7),
+                target_seq: 1,
+                origin: n(7),
+                hop_count: 0,
+            }),
+            n(7),
+            SimTime::ZERO,
+        );
+        assert!(x.table().peek(n(7)).is_some());
+        // Someone upstream routes through us via 7, making it "in use".
+        x.table.add_precursor(n(7), n(5));
+        let mut broke = false;
+        for half_s in 1..12u64 {
+            let actions = x.tick(SimTime::from_millis(half_s * 500));
+            if actions.iter().any(|a| matches!(
+                a,
+                AodvAction::Broadcast { packet: AodvPacket::Rerr(_) }
+            )) {
+                broke = true;
+            }
+        }
+        assert!(broke, "silent neighbor must be declared broken");
+    }
+
+    #[test]
+    fn ring_search_escalates_to_network_and_gives_up() {
+        let cfg = AodvConfig::default();
+        let mut s = no_hello(0);
+        s.originate(0, 0, n(9), 64, SimTime::ZERO);
+        let mut t = SimTime::ZERO;
+        let mut ttls = Vec::new();
+        let mut dropped = false;
+        for _ in 0..12 {
+            t += SimDuration::from_secs(5);
+            for a in s.tick(t) {
+                match a {
+                    AodvAction::Broadcast { packet: AodvPacket::Rreq(r) } => ttls.push(r.ttl),
+                    AodvAction::Dropped { reason: AodvDropReason::DiscoveryFailed, .. } => {
+                        dropped = true
+                    }
+                    AodvAction::Dropped { reason: AodvDropReason::BufferTimeout, .. } => {
+                        dropped = true
+                    }
+                    _ => {}
+                }
+            }
+            if dropped {
+                break;
+            }
+        }
+        assert!(ttls.windows(2).all(|w| w[0] <= w[1]), "TTLs escalate: {ttls:?}");
+        assert!(ttls.contains(&cfg.net_diameter));
+        assert!(dropped, "discovery must eventually give up");
+        assert_eq!(s.buffer_len(), 0);
+    }
+}

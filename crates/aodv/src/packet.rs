@@ -1,0 +1,224 @@
+//! AODV packet formats (RFC 3561 message types over IPv4).
+
+use rcast_engine::{NodeId, SimTime};
+
+/// IPv4 header length, octets.
+const IP_HEADER: usize = 20;
+
+/// A route request (RFC 3561 §5.1: 24 octets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AodvRreq {
+    /// The node performing the discovery.
+    pub origin: NodeId,
+    /// Origin's own sequence number.
+    pub origin_seq: u32,
+    /// The sought destination.
+    pub target: NodeId,
+    /// Freshest destination sequence number known to the origin
+    /// (`None` = unknown flag).
+    pub target_seq: Option<u32>,
+    /// Discovery id, unique per origin.
+    pub id: u32,
+    /// Hops travelled so far.
+    pub hop_count: u32,
+    /// Remaining propagation budget (expanding-ring search).
+    pub ttl: u8,
+}
+
+impl AodvRreq {
+    /// On-air size, octets.
+    pub fn wire_bytes(&self) -> usize {
+        IP_HEADER + 24
+    }
+}
+
+/// A route reply (RFC 3561 §5.2: 20 octets). Hello messages are RREPs
+/// with `hop_count = 0` and `origin == target` broadcast with TTL 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AodvRrep {
+    /// The node whose route is being supplied.
+    pub target: NodeId,
+    /// The destination's sequence number.
+    pub target_seq: u32,
+    /// The discovery origin the reply travels to.
+    pub origin: NodeId,
+    /// Hops from the replier to the target.
+    pub hop_count: u32,
+}
+
+impl AodvRrep {
+    /// On-air size, octets.
+    pub fn wire_bytes(&self) -> usize {
+        IP_HEADER + 20
+    }
+
+    /// `true` when this RREP is a hello beacon.
+    pub fn is_hello(&self) -> bool {
+        self.origin == self.target
+    }
+}
+
+/// A route error (RFC 3561 §5.3: 12 octets + 8 per unreachable entry).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AodvRerr {
+    /// Unreachable destinations with their bumped sequence numbers.
+    pub unreachable: Vec<(NodeId, u32)>,
+}
+
+impl AodvRerr {
+    /// On-air size, octets.
+    pub fn wire_bytes(&self) -> usize {
+        IP_HEADER + 12 + 8 * self.unreachable.len()
+    }
+}
+
+/// A data packet forwarded hop-by-hop via routing tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AodvData {
+    /// Flow identifier.
+    pub flow: u32,
+    /// Sequence within the flow.
+    pub seq: u64,
+    /// Application source.
+    pub src: NodeId,
+    /// Application destination.
+    pub dst: NodeId,
+    /// Payload size, octets.
+    pub payload_bytes: usize,
+    /// Generation instant (delay metric).
+    pub generated_at: SimTime,
+    /// Hops travelled so far (loop/TTL guard).
+    pub hops: u32,
+}
+
+impl AodvData {
+    /// On-air size, octets (payload + IP header; AODV adds no
+    /// per-packet source route, its key wire advantage over DSR).
+    pub fn wire_bytes(&self) -> usize {
+        self.payload_bytes + IP_HEADER
+    }
+}
+
+/// Any AODV packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AodvPacket {
+    /// Broadcast route request.
+    Rreq(AodvRreq),
+    /// Unicast route reply (or broadcast hello).
+    Rrep(AodvRrep),
+    /// Route error (broadcast to precursors in this implementation).
+    Rerr(AodvRerr),
+    /// Hop-by-hop data.
+    Data(AodvData),
+}
+
+impl AodvPacket {
+    /// On-air size, octets.
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            AodvPacket::Rreq(p) => p.wire_bytes(),
+            AodvPacket::Rrep(p) => p.wire_bytes(),
+            AodvPacket::Rerr(p) => p.wire_bytes(),
+            AodvPacket::Data(p) => p.wire_bytes(),
+        }
+    }
+
+    /// `true` for routing-control packets.
+    pub fn is_control(&self) -> bool {
+        !matches!(self, AodvPacket::Data(_))
+    }
+
+    /// A short kind tag.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            AodvPacket::Rreq(_) => "RREQ",
+            AodvPacket::Rrep(p) if p.is_hello() => "HELLO",
+            AodvPacket::Rrep(_) => "RREP",
+            AodvPacket::Rerr(_) => "RERR",
+            AodvPacket::Data(_) => "DATA",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn wire_sizes() {
+        let rreq = AodvRreq {
+            origin: n(0),
+            origin_seq: 1,
+            target: n(9),
+            target_seq: None,
+            id: 0,
+            ttl: 16,
+            hop_count: 0,
+        };
+        assert_eq!(rreq.wire_bytes(), 44);
+        let rrep = AodvRrep {
+            target: n(9),
+            target_seq: 3,
+            origin: n(0),
+            hop_count: 2,
+        };
+        assert_eq!(rrep.wire_bytes(), 40);
+        let rerr = AodvRerr {
+            unreachable: vec![(n(9), 4), (n(8), 2)],
+        };
+        assert_eq!(rerr.wire_bytes(), 20 + 12 + 16);
+        let data = AodvData {
+            flow: 0,
+            seq: 0,
+            src: n(0),
+            dst: n(9),
+            payload_bytes: 512,
+            generated_at: SimTime::ZERO,
+            hops: 0,
+        };
+        // AODV data is smaller on the wire than DSR's source-routed data.
+        assert_eq!(data.wire_bytes(), 532);
+    }
+
+    #[test]
+    fn hello_detection() {
+        let hello = AodvRrep {
+            target: n(3),
+            target_seq: 7,
+            origin: n(3),
+            hop_count: 0,
+        };
+        assert!(hello.is_hello());
+        assert_eq!(AodvPacket::Rrep(hello).kind(), "HELLO");
+        let rrep = AodvRrep {
+            target: n(3),
+            target_seq: 7,
+            origin: n(1),
+            hop_count: 0,
+        };
+        assert!(!rrep.is_hello());
+    }
+
+    #[test]
+    fn control_classification() {
+        let data = AodvPacket::Data(AodvData {
+            flow: 0,
+            seq: 0,
+            src: n(0),
+            dst: n(1),
+            payload_bytes: 64,
+            generated_at: SimTime::ZERO,
+            hops: 0,
+        });
+        assert!(!data.is_control());
+        assert_eq!(data.kind(), "DATA");
+        let rerr = AodvPacket::Rerr(AodvRerr {
+            unreachable: vec![],
+        });
+        assert!(rerr.is_control());
+    }
+}

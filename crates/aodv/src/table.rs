@@ -1,0 +1,278 @@
+//! The AODV routing table: sequence-numbered, soft-state, hop-by-hop.
+
+use std::collections::HashMap;
+
+use rcast_engine::{NodeId, SimDuration, SimTime};
+
+/// One routing-table entry (RFC 3561 §2, trimmed to the simulated
+/// feature set).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Route {
+    /// Next hop toward the destination.
+    pub next_hop: NodeId,
+    /// Hop count to the destination.
+    pub hops: u32,
+    /// Destination sequence number (freshness).
+    pub dst_seq: u32,
+    /// Soft-state expiry; the entry is invalid after this instant.
+    pub expires: SimTime,
+    /// Upstream neighbors using this route (RERR recipients on break).
+    pub precursors: Vec<NodeId>,
+}
+
+/// A per-node AODV routing table.
+///
+/// # Example
+///
+/// ```
+/// use rcast_aodv::RoutingTable;
+/// use rcast_engine::{NodeId, SimDuration, SimTime};
+///
+/// let mut t = RoutingTable::new(SimDuration::from_secs(3));
+/// t.update(NodeId::new(9), NodeId::new(1), 2, 5, SimTime::ZERO);
+/// assert!(t.next_hop(NodeId::new(9), SimTime::from_secs(1)).is_some());
+/// assert!(t.next_hop(NodeId::new(9), SimTime::from_secs(4)).is_none());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RoutingTable {
+    lifetime: SimDuration,
+    routes: HashMap<NodeId, Route>,
+}
+
+impl RoutingTable {
+    /// An empty table whose entries live `lifetime` after each use
+    /// (ACTIVE_ROUTE_TIMEOUT, RFC default 3 s).
+    pub fn new(lifetime: SimDuration) -> Self {
+        RoutingTable {
+            lifetime,
+            routes: HashMap::new(),
+        }
+    }
+
+    /// Number of (possibly expired) entries.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// `true` when no entries exist.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+
+    /// Inserts or refreshes the route to `dst`, following RFC 3561's
+    /// update rule: accept when the incoming sequence number is newer,
+    /// or equal with a shorter hop count, or the existing entry expired.
+    /// Returns `true` when the table changed.
+    pub fn update(
+        &mut self,
+        dst: NodeId,
+        next_hop: NodeId,
+        hops: u32,
+        dst_seq: u32,
+        now: SimTime,
+    ) -> bool {
+        let expires = now + self.lifetime;
+        match self.routes.get_mut(&dst) {
+            Some(existing) => {
+                let stale = existing.expires <= now;
+                let newer = dst_seq > existing.dst_seq;
+                let better = dst_seq == existing.dst_seq && hops < existing.hops;
+                if stale || newer || better {
+                    let precursors = std::mem::take(&mut existing.precursors);
+                    *existing = Route {
+                        next_hop,
+                        hops,
+                        dst_seq,
+                        expires,
+                        precursors,
+                    };
+                    true
+                } else {
+                    // Same or older information: just refresh liveness
+                    // when it confirms the current route.
+                    if existing.next_hop == next_hop && existing.expires < expires {
+                        existing.expires = expires;
+                    }
+                    false
+                }
+            }
+            None => {
+                self.routes.insert(
+                    dst,
+                    Route {
+                        next_hop,
+                        hops,
+                        dst_seq,
+                        expires,
+                        precursors: Vec::new(),
+                    },
+                );
+                true
+            }
+        }
+    }
+
+    /// The valid (unexpired) route to `dst`, refreshing its lifetime —
+    /// using a route keeps it alive (RFC 3561 §6.2).
+    pub fn route_for(&mut self, dst: NodeId, now: SimTime) -> Option<&Route> {
+        let lifetime = self.lifetime;
+        match self.routes.get_mut(&dst) {
+            Some(r) if r.expires > now => {
+                r.expires = now + lifetime;
+                Some(&*r)
+            }
+            _ => None,
+        }
+    }
+
+    /// The next hop toward `dst`, if a valid route exists (refreshes).
+    pub fn next_hop(&mut self, dst: NodeId, now: SimTime) -> Option<NodeId> {
+        self.route_for(dst, now).map(|r| r.next_hop)
+    }
+
+    /// Looks at the route without refreshing (metrics/tests).
+    pub fn peek(&self, dst: NodeId) -> Option<&Route> {
+        self.routes.get(&dst)
+    }
+
+    /// The freshest sequence number known for `dst` (valid or not).
+    pub fn known_seq(&self, dst: NodeId) -> Option<u32> {
+        self.routes.get(&dst).map(|r| r.dst_seq)
+    }
+
+    /// Registers `precursor` as using the route to `dst`.
+    pub fn add_precursor(&mut self, dst: NodeId, precursor: NodeId) {
+        if let Some(r) = self.routes.get_mut(&dst) {
+            if !r.precursors.contains(&precursor) {
+                r.precursors.push(precursor);
+            }
+        }
+    }
+
+    /// Invalidates every route whose next hop is `neighbor` (link
+    /// break), bumping their sequence numbers as RFC 3561 requires.
+    /// Returns the affected `(destination, new_seq, precursors)` list
+    /// for RERR construction.
+    pub fn invalidate_via(
+        &mut self,
+        neighbor: NodeId,
+        now: SimTime,
+    ) -> Vec<(NodeId, u32, Vec<NodeId>)> {
+        let mut broken = Vec::new();
+        for (&dst, r) in self.routes.iter_mut() {
+            if r.next_hop == neighbor && r.expires > now {
+                r.expires = now; // invalid from now on
+                r.dst_seq += 1;
+                broken.push((dst, r.dst_seq, r.precursors.clone()));
+                r.precursors.clear();
+            }
+        }
+        broken.sort_by_key(|(d, _, _)| *d);
+        broken
+    }
+
+    /// Invalidates the route to `dst` if it is at least as old as
+    /// `dst_seq` (RERR processing). Returns the precursors to notify.
+    pub fn invalidate_dst(
+        &mut self,
+        dst: NodeId,
+        dst_seq: u32,
+        now: SimTime,
+    ) -> Option<Vec<NodeId>> {
+        let r = self.routes.get_mut(&dst)?;
+        if r.expires > now && r.dst_seq <= dst_seq {
+            r.expires = now;
+            r.dst_seq = r.dst_seq.max(dst_seq);
+            let p = std::mem::take(&mut r.precursors);
+            Some(p)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn table() -> RoutingTable {
+        RoutingTable::new(SimDuration::from_secs(3))
+    }
+
+    #[test]
+    fn fresh_sequence_numbers_win() {
+        let mut t = table();
+        assert!(t.update(n(9), n(1), 3, 5, SimTime::ZERO));
+        // Older seq rejected even with fewer hops.
+        assert!(!t.update(n(9), n(2), 1, 4, SimTime::ZERO));
+        assert_eq!(t.peek(n(9)).unwrap().next_hop, n(1));
+        // Newer seq accepted even with more hops.
+        assert!(t.update(n(9), n(3), 7, 6, SimTime::ZERO));
+        assert_eq!(t.peek(n(9)).unwrap().next_hop, n(3));
+    }
+
+    #[test]
+    fn equal_seq_prefers_fewer_hops() {
+        let mut t = table();
+        t.update(n(9), n(1), 3, 5, SimTime::ZERO);
+        assert!(t.update(n(9), n(2), 2, 5, SimTime::ZERO));
+        assert!(!t.update(n(9), n(3), 2, 5, SimTime::ZERO), "ties keep current");
+        assert_eq!(t.peek(n(9)).unwrap().next_hop, n(2));
+    }
+
+    #[test]
+    fn routes_expire_and_are_replaceable() {
+        let mut t = table();
+        t.update(n(9), n(1), 2, 5, SimTime::ZERO);
+        assert!(t.next_hop(n(9), SimTime::from_secs(2)).is_some());
+        // Use refreshed the lifetime to 2 + 3 = 5 s.
+        assert!(t.next_hop(n(9), SimTime::from_millis(4_900)).is_some());
+        assert!(t.next_hop(n(9), SimTime::from_secs(9)).is_none());
+        // An expired entry accepts any replacement, even older seq.
+        assert!(t.update(n(9), n(2), 9, 1, SimTime::from_secs(9)));
+    }
+
+    #[test]
+    fn invalidate_via_bumps_seq_and_reports_precursors() {
+        let mut t = table();
+        t.update(n(9), n(1), 2, 5, SimTime::ZERO);
+        t.update(n(8), n(1), 3, 2, SimTime::ZERO);
+        t.update(n(7), n(2), 1, 9, SimTime::ZERO);
+        t.add_precursor(n(9), n(4));
+        let broken = t.invalidate_via(n(1), SimTime::from_secs(1));
+        assert_eq!(broken.len(), 2);
+        let (dst, seq, pre) = &broken[1];
+        assert_eq!(*dst, n(9));
+        assert_eq!(*seq, 6, "sequence bumped on invalidation");
+        assert_eq!(pre, &vec![n(4)]);
+        assert!(t.next_hop(n(9), SimTime::from_secs(1)).is_none());
+        assert!(t.next_hop(n(7), SimTime::from_secs(1)).is_some());
+    }
+
+    #[test]
+    fn rerr_invalidation_respects_freshness() {
+        let mut t = table();
+        t.update(n(9), n(1), 2, 10, SimTime::ZERO);
+        // A RERR about older state does nothing.
+        assert!(t.invalidate_dst(n(9), 7, SimTime::from_secs(1)).is_none());
+        assert!(t.next_hop(n(9), SimTime::from_secs(1)).is_some());
+        // A RERR with >= seq kills the route.
+        assert!(t.invalidate_dst(n(9), 11, SimTime::from_secs(1)).is_some());
+        assert!(t.next_hop(n(9), SimTime::from_secs(1)).is_none());
+    }
+
+    #[test]
+    fn precursors_deduplicate() {
+        let mut t = table();
+        t.update(n(9), n(1), 2, 5, SimTime::ZERO);
+        t.add_precursor(n(9), n(4));
+        t.add_precursor(n(9), n(4));
+        assert_eq!(t.peek(n(9)).unwrap().precursors.len(), 1);
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -1,0 +1,65 @@
+//! Criterion performance benchmarks of the simulator's hot paths:
+//! the event queue, the neighbor index, beacon-interval resolution and
+//! a full simulated second per scheme.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rcast_core::{Scheme, SimConfig, Simulation};
+use rcast_engine::rng::StreamRng;
+use rcast_engine::{EventQueue, SimDuration, SimTime};
+use rcast_mobility::{Area, MobilityField, NeighborTable, WaypointConfig};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("engine/event_queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.schedule(SimTime::from_micros((i * 7919) % 100_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = q.pop() {
+                acc = acc.wrapping_add(e);
+            }
+            acc
+        })
+    });
+}
+
+fn bench_neighbor_table(c: &mut Criterion) {
+    let mut field = MobilityField::random_waypoint(
+        100,
+        Area::paper_default(),
+        WaypointConfig::default(),
+        StreamRng::from_seed(1),
+    );
+    let snap = field.snapshot(SimTime::from_secs(10));
+    c.bench_function("mobility/neighbor_table_100_nodes", |b| {
+        b.iter(|| NeighborTable::build(&snap, 250.0))
+    });
+}
+
+fn bench_simulated_second(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/one_simulated_minute");
+    group.sample_size(10);
+    for scheme in [Scheme::Dot11, Scheme::Odpm, Scheme::Rcast] {
+        group.bench_function(scheme.label(), |b| {
+            b.iter_batched(
+                || {
+                    let mut cfg = SimConfig::paper(scheme, 1, 0.4, 600.0);
+                    cfg.duration = SimDuration::from_secs(60);
+                    Simulation::new(cfg).expect("valid config")
+                },
+                |sim| sim.run(),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_neighbor_table,
+    bench_simulated_second
+);
+criterion_main!(benches);

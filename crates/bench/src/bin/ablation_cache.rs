@@ -1,0 +1,75 @@
+//! Ablation: route-cache capacity and timeout (the Hu & Johnson caching
+//! strategies the paper's Section 2.1.2 discusses).
+//!
+//! The paper's open question: with limited overhearing, do conventional
+//! caching strategies still maintain a rich enough route set? This
+//! experiment sweeps capacity and adds the timeout eviction Hu & Johnson
+//! recommend against stale routes, under Rcast.
+
+use rcast_bench::{banner, config, Scale};
+use rcast_core::{AggregateReport, Scheme};
+use rcast_dsr::CacheStrategy;
+use rcast_engine::SimDuration;
+use rcast_metrics::{fmt_f64, TextTable};
+
+fn main() {
+    let scale = Scale::from_args();
+    banner("Ablation: DSR route-cache capacity and timeout under Rcast", scale);
+
+    let variants: Vec<(String, usize, Option<SimDuration>, CacheStrategy)> = vec![
+        ("path, capacity 8".into(), 8, None, CacheStrategy::Path),
+        ("path, capacity 16".into(), 16, None, CacheStrategy::Path),
+        ("path, capacity 64 (default)".into(), 64, None, CacheStrategy::Path),
+        ("path, capacity 256".into(), 256, None, CacheStrategy::Path),
+        (
+            "path, capacity 64, 30 s timeout".into(),
+            64,
+            Some(SimDuration::from_secs(30)),
+            CacheStrategy::Path,
+        ),
+        (
+            "path, capacity 64, 120 s timeout".into(),
+            64,
+            Some(SimDuration::from_secs(120)),
+            CacheStrategy::Path,
+        ),
+        (
+            "link, capacity 128 links".into(),
+            128,
+            None,
+            CacheStrategy::Link,
+        ),
+        (
+            "link, 128 links, 30 s timeout".into(),
+            128,
+            Some(SimDuration::from_secs(30)),
+            CacheStrategy::Link,
+        ),
+    ];
+
+    for rate in [0.4, 2.0] {
+        println!("R_pkt = {rate}, T_pause = 600");
+        let mut table = TextTable::new(vec![
+            "cache".into(),
+            "energy (J)".into(),
+            "PDR (%)".into(),
+            "overhead".into(),
+        ]);
+        for (name, capacity, timeout, strategy) in &variants {
+            let mut cfg = config(Scheme::Rcast, rate, 600.0, scale);
+            cfg.dsr.cache.capacity = *capacity;
+            cfg.dsr.cache.timeout = *timeout;
+            cfg.dsr.cache.strategy = *strategy;
+            let packet_bytes = cfg.traffic.packet_bytes;
+            let reports = rcast_core::run_seeds(&cfg, scale.seeds()).expect("valid config");
+            let agg = AggregateReport::from_runs(&reports, packet_bytes);
+            table.add_row(vec![
+                name.clone(),
+                fmt_f64(agg.mean_total_energy_j, 0),
+                fmt_f64(agg.mean_pdr * 100.0, 1),
+                fmt_f64(agg.mean_overhead, 2),
+            ]);
+        }
+        println!("{}", table.render());
+    }
+}

@@ -1,0 +1,80 @@
+//! Ablation: the four Rcast overhearing-decision factors (Section 3.2).
+//!
+//! The paper evaluates only the neighbor-count factor
+//! (`P_R = 1/#neighbors`) and lists sender-ID, mobility and remaining
+//! battery as future work. This experiment runs each factor combination
+//! on the paper's mobile testbed and reports energy / PDR / overhead so
+//! the trade-offs the paper speculates about become measurable.
+
+use rcast_bench::{banner, config, Scale};
+use rcast_core::{AggregateReport, OverhearFactors, Scheme};
+use rcast_metrics::{fmt_f64, TextTable};
+
+fn main() {
+    let scale = Scale::from_args();
+    banner("Ablation: Rcast overhearing decision factors", scale);
+
+    let variants: Vec<(&str, OverhearFactors)> = vec![
+        ("neighbors (paper)", OverhearFactors::default()),
+        (
+            "+sender-id",
+            OverhearFactors {
+                sender_id: true,
+                ..OverhearFactors::default()
+            },
+        ),
+        (
+            "+mobility",
+            OverhearFactors {
+                mobility: true,
+                ..OverhearFactors::default()
+            },
+        ),
+        (
+            "+battery",
+            OverhearFactors {
+                battery: true,
+                ..OverhearFactors::default()
+            },
+        ),
+        (
+            "all four",
+            OverhearFactors {
+                sender_id: true,
+                mobility: true,
+                battery: true,
+                ..OverhearFactors::default()
+            },
+        ),
+    ];
+
+    for rate in [0.4, 2.0] {
+        println!("R_pkt = {rate}, T_pause = 600");
+        let mut table = TextTable::new(vec![
+            "factors".into(),
+            "energy (J)".into(),
+            "PDR (%)".into(),
+            "overhead".into(),
+            "variance".into(),
+        ]);
+        for (name, factors) in &variants {
+            let mut cfg = config(Scheme::Rcast, rate, 600.0, scale);
+            cfg.factors = *factors;
+            // The battery factor needs finite batteries to read.
+            if factors.battery {
+                cfg.battery_capacity_j = Some(1500.0);
+            }
+            let packet_bytes = cfg.traffic.packet_bytes;
+            let reports = rcast_core::run_seeds(&cfg, scale.seeds()).expect("valid config");
+            let agg = AggregateReport::from_runs(&reports, packet_bytes);
+            table.add_row(vec![
+                (*name).into(),
+                fmt_f64(agg.mean_total_energy_j, 0),
+                fmt_f64(agg.mean_pdr * 100.0, 1),
+                fmt_f64(agg.mean_overhead, 2),
+                fmt_f64(agg.mean_energy_variance, 0),
+            ]);
+        }
+        println!("{}", table.render());
+    }
+}

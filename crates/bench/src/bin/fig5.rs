@@ -1,0 +1,69 @@
+//! Reproduces **Figure 5** of the paper: per-node energy consumption,
+//! drawn in increasing order, for 802.11 / ODPM / Rcast under four
+//! scenarios — (a) R=0.4 T=600, (b) R=2.0 T=600, (c) R=0.4 T=1125,
+//! (d) R=2.0 T=1125.
+//!
+//! Expected shape: 802.11 is a flat line at `1.15 W × duration`; ODPM is
+//! a two-level curve (on-route nodes near the 802.11 line, the rest near
+//! the PS baseline); Rcast sits below ODPM with a much flatter profile.
+
+use rcast_bench::{banner, run_point, Scale};
+use rcast_core::Scheme;
+use rcast_metrics::{fmt_f64, TextTable};
+
+fn main() {
+    let scale = Scale::from_args();
+    banner("Figure 5: per-node energy consumption (sorted ascending)", scale);
+
+    let panels = [
+        ("(a)", 0.4, 600.0),
+        ("(b)", 2.0, 600.0),
+        ("(c)", 0.4, 1125.0),
+        ("(d)", 2.0, 1125.0),
+    ];
+    for (tag, rate, pause) in panels {
+        println!("Fig. 5{tag}: R_pkt = {rate}, T_pause = {pause}");
+        let curves: Vec<(Scheme, Vec<f64>)> = Scheme::PAPER_FIGURES
+            .into_iter()
+            .map(|s| (s, run_point(s, rate, pause, scale).sorted_per_node_energy()))
+            .collect();
+        let n = curves[0].1.len();
+        let mut table = TextTable::new(
+            std::iter::once("node".to_string())
+                .chain(curves.iter().map(|(s, _)| s.label().to_string()))
+                .collect(),
+        );
+        // Print every 10th node of the sorted curve plus the extremes.
+        let mut picks: Vec<usize> = (0..n).step_by(10).collect();
+        if picks.last() != Some(&(n - 1)) {
+            picks.push(n - 1);
+        }
+        for idx in picks {
+            table.add_row(
+                std::iter::once(format!("{idx}"))
+                    .chain(curves.iter().map(|(_, c)| fmt_f64(c[idx], 1)))
+                    .collect(),
+            );
+        }
+        println!("{}", table.render());
+
+        let max_dot11 = curves[0].1.last().copied().unwrap_or(0.0);
+        let flat = curves[0].1.first().copied().unwrap_or(0.0);
+        println!(
+            "  802.11 flat: min {} J = max {} J: {}",
+            fmt_f64(flat, 1),
+            fmt_f64(max_dot11, 1),
+            if (max_dot11 - flat).abs() < 1e-6 { "ok" } else { "MISMATCH" }
+        );
+        let odpm = &curves[1].1;
+        let rcast = &curves[2].1;
+        let below = odpm
+            .iter()
+            .zip(rcast.iter())
+            .filter(|(o, r)| r <= o)
+            .count();
+        println!(
+            "  Rcast curve at or below ODPM for {below}/{n} sorted positions\n"
+        );
+    }
+}

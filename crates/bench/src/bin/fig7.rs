@@ -1,0 +1,72 @@
+//! Reproduces **Figure 7** of the paper: total energy consumption
+//! (a/d), packet delivery ratio (b/e) and energy per delivered bit
+//! (c/f) vs packet rate, for T_pause = 600 (top row) and 1125 (bottom).
+//!
+//! Expected shapes: 802.11 burns the most energy at every rate; Rcast
+//! burns the least of the three; all schemes deliver > 90 % of packets;
+//! Rcast needs the least energy per delivered bit (the paper quotes up
+//! to 75 % less than 802.11).
+
+use rcast_bench::{banner, run_point, Scale};
+use rcast_core::{AggregateReport, Scheme};
+use rcast_metrics::{fmt_f64, TextTable};
+
+fn main() {
+    let scale = Scale::from_args();
+    banner(
+        "Figure 7: total energy, PDR and energy-per-bit vs packet rate",
+        scale,
+    );
+
+    for (row, pause) in [("(a)-(c)", 600.0), ("(d)-(f)", 1125.0)] {
+        println!("Fig. 7{row}: T_pause = {pause}");
+        let mut energy = TextTable::new(header("total energy (J)"));
+        let mut pdr = TextTable::new(header("PDR (%)"));
+        let mut epb = TextTable::new(header("energy/bit (mJ/bit)"));
+        let mut orderings_hold = true;
+        let mut pdr_floor = 1.0f64;
+        for rate in scale.rates() {
+            let points: Vec<(Scheme, AggregateReport)> = Scheme::PAPER_FIGURES
+                .into_iter()
+                .map(|s| (s, run_point(s, rate, pause, scale)))
+                .collect();
+            let e: Vec<f64> = points.iter().map(|(_, a)| a.mean_total_energy_j).collect();
+            let p: Vec<f64> = points.iter().map(|(_, a)| a.mean_pdr).collect();
+            let b: Vec<f64> = points.iter().map(|(_, a)| a.mean_epb * 1e3).collect();
+            energy.add_row(row3(rate, &e, 0));
+            pdr.add_row(row3(rate, &p.iter().map(|x| x * 100.0).collect::<Vec<_>>(), 1));
+            epb.add_row(row3(rate, &b, 4));
+            orderings_hold &= e[0] > e[1] && e[1] > e[2];
+            pdr_floor = pdr_floor.min(p.iter().cloned().fold(1.0, f64::min));
+        }
+        println!("{}", energy.render());
+        println!("{}", pdr.render());
+        println!("{}", epb.render());
+        println!(
+            "  energy ordering 802.11 > ODPM > Rcast at every rate: {}",
+            if orderings_hold { "ok" } else { "MISMATCH" }
+        );
+        println!(
+            "  minimum PDR across schemes and rates: {} % (paper: > 90 %)\n",
+            fmt_f64(pdr_floor * 100.0, 1)
+        );
+    }
+}
+
+fn header(metric: &str) -> Vec<String> {
+    vec![
+        format!("rate \\ {metric}"),
+        "802.11".into(),
+        "ODPM".into(),
+        "Rcast".into(),
+    ]
+}
+
+fn row3(rate: f64, values: &[f64], decimals: usize) -> Vec<String> {
+    vec![
+        format!("{rate}"),
+        fmt_f64(values[0], decimals),
+        fmt_f64(values[1], decimals),
+        fmt_f64(values[2], decimals),
+    ]
+}

@@ -1,0 +1,95 @@
+//! Reproduces **Figure 8** of the paper: average end-to-end delay
+//! (a/c) and normalized routing overhead (b/d) vs packet rate, for
+//! T_pause = 600 and 1125.
+//!
+//! Expected shapes: delay is smallest for 802.11 and ODPM (immediate
+//! transmissions) and largest for Rcast (each hop waits on average half
+//! a beacon interval, 125 ms); overhead is much larger in the mobile
+//! scenario than the static one, smallest for 802.11, with ODPM and
+//! Rcast behaving similarly — Rcast "performs at par" despite limited
+//! overhearing.
+
+use rcast_bench::{banner, config, run_point, Scale};
+use rcast_core::{AggregateReport, Scheme};
+use rcast_metrics::{fmt_f64, TextTable};
+
+fn main() {
+    let scale = Scale::from_args();
+    banner("Figure 8: average delay and normalized routing overhead", scale);
+
+    let mut mobile_overhead = 0.0;
+    let mut static_overhead = 0.0;
+    for (tags, pause) in [("(a)-(b)", 600.0), ("(c)-(d)", 1125.0)] {
+        println!("Fig. 8{tags}: T_pause = {pause}");
+        let mut delay = TextTable::new(header("delay (ms)"));
+        let mut overhead = TextTable::new(header("overhead"));
+        let mut rcast_delay_largest = true;
+        for rate in scale.rates() {
+            let points: Vec<(Scheme, AggregateReport)> = Scheme::PAPER_FIGURES
+                .into_iter()
+                .map(|s| (s, run_point(s, rate, pause, scale)))
+                .collect();
+            let d: Vec<f64> = points.iter().map(|(_, a)| a.mean_delay_s * 1e3).collect();
+            let o: Vec<f64> = points.iter().map(|(_, a)| a.mean_overhead).collect();
+            delay.add_row(row3(rate, &d, 0));
+            overhead.add_row(row3(rate, &o, 2));
+            rcast_delay_largest &= d[2] > d[0] && d[2] > d[1];
+            let sum = o.iter().sum::<f64>();
+            if pause == 600.0 {
+                mobile_overhead += sum;
+            } else {
+                static_overhead += sum;
+            }
+        }
+        println!("{}", delay.render());
+        println!("{}", overhead.render());
+        println!(
+            "  Rcast has the largest delay at every rate: {}",
+            if rcast_delay_largest { "ok" } else { "MISMATCH" }
+        );
+        // Beyond the paper: tail latency at the middle rate — means hide
+        // the beacon-paced tail.
+        let mut cfg = config(Scheme::Rcast, 0.4, pause, scale);
+        cfg.seed = 1;
+        if let Ok(r) = rcast_core::run_sim(cfg) {
+            println!(
+                "  Rcast delay distribution at 0.4 pkt/s: p50 {} ms, p95 {} ms, p99 {} ms",
+                fmt_f64(r.delivery.delay_percentile(50.0).as_millis_f64(), 0),
+                fmt_f64(r.delivery.delay_percentile(95.0).as_millis_f64(), 0),
+                fmt_f64(r.delivery.delay_percentile(99.0).as_millis_f64(), 0),
+            );
+        }
+        println!();
+    }
+    println!(
+        "  mobile overhead exceeds static overhead overall: {}",
+        if mobile_overhead > static_overhead {
+            "ok"
+        } else {
+            "MISMATCH"
+        }
+    );
+    println!(
+        "  (summed overhead: mobile {} vs static {})",
+        fmt_f64(mobile_overhead, 2),
+        fmt_f64(static_overhead, 2)
+    );
+}
+
+fn header(metric: &str) -> Vec<String> {
+    vec![
+        format!("rate \\ {metric}"),
+        "802.11".into(),
+        "ODPM".into(),
+        "Rcast".into(),
+    ]
+}
+
+fn row3(rate: f64, values: &[f64], decimals: usize) -> Vec<String> {
+    vec![
+        format!("{rate}"),
+        fmt_f64(values[0], decimals),
+        fmt_f64(values[1], decimals),
+        fmt_f64(values[2], decimals),
+    ]
+}

@@ -1,0 +1,78 @@
+//! Reproduces **Table 1** of the paper: the qualitative behaviour of
+//! 802.11, ODPM and Rcast.
+//!
+//! The paper's table predicts, per scheme:
+//!
+//! * 802.11 — best PDR and delay, most energy;
+//! * ODPM — less delay than Rcast (some packets go immediately),
+//!   more energy than Rcast (some nodes linger in AM);
+//! * Rcast — least energy and best energy balance.
+//!
+//! This binary measures all three at the two traffic corners and prints
+//! the measured ordering next to the paper's prediction.
+
+use rcast_bench::{banner, run_point, Scale};
+use rcast_core::Scheme;
+use rcast_metrics::{fmt_f64, TextTable};
+
+fn main() {
+    let scale = Scale::from_args();
+    banner("Table 1: protocol behaviour of the three schemes", scale);
+
+    for (rate, pause) in [(0.4, 600.0), (2.0, 600.0)] {
+        println!("R_pkt = {rate} pkt/s, T_pause = {pause} s");
+        let mut table = TextTable::new(vec![
+            "scheme".into(),
+            "energy (J)".into(),
+            "PDR (%)".into(),
+            "delay (ms)".into(),
+            "variance".into(),
+        ]);
+        let mut rows = Vec::new();
+        for scheme in Scheme::PAPER_FIGURES {
+            let agg = run_point(scheme, rate, pause, scale);
+            rows.push((scheme, agg));
+        }
+        for (scheme, agg) in &rows {
+            table.add_row(vec![
+                scheme.label().into(),
+                fmt_f64(agg.mean_total_energy_j, 0),
+                fmt_f64(agg.mean_pdr * 100.0, 1),
+                fmt_f64(agg.mean_delay_s * 1000.0, 0),
+                fmt_f64(agg.mean_energy_variance, 0),
+            ]);
+        }
+        println!("{}", table.render());
+
+        let by = |s: Scheme| rows.iter().find(|(x, _)| *x == s).expect("present");
+        let (_, dot11) = by(Scheme::Dot11);
+        let (_, odpm) = by(Scheme::Odpm);
+        let (_, rcast) = by(Scheme::Rcast);
+        check(
+            "802.11 has the best PDR",
+            dot11.mean_pdr >= odpm.mean_pdr - 0.01 && dot11.mean_pdr >= rcast.mean_pdr - 0.01,
+        );
+        check(
+            "802.11 consumes the most energy",
+            dot11.mean_total_energy_j >= odpm.mean_total_energy_j
+                && dot11.mean_total_energy_j >= rcast.mean_total_energy_j,
+        );
+        check(
+            "ODPM has less delay than Rcast",
+            odpm.mean_delay_s < rcast.mean_delay_s,
+        );
+        check(
+            "Rcast consumes less energy than ODPM",
+            rcast.mean_total_energy_j < odpm.mean_total_energy_j,
+        );
+        check(
+            "Rcast has better energy balance than ODPM",
+            rcast.mean_energy_variance < odpm.mean_energy_variance,
+        );
+        println!();
+    }
+}
+
+fn check(claim: &str, holds: bool) {
+    println!("  [{}] {claim}", if holds { "ok" } else { "MISMATCH" });
+}

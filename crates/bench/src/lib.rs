@@ -1,0 +1,147 @@
+//! Shared harness for the figure/table regeneration binaries.
+//!
+//! Every table and figure of the paper's evaluation (Section 4) has a
+//! binary in `src/bin/` that reruns the corresponding experiment and
+//! prints the same rows/series:
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `table1` | Table 1 — qualitative scheme behaviour |
+//! | `fig5`   | Fig. 5 — per-node energy, sorted |
+//! | `fig6`   | Fig. 6 — variance of per-node energy vs rate |
+//! | `fig7`   | Fig. 7 — total energy, PDR, energy-per-bit vs rate |
+//! | `fig8`   | Fig. 8 — average delay & normalized routing overhead |
+//! | `fig9`   | Fig. 9 — role number vs energy scatter |
+//! | `ablation_factors` | Rcast decision factors (Section 3.2 / future work) |
+//! | `ablation_broadcast` | randomized RREQ rebroadcast extension |
+//! | `ablation_cache` | route-cache capacity & timeout sensitivity |
+//! | `ablation_odpm` | ODPM timeout sensitivity |
+//! | `lifetime` | network-lifetime extension (finite batteries) |
+//!
+//! All binaries accept `--full` (paper-scale: 1125 s, 10 seeds, dense
+//! rate sweep) and default to a quick mode (375 s, 3 seeds, sparse
+//! sweep) so the whole suite finishes in minutes.
+
+use rcast_core::{AggregateReport, Scheme, SimConfig};
+use rcast_engine::SimDuration;
+
+/// How big an experiment to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// 375 simulated seconds, 3 seeds, sparse rate sweep.
+    Quick,
+    /// The paper's testbed: 1125 s, 10 seeds, dense sweep.
+    Full,
+}
+
+impl Scale {
+    /// Parses `--full` from the process arguments.
+    pub fn from_args() -> Scale {
+        if std::env::args().any(|a| a == "--full") {
+            Scale::Full
+        } else {
+            Scale::Quick
+        }
+    }
+
+    /// Simulated duration at this scale.
+    pub fn duration(self) -> SimDuration {
+        match self {
+            Scale::Quick => SimDuration::from_secs(375),
+            Scale::Full => SimDuration::from_secs(1125),
+        }
+    }
+
+    /// Seeds averaged per data point (the paper repeats ten times).
+    pub fn seeds(self) -> Vec<u64> {
+        match self {
+            Scale::Quick => vec![1, 2, 3],
+            Scale::Full => (1..=10).collect(),
+        }
+    }
+
+    /// The packet-rate sweep (packets/second per flow).
+    pub fn rates(self) -> Vec<f64> {
+        match self {
+            Scale::Quick => vec![0.2, 0.4, 1.0, 2.0],
+            Scale::Full => vec![0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0],
+        }
+    }
+
+    /// The pause times of the paper's two scenario families:
+    /// mobile (600 s) and static (1125 s).
+    pub fn pauses(self) -> [f64; 2] {
+        [600.0, 1125.0]
+    }
+}
+
+/// The paper's testbed configuration at a given scale.
+///
+/// Pause times scale with the duration (ns-2 setdest nodes pause
+/// *before* their first trip, so an unscaled 600 s pause would leave a
+/// 375 s quick run entirely static and erase the paper's mobile/static
+/// distinction).
+pub fn config(scheme: Scheme, rate_pps: f64, pause_secs: f64, scale: Scale) -> SimConfig {
+    let ratio = scale.duration().as_secs_f64() / 1125.0;
+    let mut cfg = SimConfig::paper(scheme, 0, rate_pps, pause_secs * ratio);
+    cfg.duration = scale.duration();
+    cfg
+}
+
+/// Runs one parameter point across the scale's seeds and aggregates.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid (a bug in the harness).
+pub fn run_point(scheme: Scheme, rate_pps: f64, pause_secs: f64, scale: Scale) -> AggregateReport {
+    let cfg = config(scheme, rate_pps, pause_secs, scale);
+    let packet_bytes = cfg.traffic.packet_bytes;
+    let reports = rcast_core::run_seeds(&cfg, scale.seeds()).expect("valid harness config");
+    AggregateReport::from_runs(&reports, packet_bytes)
+}
+
+/// Prints a standard experiment banner.
+pub fn banner(what: &str, scale: Scale) {
+    println!("=== {what} ===");
+    println!(
+        "scale: {:?} ({} s simulated, {} seeds; pass --full for the paper-scale run)",
+        scale,
+        scale.duration().as_secs_f64(),
+        scale.seeds().len()
+    );
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_differ_sensibly() {
+        assert!(Scale::Quick.duration() < Scale::Full.duration());
+        assert!(Scale::Quick.seeds().len() < Scale::Full.seeds().len());
+        assert!(Scale::Quick.rates().len() < Scale::Full.rates().len());
+        assert_eq!(Scale::Full.seeds().len(), 10, "the paper averages 10 runs");
+    }
+
+    #[test]
+    fn config_respects_scale() {
+        let c = config(Scheme::Rcast, 0.4, 600.0, Scale::Quick);
+        assert_eq!(c.duration, SimDuration::from_secs(375));
+        assert_eq!(c.traffic.rate_pps, 0.4);
+        // Pause scales with duration: 600 x 375/1125 = 200 s.
+        assert_eq!(c.waypoint.pause_secs, 200.0);
+        assert!(c.validate().is_ok());
+        let full = config(Scheme::Rcast, 0.4, 600.0, Scale::Full);
+        assert_eq!(full.waypoint.pause_secs, 600.0);
+    }
+
+    #[test]
+    fn run_point_aggregates_seeds() {
+        let cfg = SimConfig::smoke(Scheme::Rcast, 0);
+        let reports = rcast_core::run_seeds(&cfg, [1, 2]).unwrap();
+        let agg = AggregateReport::from_runs(&reports, cfg.traffic.packet_bytes);
+        assert_eq!(agg.runs, 2);
+        assert!(agg.mean_total_energy_j > 0.0);
+    }
+}

@@ -1,0 +1,195 @@
+//! On-Demand Power Management (Zheng & Kravets, INFOCOM 2003).
+//!
+//! The paper's most competitive baseline: each node keeps a *keep-alive
+//! deadline*; communication events push the deadline forward (5 s on
+//! receiving a RREP, 2 s on sending/receiving data or being a flow
+//! endpoint — the values suggested in the original paper and used in
+//! this one). A node is in AM while `now < deadline` and reverts to PS
+//! afterwards.
+
+use rcast_engine::{NodeId, SimDuration, SimTime};
+
+/// ODPM timeout parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OdpmConfig {
+    /// AM residence after receiving a route reply (paper: 5 s).
+    pub rrep_timeout: SimDuration,
+    /// AM residence after a data send/receive or endpoint event
+    /// (paper: 2 s).
+    pub data_timeout: SimDuration,
+    /// AM residence after receiving a route request — recipients are
+    /// candidate relays and must be awake for the reply to race back.
+    pub rreq_timeout: SimDuration,
+}
+
+impl Default for OdpmConfig {
+    fn default() -> Self {
+        OdpmConfig {
+            rrep_timeout: SimDuration::from_secs(5),
+            data_timeout: SimDuration::from_secs(2),
+            rreq_timeout: SimDuration::from_secs(1),
+        }
+    }
+}
+
+/// The AM/PS switching state of every node.
+///
+/// # Example
+///
+/// ```
+/// use rcast_core::{OdpmConfig, OdpmState};
+/// use rcast_engine::{NodeId, SimTime};
+///
+/// let mut odpm = OdpmState::new(3, OdpmConfig::default());
+/// let n = NodeId::new(1);
+/// assert!(!odpm.is_am(n, SimTime::ZERO));
+/// odpm.on_data(n, SimTime::ZERO);
+/// assert!(odpm.is_am(n, SimTime::from_millis(1999)));
+/// assert!(!odpm.is_am(n, SimTime::from_secs(2)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct OdpmState {
+    cfg: OdpmConfig,
+    am_until: Vec<SimTime>,
+}
+
+impl OdpmState {
+    /// All nodes initially in PS mode.
+    pub fn new(n: usize, cfg: OdpmConfig) -> Self {
+        OdpmState {
+            cfg,
+            am_until: vec![SimTime::ZERO; n],
+        }
+    }
+
+    /// The node received a route reply: stay in AM expecting traffic.
+    pub fn on_rrep(&mut self, node: NodeId, now: SimTime) {
+        self.extend(node, now + self.cfg.rrep_timeout);
+    }
+
+    /// The node sent, received, or forwarded a data packet (or is a flow
+    /// endpoint generating one).
+    pub fn on_data(&mut self, node: NodeId, now: SimTime) {
+        self.extend(node, now + self.cfg.data_timeout);
+    }
+
+    /// The node received a route request: stay up for the reply phase.
+    pub fn on_rreq(&mut self, node: NodeId, now: SimTime) {
+        self.extend(node, now + self.cfg.rreq_timeout);
+    }
+
+    fn extend(&mut self, node: NodeId, until: SimTime) {
+        let slot = &mut self.am_until[node.index()];
+        if *slot < until {
+            *slot = until;
+        }
+    }
+
+    /// Whether the node is in active mode at `t`.
+    pub fn is_am(&self, node: NodeId, t: SimTime) -> bool {
+        t < self.am_until[node.index()]
+    }
+
+    /// The node's current keep-alive deadline.
+    pub fn am_until(&self, node: NodeId) -> SimTime {
+        self.am_until[node.index()]
+    }
+
+    /// Seconds of the interval `[start, start + len)` the node spends in
+    /// AM — the energy integrator for ODPM's partial-interval wakeups.
+    pub fn am_overlap(&self, node: NodeId, start: SimTime, len: SimDuration) -> SimDuration {
+        let deadline = self.am_until[node.index()];
+        if deadline <= start {
+            SimDuration::ZERO
+        } else {
+            (deadline - start).min(len)
+        }
+    }
+
+    /// The configured timeouts.
+    pub fn config(&self) -> OdpmConfig {
+        self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn starts_in_ps() {
+        let s = OdpmState::new(5, OdpmConfig::default());
+        for i in 0..5 {
+            assert!(!s.is_am(n(i), SimTime::ZERO));
+        }
+    }
+
+    #[test]
+    fn rrep_keeps_am_longer_than_data() {
+        let mut s = OdpmState::new(2, OdpmConfig::default());
+        let t = SimTime::from_secs(10);
+        s.on_rrep(n(0), t);
+        s.on_data(n(1), t);
+        assert_eq!(s.am_until(n(0)), SimTime::from_secs(15));
+        assert_eq!(s.am_until(n(1)), SimTime::from_secs(12));
+    }
+
+    #[test]
+    fn deadlines_only_extend() {
+        let mut s = OdpmState::new(1, OdpmConfig::default());
+        s.on_rrep(n(0), SimTime::from_secs(10)); // until 15
+        s.on_data(n(0), SimTime::from_secs(11)); // would be 13: ignored
+        assert_eq!(s.am_until(n(0)), SimTime::from_secs(15));
+        s.on_data(n(0), SimTime::from_secs(14)); // until 16
+        assert_eq!(s.am_until(n(0)), SimTime::from_secs(16));
+    }
+
+    #[test]
+    fn overlap_integrates_partial_intervals() {
+        let mut s = OdpmState::new(1, OdpmConfig::default());
+        s.on_data(n(0), SimTime::from_secs(1)); // AM until 3 s
+        let bi = SimDuration::from_millis(250);
+        // Interval fully inside the AM window.
+        assert_eq!(s.am_overlap(n(0), SimTime::from_secs(2), bi), bi);
+        // Interval straddling the deadline: 3.0 − 2.9 = 100 ms.
+        assert_eq!(
+            s.am_overlap(n(0), SimTime::from_millis(2900), bi),
+            SimDuration::from_millis(100)
+        );
+        // Interval after the deadline.
+        assert_eq!(
+            s.am_overlap(n(0), SimTime::from_secs(3), bi),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn paper_beat_pattern_high_rate_stays_am() {
+        // At 2 pkt/s the inter-packet gap (0.5 s) is below the 2 s
+        // timeout: a relay refreshed every 0.5 s never leaves AM —
+        // exactly the paper's Fig. 5(d) explanation.
+        let mut s = OdpmState::new(1, OdpmConfig::default());
+        let mut t = SimTime::ZERO;
+        s.on_data(n(0), t);
+        for _ in 0..100 {
+            t += SimDuration::from_millis(500);
+            assert!(s.is_am(n(0), t), "at {t}");
+            s.on_data(n(0), t);
+        }
+    }
+
+    #[test]
+    fn paper_beat_pattern_low_rate_toggles() {
+        // At 0.4 pkt/s the gap (2.5 s) exceeds the 2 s timeout: the node
+        // sleeps 0.5 s out of every 2.5 s.
+        let mut s = OdpmState::new(1, OdpmConfig::default());
+        let t0 = SimTime::ZERO;
+        s.on_data(n(0), t0);
+        assert!(s.is_am(n(0), t0 + SimDuration::from_millis(1900)));
+        assert!(!s.is_am(n(0), t0 + SimDuration::from_millis(2100)));
+    }
+}

@@ -1,0 +1,212 @@
+//! Scenario files: a plain-text serialization of [`SimConfig`].
+//!
+//! ns-2 experiments live in scenario files; this library's equivalent is
+//! a line-oriented `key value` format covering every knob the paper
+//! sweeps, so experiments can be archived, diffed and replayed:
+//!
+//! ```text
+//! # RandomCast scenario
+//! scheme rcast
+//! routing dsr
+//! nodes 100
+//! area 1500 300
+//! rate 0.4
+//! pause 600
+//! seed 1
+//! ```
+//!
+//! Unlisted keys keep the paper defaults; unknown keys are errors
+//! (typos must not silently change an experiment).
+
+use rcast_engine::SimDuration;
+use rcast_mobility::Area;
+
+use crate::config::SimConfig;
+use crate::routing::RoutingKind;
+use crate::scheme::Scheme;
+
+/// Serializes a configuration to scenario text.
+pub fn write_scenario(cfg: &SimConfig) -> String {
+    let scheme = match cfg.scheme {
+        Scheme::Dot11 => "802.11",
+        Scheme::Psm => "psm",
+        Scheme::PsmNoOverhear => "psm-none",
+        Scheme::Odpm => "odpm",
+        Scheme::Rcast => "rcast",
+    };
+    let routing = match cfg.routing {
+        RoutingKind::Dsr => "dsr",
+        RoutingKind::Aodv => "aodv",
+    };
+    let mut out = String::from("# RandomCast scenario\n");
+    let mut line = |k: &str, v: String| {
+        out.push_str(k);
+        out.push(' ');
+        out.push_str(&v);
+        out.push('\n');
+    };
+    line("scheme", scheme.into());
+    line("routing", routing.into());
+    line("nodes", cfg.nodes.to_string());
+    line(
+        "area",
+        format!("{} {}", cfg.area.width(), cfg.area.height()),
+    );
+    line("range", cfg.range_m.to_string());
+    line("data_rate", cfg.data_rate_bps.to_string());
+    line("duration", cfg.duration.as_secs_f64().to_string());
+    line("seed", cfg.seed.to_string());
+    line(
+        "beacon_interval_ms",
+        cfg.mac.beacon_interval.as_millis_f64().to_string(),
+    );
+    line(
+        "atim_window_ms",
+        cfg.mac.atim_window.as_millis_f64().to_string(),
+    );
+    line("flows", cfg.traffic.flows.to_string());
+    line("rate", cfg.traffic.rate_pps.to_string());
+    line("packet_bytes", cfg.traffic.packet_bytes.to_string());
+    line("pause", cfg.waypoint.pause_secs.to_string());
+    line("max_speed", cfg.waypoint.max_speed_mps.to_string());
+    line(
+        "broadcast_p",
+        cfg.factors.broadcast_probability.to_string(),
+    );
+    if let Some(b) = cfg.battery_capacity_j {
+        line("battery", b.to_string());
+    }
+    out
+}
+
+/// Parses scenario text into a configuration (starting from the paper
+/// defaults).
+///
+/// # Errors
+///
+/// Returns a message naming the offending line for unknown keys,
+/// malformed values, or a configuration that fails validation.
+pub fn parse_scenario(text: &str) -> Result<SimConfig, String> {
+    let mut cfg = SimConfig::paper(Scheme::Rcast, 1, 0.4, 600.0);
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let key = parts.next().expect("non-empty line has a first token");
+        let rest: Vec<&str> = parts.collect();
+        let one = || -> Result<&str, String> {
+            if rest.len() == 1 {
+                Ok(rest[0])
+            } else {
+                Err(format!("line {}: '{key}' expects one value", lineno + 1))
+            }
+        };
+        let parse_f = |v: &str| -> Result<f64, String> {
+            v.parse()
+                .map_err(|_| format!("line {}: bad number '{v}'", lineno + 1))
+        };
+        match key {
+            "scheme" => {
+                cfg.scheme = match one()? {
+                    "802.11" => Scheme::Dot11,
+                    "psm" => Scheme::Psm,
+                    "psm-none" => Scheme::PsmNoOverhear,
+                    "odpm" => Scheme::Odpm,
+                    "rcast" => Scheme::Rcast,
+                    other => return Err(format!("line {}: unknown scheme '{other}'", lineno + 1)),
+                }
+            }
+            "routing" => {
+                cfg.routing = match one()? {
+                    "dsr" => RoutingKind::Dsr,
+                    "aodv" => RoutingKind::Aodv,
+                    other => {
+                        return Err(format!("line {}: unknown routing '{other}'", lineno + 1))
+                    }
+                }
+            }
+            "nodes" => cfg.nodes = parse_f(one()?)? as u32,
+            "area" => {
+                if rest.len() != 2 {
+                    return Err(format!("line {}: area expects W H", lineno + 1));
+                }
+                cfg.area = Area::new(parse_f(rest[0])?, parse_f(rest[1])?);
+            }
+            "range" => cfg.range_m = parse_f(one()?)?,
+            "data_rate" => cfg.data_rate_bps = parse_f(one()?)?,
+            "duration" => cfg.duration = SimDuration::from_secs_f64(parse_f(one()?)?),
+            "seed" => cfg.seed = parse_f(one()?)? as u64,
+            "beacon_interval_ms" => {
+                cfg.mac.beacon_interval = SimDuration::from_secs_f64(parse_f(one()?)? / 1e3)
+            }
+            "atim_window_ms" => {
+                cfg.mac.atim_window = SimDuration::from_secs_f64(parse_f(one()?)? / 1e3)
+            }
+            "flows" => cfg.traffic.flows = parse_f(one()?)? as u32,
+            "rate" => cfg.traffic.rate_pps = parse_f(one()?)?,
+            "packet_bytes" => cfg.traffic.packet_bytes = parse_f(one()?)? as usize,
+            "pause" => cfg.waypoint.pause_secs = parse_f(one()?)?,
+            "max_speed" => cfg.waypoint.max_speed_mps = parse_f(one()?)?,
+            "broadcast_p" => cfg.factors.broadcast_probability = parse_f(one()?)?,
+            "battery" => cfg.battery_capacity_j = Some(parse_f(one()?)?),
+            other => return Err(format!("line {}: unknown key '{other}'", lineno + 1)),
+        }
+    }
+    cfg.validate()?;
+    Ok(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_config() {
+        let mut cfg = SimConfig::paper(Scheme::Odpm, 17, 1.6, 300.0);
+        cfg.routing = RoutingKind::Aodv;
+        cfg.nodes = 64;
+        cfg.battery_capacity_j = Some(800.0);
+        cfg.factors.broadcast_probability = 0.8;
+        let text = write_scenario(&cfg);
+        let parsed = parse_scenario(&text).expect("round trip");
+        assert_eq!(parsed, cfg);
+    }
+
+    #[test]
+    fn defaults_fill_unlisted_keys() {
+        let cfg = parse_scenario("scheme odpm\nrate 2.0\n").unwrap();
+        assert_eq!(cfg.scheme, Scheme::Odpm);
+        assert_eq!(cfg.traffic.rate_pps, 2.0);
+        assert_eq!(cfg.nodes, 100, "paper default survives");
+        assert_eq!(cfg.waypoint.pause_secs, 600.0);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let cfg = parse_scenario("# a comment\n\n  \nseed 9\n").unwrap();
+        assert_eq!(cfg.seed, 9);
+    }
+
+    #[test]
+    fn unknown_keys_are_errors_with_line_numbers() {
+        let err = parse_scenario("nodes 50\nspeed_of_light 3e8\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        assert!(err.contains("speed_of_light"), "{err}");
+    }
+
+    #[test]
+    fn malformed_values_are_errors() {
+        assert!(parse_scenario("nodes many\n").is_err());
+        assert!(parse_scenario("area 100\n").is_err());
+        assert!(parse_scenario("scheme span\n").is_err());
+        assert!(parse_scenario("nodes 1 2\n").is_err());
+    }
+
+    #[test]
+    fn validation_applies() {
+        // One node is structurally valid text but an invalid scenario.
+        assert!(parse_scenario("nodes 1\n").is_err());
+    }
+}

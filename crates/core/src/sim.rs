@@ -1,0 +1,946 @@
+//! The full-network simulation: all layers wired together.
+//!
+//! One [`Simulation`] owns mobility, the PSM MAC, the active-mode
+//! channel, one DSR engine per node, the scheme-specific controllers
+//! (ODPM timeouts, the Rcast decider), energy meters, and the metric
+//! collectors. [`Simulation::run`] advances beacon interval by beacon
+//! interval:
+//!
+//! 1. refresh positions and the neighbor table,
+//! 2. fire DSR timers,
+//! 3. resolve the PSM beacon interval (ATIM window + data window) and
+//!    feed every delivery, overhearing and link failure back into the
+//!    DSR engines,
+//! 4. inject the interval's CBR arrivals (immediate transmission for
+//!    802.11/ODPM-AM paths, MAC queueing otherwise),
+//! 5. integrate energy per node from awake/sleep durations.
+//!
+//! The result is a [`SimReport`] carrying every metric of the paper's
+//! Section 4.
+
+use std::collections::VecDeque;
+
+use rcast_aodv::AodvCounters;
+use rcast_dsr::DsrCounters;
+use rcast_engine::rng::StreamRng;
+use rcast_engine::{NodeId, SimDuration, SimTime};
+use rcast_mac::{
+    Channel, Delivery, ImmediateResult, MacFrame, MacLayer, OverhearingLevel, PowerMode,
+    WakePolicy,
+};
+use rcast_mobility::{MobilityField, NeighborTable};
+use rcast_radio::{Battery, EnergyMeter, Phy, PowerState};
+use rcast_metrics::{DeliveryTracker, EnergyReport, RoleNumbers, TimeSeries};
+use rcast_traffic::FlowSchedule;
+
+use crate::config::SimConfig;
+use crate::odpm::OdpmState;
+use crate::routing::{NetPacket, RouteAction, RouterNode};
+use crate::trace::{PacketTrace, TraceEvent};
+use crate::overhearing::RcastDecider;
+use crate::report::SimReport;
+use crate::scheme::Scheme;
+
+/// The per-interval wake policy handed to the MAC resolver.
+struct IntervalPolicy<'a> {
+    scheme: Scheme,
+    interval_start: SimTime,
+    odpm: &'a OdpmState,
+    rcast: &'a mut RcastDecider,
+}
+
+impl WakePolicy for IntervalPolicy<'_> {
+    fn mode(&self, node: NodeId) -> PowerMode {
+        match self.scheme {
+            Scheme::Dot11 => PowerMode::Active,
+            Scheme::Psm | Scheme::PsmNoOverhear | Scheme::Rcast => PowerMode::PowerSave,
+            Scheme::Odpm => {
+                if self.odpm.is_am(node, self.interval_start) {
+                    PowerMode::Active
+                } else {
+                    PowerMode::PowerSave
+                }
+            }
+        }
+    }
+
+    fn overhear(
+        &mut self,
+        observer: NodeId,
+        sender: NodeId,
+        _level: OverhearingLevel,
+        neighbors: &NeighborTable,
+    ) -> bool {
+        // Only Rcast advertises the randomized level.
+        self.rcast
+            .decide(observer, sender, neighbors, self.interval_start)
+    }
+
+    fn overhear_broadcast(
+        &mut self,
+        observer: NodeId,
+        sender: NodeId,
+        _neighbors: &NeighborTable,
+    ) -> bool {
+        self.rcast.decide_broadcast(observer, sender)
+    }
+}
+
+/// A routing action awaiting dispatch, stamped with its node and time.
+type Pending = (NodeId, SimTime, RouteAction);
+
+/// The assembled network simulation.
+///
+/// # Example
+///
+/// ```
+/// use rcast_core::{Scheme, SimConfig, Simulation};
+///
+/// let report = Simulation::new(SimConfig::smoke(Scheme::Rcast, 7))
+///     .expect("valid config")
+///     .run();
+/// assert!(report.energy.total_joules() > 0.0);
+/// assert!(report.delivery.delivery_ratio() > 0.0);
+/// ```
+pub struct Simulation {
+    cfg: SimConfig,
+    mobility: MobilityField,
+    mac: MacLayer<NetPacket>,
+    channel: Channel,
+    routers: Vec<RouterNode>,
+    odpm: OdpmState,
+    rcast: RcastDecider,
+    meters: Vec<EnergyMeter>,
+    batteries: Option<Vec<Battery>>,
+    tracker: DeliveryTracker,
+    roles: RoleNumbers,
+    schedule: FlowSchedule,
+    first_depletion: Option<SimTime>,
+    energy_series: Option<TimeSeries>,
+    trace: Option<PacketTrace>,
+}
+
+impl Simulation {
+    /// Builds a simulation from a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the configuration error, if any.
+    pub fn new(cfg: SimConfig) -> Result<Self, String> {
+        cfg.validate()?;
+        let n = cfg.nodes as usize;
+        let root = StreamRng::from_seed(cfg.seed);
+        let mobility = MobilityField::random_waypoint(
+            cfg.nodes,
+            cfg.area,
+            cfg.waypoint,
+            root.child("mobility"),
+        );
+        let flows = cfg.traffic.generate(cfg.nodes, root.child("traffic"));
+        let horizon = SimTime::ZERO + cfg.duration;
+        let phy = Phy::new(cfg.data_rate_bps);
+        Ok(Simulation {
+            mobility,
+            mac: MacLayer::new(n, cfg.mac, phy, root.child("mac")),
+            channel: Channel::new(n, cfg.mac, phy, root.child("channel")),
+            routers: (0..n)
+                .map(|i| RouterNode::new(cfg.routing, NodeId::new(i as u32), cfg.dsr, cfg.aodv))
+                .collect(),
+            odpm: OdpmState::new(n, cfg.odpm),
+            rcast: RcastDecider::new(n, cfg.factors, root.child("rcast")),
+            meters: (0..n).map(|_| EnergyMeter::new(cfg.energy)).collect(),
+            batteries: cfg
+                .battery_capacity_j
+                .map(|cap| (0..n).map(|_| Battery::new(cap)).collect()),
+            tracker: DeliveryTracker::new(),
+            roles: RoleNumbers::new(n),
+            schedule: FlowSchedule::new(&flows, horizon),
+            first_depletion: None,
+            energy_series: cfg
+                .energy_sampling
+                .map(|p| TimeSeries::new(n, p)),
+            trace: cfg.trace.then(PacketTrace::new),
+            cfg,
+        })
+    }
+
+    /// The configuration driving this run.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Runs the simulation to completion and reports.
+    pub fn run(mut self) -> SimReport {
+        let bi = self.cfg.mac.beacon_interval;
+        let intervals = self.cfg.beacon_intervals();
+        let n = self.cfg.nodes as usize;
+        let mut prev_nt: Option<NeighborTable> = None;
+        let mut next_arrival = self.schedule.next();
+        let mut work: VecDeque<Pending> = VecDeque::new();
+
+        for k in 0..intervals {
+            let t = SimTime::ZERO + bi * k;
+            let snap = self.mobility.snapshot(t);
+            let nt = NeighborTable::build(&snap, self.cfg.range_m);
+            if let Some(prev) = &prev_nt {
+                for i in 0..n {
+                    let id = NodeId::new(i as u32);
+                    self.rcast
+                        .note_link_changes(id, nt.link_changes_since(prev, id));
+                }
+            }
+
+            // 1. Routing timers.
+            for i in 0..n {
+                let id = NodeId::new(i as u32);
+                for a in self.routers[i].tick(t) {
+                    work.push_back((id, t, a));
+                }
+            }
+            self.dispatch(&mut work, &nt);
+
+            // 2. The PSM beacon interval.
+            let (committed_awake, ps_awake) = if self.cfg.scheme.uses_psm_path() {
+                let outcome = {
+                    let mut policy = IntervalPolicy {
+                        scheme: self.cfg.scheme,
+                        interval_start: t,
+                        odpm: &self.odpm,
+                        rcast: &mut self.rcast,
+                    };
+                    self.mac.run_interval(t, &nt, &mut policy)
+                };
+                let committed_awake = outcome.committed_awake;
+                let ps_awake = outcome.ps_awake;
+                for d in outcome.deliveries {
+                    self.process_delivery(d, &mut work);
+                }
+                for f in outcome.failures {
+                    let actions = self.routers[f.sender.index()].link_failure(
+                        f.receiver,
+                        f.frame.payload,
+                        f.at,
+                    );
+                    for a in actions {
+                        work.push_back((f.sender, f.at, a));
+                    }
+                }
+                self.dispatch(&mut work, &nt);
+                (committed_awake, ps_awake)
+            } else {
+                (vec![bi; n], vec![false; n])
+            };
+
+            // 3. This interval's traffic arrivals.
+            let interval_end = t + bi;
+            while let Some(a) = next_arrival {
+                if a.at >= interval_end {
+                    next_arrival = Some(a);
+                    break;
+                }
+                self.tracker.record_originated();
+                if let Some(trace) = &mut self.trace {
+                    trace.record(
+                        a.at,
+                        (a.flow, a.seq),
+                        TraceEvent::Originated {
+                            src: a.src,
+                            dst: a.dst,
+                        },
+                    );
+                }
+                if self.cfg.scheme == Scheme::Odpm {
+                    // A generating source is an endpoint event.
+                    self.odpm.on_data(a.src, a.at);
+                }
+                let actions =
+                    self.routers[a.src.index()].originate(a.flow, a.seq, a.dst, a.bytes, a.at);
+                for act in actions {
+                    work.push_back((a.src, a.at, act));
+                }
+                self.dispatch(&mut work, &nt);
+                next_arrival = self.schedule.next();
+            }
+
+            // 4. Role-number accounting: the paper computes role numbers
+            // "by examining each node's route cache" — sample cache
+            // contents once a second and count intermediates.
+            if k % 4 == 0 {
+                for node in &self.routers {
+                    for path in node.cached_paths() {
+                        self.roles.record_cached_route(path.nodes());
+                    }
+                }
+            }
+
+            // 5. Energy integration for [t, t + bi).
+            self.account_energy(t, &ps_awake, &committed_awake);
+
+            // 6. Optional energy time series.
+            if let Some(series) = &mut self.energy_series {
+                let due = match series.times().last() {
+                    None => true,
+                    Some(&last) => (t + bi) - last >= series.period(),
+                };
+                if due {
+                    let sample: Vec<f64> =
+                        self.meters.iter().map(EnergyMeter::total_joules).collect();
+                    series.push(t + bi, &sample);
+                }
+            }
+
+            prev_nt = Some(nt);
+        }
+
+        // Close the energy series with an end-of-run sample.
+        let end = SimTime::ZERO + bi * intervals;
+        if let Some(series) = &mut self.energy_series {
+            if series.times().last() != Some(&end) {
+                let sample: Vec<f64> =
+                    self.meters.iter().map(EnergyMeter::total_joules).collect();
+                series.push(end, &sample);
+            }
+        }
+
+        self.into_report()
+    }
+
+    /// Charges every node's meter for the interval starting at `t`.
+    fn account_energy(
+        &mut self,
+        t: SimTime,
+        ps_awake: &[bool],
+        committed_awake: &[SimDuration],
+    ) {
+        let bi = self.cfg.mac.beacon_interval;
+        let aw = self.cfg.mac.atim_window;
+        let n = self.cfg.nodes as usize;
+        for i in 0..n {
+            let id = NodeId::new(i as u32);
+            let awake_dur = match self.cfg.scheme {
+                Scheme::Dot11 => bi,
+                // PS schemes: the MAC already integrated commitment time
+                // (ATIM window when idle, through the last committed
+                // transfer otherwise, the whole interval for unbounded
+                // commitments).
+                Scheme::Psm | Scheme::PsmNoOverhear | Scheme::Rcast => committed_awake[i],
+                Scheme::Odpm => {
+                    // PSM commitments and the AM keep-alive overlap; the
+                    // node is awake for whichever reaches further.
+                    let _ = ps_awake;
+                    committed_awake[i].max(aw.max(self.odpm.am_overlap(id, t, bi)))
+                }
+            };
+            let meter = &mut self.meters[i];
+            meter.accumulate(PowerState::Awake, awake_dur);
+            meter.accumulate(PowerState::Sleep, bi - awake_dur);
+            if let Some(batteries) = &mut self.batteries {
+                let joules = awake_dur.as_secs_f64() * meter.model().idle_w
+                    + (bi - awake_dur).as_secs_f64() * meter.model().sleep_w;
+                if let Some(died) = batteries[i].drain(joules, t + bi) {
+                    if self.first_depletion.is_none() {
+                        self.first_depletion = Some(died);
+                    }
+                }
+                self.rcast.note_battery(id, batteries[i].remaining_fraction());
+            }
+        }
+    }
+
+    /// Drains the pending-action queue, routing transmissions through
+    /// the scheme-appropriate path.
+    fn dispatch(&mut self, work: &mut VecDeque<Pending>, nt: &NeighborTable) {
+        while let Some((node, at, action)) = work.pop_front() {
+            match action {
+                RouteAction::Unicast { next_hop, packet } => {
+                    self.send_unicast(node, next_hop, packet, at, nt, work);
+                }
+                RouteAction::Broadcast { packet } => {
+                    self.send_broadcast(node, packet, at, nt, work);
+                }
+                RouteAction::Delivered(info) => {
+                    self.tracker.record_delivered(info.generated_at, at);
+                    self.tracker.record_hops(info.hops);
+                    if let Some(trace) = &mut self.trace {
+                        trace.record(
+                            at,
+                            (info.flow, info.seq),
+                            TraceEvent::Delivered { at_node: node },
+                        );
+                    }
+                }
+                RouteAction::Dropped(info) => {
+                    self.tracker.record_dropped();
+                    if let Some(trace) = &mut self.trace {
+                        trace.record(at, (info.flow, info.seq), TraceEvent::Dropped);
+                    }
+                }
+            }
+        }
+    }
+
+    /// `true` when the immediate (active-mode) path applies to a unicast
+    /// from `from` to `to` at time `at`.
+    fn immediate_path(&self, from: NodeId, to: NodeId, at: SimTime) -> bool {
+        match self.cfg.scheme {
+            Scheme::Dot11 => true,
+            Scheme::Odpm => self.odpm.is_am(from, at) && self.odpm.is_am(to, at),
+            _ => false,
+        }
+    }
+
+    fn send_unicast(
+        &mut self,
+        from: NodeId,
+        next_hop: NodeId,
+        packet: NetPacket,
+        at: SimTime,
+        nt: &NeighborTable,
+        work: &mut VecDeque<Pending>,
+    ) {
+        let level = self.cfg.scheme.level_for_net(&packet);
+        let bytes = packet.wire_bytes();
+        if self.immediate_path(from, next_hop, at) {
+            let frame = MacFrame::unicast(next_hop, level, bytes, packet);
+            let scheme = self.cfg.scheme;
+            let odpm = &self.odpm;
+            let result = self.channel.transmit(at, from, frame, nt, |x| match scheme {
+                Scheme::Dot11 => true,
+                Scheme::Odpm => odpm.is_am(x, at),
+                _ => unreachable!("immediate path is 802.11/ODPM only"),
+            });
+            match result {
+                ImmediateResult::Delivered(d) => self.process_delivery(d, work),
+                ImmediateResult::Failed(f) => {
+                    let actions = self.routers[f.sender.index()].link_failure(
+                        f.receiver,
+                        f.frame.payload,
+                        f.at,
+                    );
+                    for a in actions {
+                        work.push_back((f.sender, f.at, a));
+                    }
+                }
+            }
+        } else {
+            let frame = MacFrame::unicast(next_hop, level, bytes, packet);
+            if let Err(frame) = self.mac.enqueue(from, frame, at) {
+                if !frame.payload.is_control() {
+                    self.tracker.record_dropped();
+                    if let (Some(trace), Some(id)) =
+                        (&mut self.trace, frame.payload.data_id())
+                    {
+                        trace.record(at, id, TraceEvent::Dropped);
+                    }
+                }
+            }
+        }
+    }
+
+    fn send_broadcast(
+        &mut self,
+        from: NodeId,
+        packet: NetPacket,
+        at: SimTime,
+        nt: &NeighborTable,
+        work: &mut VecDeque<Pending>,
+    ) {
+        let bytes = packet.wire_bytes();
+        if self.cfg.scheme == Scheme::Dot11 {
+            let frame = MacFrame::broadcast(bytes, packet);
+            match self.channel.transmit(at, from, frame, nt, |_| true) {
+                ImmediateResult::Delivered(d) => self.process_delivery(d, work),
+                ImmediateResult::Failed(_) => unreachable!("broadcasts never fail"),
+            }
+        } else {
+            // The randomized-broadcast extension kicks in only when the
+            // Rcast factors ask for it (probability < 1).
+            let level = if self.cfg.scheme == Scheme::Rcast
+                && self.cfg.factors.broadcast_probability < 1.0
+            {
+                OverhearingLevel::Randomized
+            } else {
+                OverhearingLevel::Unconditional
+            };
+            let frame = MacFrame::broadcast_with_level(level, bytes, packet);
+            let _ = self.mac.enqueue(from, frame, at);
+        }
+    }
+
+    /// Feeds one completed transmission back into the protocol stack.
+    fn process_delivery(&mut self, d: Delivery<NetPacket>, work: &mut VecDeque<Pending>) {
+        let payload = d.frame.payload;
+        // Overhead accounting: one on-air transmission.
+        if payload.is_control() {
+            self.tracker.record_control_transmission();
+        } else {
+            self.tracker.record_data_transmission();
+            if let (Some(trace), Some(id), Some(to)) =
+                (&mut self.trace, payload.data_id(), d.receiver)
+            {
+                trace.record(
+                    d.at,
+                    id,
+                    TraceEvent::Hop {
+                        from: d.sender,
+                        to,
+                    },
+                );
+            }
+        }
+        // ODPM keep-alive events. DSR runs the radio promiscuously, so
+        // an AM node's *overheard* traffic is indistinguishable from
+        // received traffic at the power-management layer — overhearers
+        // refresh their timers too. This stickiness is what keeps ODPM's
+        // active corridors lit at high rates (the paper's Fig. 5(d)
+        // explanation).
+        if self.cfg.scheme == Scheme::Odpm {
+            match payload.kind() {
+                "RREP" => {
+                    if let Some(r) = d.receiver {
+                        self.odpm.on_rrep(r, d.at);
+                    }
+                }
+                "DATA" => {
+                    self.odpm.on_data(d.sender, d.at);
+                    if let Some(r) = d.receiver {
+                        self.odpm.on_data(r, d.at);
+                    }
+                }
+                "RREQ" => {
+                    // Route-discovery keep-alive: request recipients stay
+                    // active briefly so the reply can race back along the
+                    // reverse path — the source of ODPM's low delay.
+                    for &r in &d.recipients {
+                        self.odpm.on_rreq(r, d.at);
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Sender-ID factor bookkeeping.
+        for &x in d
+            .recipients
+            .iter()
+            .chain(d.overhearers.iter())
+            .chain(d.receiver.iter())
+        {
+            self.rcast.note_heard(x, d.sender, d.at);
+        }
+        // Overhearers first (they only borrow the payload).
+        for &o in &d.overhearers {
+            let actions = self.routers[o.index()].overhear(&payload, d.sender, d.at);
+            for a in actions {
+                work.push_back((o, d.at, a));
+            }
+        }
+        // Then the addressed receiver(s).
+        match d.receiver {
+            Some(r) => {
+                let actions = self.routers[r.index()].receive(payload, d.sender, d.at);
+                for a in actions {
+                    work.push_back((r, d.at, a));
+                }
+            }
+            None => {
+                let is_rreq = payload.kind() == "RREQ";
+                let mut batch: Vec<Pending> = Vec::new();
+                for &r in &d.recipients {
+                    let actions =
+                        self.routers[r.index()].receive(payload.clone(), d.sender, d.at);
+                    for a in actions {
+                        batch.push((r, d.at, a));
+                    }
+                }
+                if is_rreq {
+                    Self::suppress_reply_storm(&mut batch);
+                }
+                work.extend(batch);
+            }
+        }
+    }
+
+    /// DSR's *route reply storm prevention* (Johnson & Maltz §: cached
+    /// replies are jittered proportionally to route length and canceled
+    /// when a shorter reply is overheard). The recipients of one RREQ
+    /// transmission all hear each other, so among their cached replies
+    /// only the shortest-route one survives.
+    fn suppress_reply_storm(batch: &mut Vec<Pending>) {
+        fn rrep_hops(a: &RouteAction) -> Option<usize> {
+            match a {
+                RouteAction::Unicast { packet, .. } if packet.kind() == "RREP" => {
+                    Some(match packet {
+                        NetPacket::Dsr(rcast_dsr::DsrPacket::Rrep(r)) => r.route.hop_count(),
+                        NetPacket::Aodv(rcast_aodv::AodvPacket::Rrep(r)) => {
+                            r.hop_count as usize
+                        }
+                        _ => usize::MAX,
+                    })
+                }
+                _ => None,
+            }
+        }
+        let best: Option<usize> = batch
+            .iter()
+            .enumerate()
+            .filter_map(|(i, (_, _, a))| rrep_hops(a).map(|h| (i, h)))
+            .min_by_key(|&(_, hops)| hops)
+            .map(|(i, _)| i);
+        let Some(best) = best else { return };
+        let mut idx = 0usize;
+        batch.retain(|(_, _, a)| {
+            let keep = rrep_hops(a).is_none() || idx == best;
+            // `retain` visits in order; track the original index.
+            idx += 1;
+            keep
+        });
+    }
+
+    fn into_report(self) -> SimReport {
+        let mut dsr_total = DsrCounters::default();
+        let mut aodv_total = AodvCounters::default();
+        for node in &self.routers {
+            if let Some(c) = node.dsr_counters() {
+                dsr_total.rreq_originated += c.rreq_originated;
+                dsr_total.rreq_forwarded += c.rreq_forwarded;
+                dsr_total.rrep_from_target += c.rrep_from_target;
+                dsr_total.rrep_from_cache += c.rrep_from_cache;
+                dsr_total.rrep_forwarded += c.rrep_forwarded;
+                dsr_total.rerr_originated += c.rerr_originated;
+                dsr_total.rerr_forwarded += c.rerr_forwarded;
+                dsr_total.data_sent += c.data_sent;
+                dsr_total.data_forwarded += c.data_forwarded;
+                dsr_total.data_salvaged += c.data_salvaged;
+                dsr_total.data_delivered += c.data_delivered;
+                dsr_total.data_dropped += c.data_dropped;
+            }
+            if let Some(c) = node.aodv_counters() {
+                aodv_total.rreq_originated += c.rreq_originated;
+                aodv_total.rreq_forwarded += c.rreq_forwarded;
+                aodv_total.rrep_from_target += c.rrep_from_target;
+                aodv_total.rrep_from_table += c.rrep_from_table;
+                aodv_total.rrep_forwarded += c.rrep_forwarded;
+                aodv_total.hello_sent += c.hello_sent;
+                aodv_total.rerr_sent += c.rerr_sent;
+                aodv_total.data_sent += c.data_sent;
+                aodv_total.data_forwarded += c.data_forwarded;
+                aodv_total.data_delivered += c.data_delivered;
+                aodv_total.data_dropped += c.data_dropped;
+            }
+        }
+        SimReport {
+            scheme: self.cfg.scheme,
+            seed: self.cfg.seed,
+            duration: self.cfg.duration,
+            energy: EnergyReport::new(
+                self.meters.iter().map(EnergyMeter::total_joules).collect(),
+            ),
+            delivery: self.tracker,
+            roles: self.roles,
+            mac: self.mac.counters(),
+            dsr: dsr_total,
+            aodv: aodv_total,
+            first_depletion: self.first_depletion,
+            energy_series: self.energy_series,
+            trace: self.trace,
+        }
+    }
+}
+
+/// Builds and runs one simulation.
+///
+/// # Errors
+///
+/// Returns the configuration error, if any.
+pub fn run_sim(cfg: SimConfig) -> Result<SimReport, String> {
+    Ok(Simulation::new(cfg)?.run())
+}
+
+/// Runs the same configuration under `seeds` different seeds.
+///
+/// # Errors
+///
+/// Returns the configuration error, if any.
+pub fn run_seeds(cfg: &SimConfig, seeds: impl IntoIterator<Item = u64>) -> Result<Vec<SimReport>, String> {
+    let mut out = Vec::new();
+    for seed in seeds {
+        let mut c = cfg.clone();
+        c.seed = seed;
+        out.push(run_sim(c)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke(scheme: Scheme, seed: u64) -> SimReport {
+        run_sim(SimConfig::smoke(scheme, seed)).expect("valid smoke config")
+    }
+
+    #[test]
+    fn all_schemes_complete_and_deliver() {
+        for scheme in Scheme::ALL {
+            let r = smoke(scheme, 1);
+            assert!(
+                r.delivery.originated() > 100,
+                "{scheme}: {} originated",
+                r.delivery.originated()
+            );
+            assert!(
+                r.delivery.delivery_ratio() > 0.3,
+                "{scheme}: PDR {}",
+                r.delivery.delivery_ratio()
+            );
+            assert!(r.energy.total_joules() > 0.0, "{scheme}");
+        }
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_bit_identical_reports() {
+        for scheme in [Scheme::Rcast, Scheme::Odpm, Scheme::Dot11] {
+            let a = smoke(scheme, 42);
+            let b = smoke(scheme, 42);
+            assert_eq!(
+                a.energy.per_node_joules(),
+                b.energy.per_node_joules(),
+                "{scheme}"
+            );
+            assert_eq!(a.delivery.delivered(), b.delivery.delivered());
+            assert_eq!(a.delivery.originated(), b.delivery.originated());
+            assert_eq!(a.roles.all(), b.roles.all());
+        }
+    }
+
+    #[test]
+    fn determinism_holds_for_aodv_and_link_cache() {
+        // HashMap-backed state (AODV tables, DSR link caches) must not
+        // leak iteration order into results: every HashMap instance has
+        // its own RandomState, so two runs in the same process already
+        // catch ordering leaks.
+        let mut aodv_cfg = SimConfig::smoke(Scheme::Rcast, 8);
+        aodv_cfg.routing = crate::routing::RoutingKind::Aodv;
+        let a = run_sim(aodv_cfg.clone()).unwrap();
+        let b = run_sim(aodv_cfg).unwrap();
+        assert_eq!(a.energy.per_node_joules(), b.energy.per_node_joules());
+        assert_eq!(a.aodv, b.aodv);
+
+        let mut link_cfg = SimConfig::smoke(Scheme::Rcast, 8);
+        link_cfg.dsr.cache.strategy = rcast_dsr::CacheStrategy::Link;
+        let a = run_sim(link_cfg.clone()).unwrap();
+        let b = run_sim(link_cfg).unwrap();
+        assert_eq!(a.energy.per_node_joules(), b.energy.per_node_joules());
+        assert_eq!(a.dsr, b.dsr);
+        assert_eq!(a.roles.all(), b.roles.all());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = smoke(Scheme::Rcast, 1);
+        let b = smoke(Scheme::Rcast, 2);
+        assert_ne!(a.energy.per_node_joules(), b.energy.per_node_joules());
+    }
+
+    #[test]
+    fn dot11_energy_is_flat_and_maximal() {
+        let r = smoke(Scheme::Dot11, 3);
+        // Every node awake for the whole run: 1.15 W × 120 s = 138 J.
+        let expect = 1.15 * 120.0;
+        for &j in r.energy.per_node_joules() {
+            assert!((j - expect).abs() < 1e-6, "{j} vs {expect}");
+        }
+        assert_eq!(r.energy.variance(), 0.0);
+    }
+
+    #[test]
+    fn scheme_energy_ordering_matches_table1() {
+        // The paper's Table 1 / Fig. 7: 802.11 worst, PSM baselines in
+        // between, Rcast best (or tied) among PSM schemes.
+        let dot11 = smoke(Scheme::Dot11, 5);
+        let psm = smoke(Scheme::Psm, 5);
+        let odpm = smoke(Scheme::Odpm, 5);
+        let rcast = smoke(Scheme::Rcast, 5);
+        let (e_dot11, e_psm, e_odpm, e_rcast) = (
+            dot11.energy.total_joules(),
+            psm.energy.total_joules(),
+            odpm.energy.total_joules(),
+            rcast.energy.total_joules(),
+        );
+        assert!(e_dot11 > e_psm, "802.11 {e_dot11} vs PSM {e_psm}");
+        assert!(e_dot11 > e_odpm, "802.11 {e_dot11} vs ODPM {e_odpm}");
+        assert!(e_rcast < e_odpm, "Rcast {e_rcast} vs ODPM {e_odpm}");
+        assert!(e_rcast < e_psm, "Rcast {e_rcast} vs PSM {e_psm}");
+    }
+
+    #[test]
+    fn rcast_delay_exceeds_dot11_delay() {
+        let dot11 = smoke(Scheme::Dot11, 7);
+        let rcast = smoke(Scheme::Rcast, 7);
+        assert!(
+            rcast.delivery.mean_delay() > dot11.delivery.mean_delay() * 5,
+            "PSM path must pay beacon-interval latency: {} vs {}",
+            rcast.delivery.mean_delay(),
+            dot11.delivery.mean_delay()
+        );
+    }
+
+    #[test]
+    fn odpm_energy_variance_exceeds_rcast() {
+        let odpm = smoke(Scheme::Odpm, 11);
+        let rcast = smoke(Scheme::Rcast, 11);
+        assert!(
+            odpm.energy.variance() > rcast.energy.variance(),
+            "ODPM {} vs Rcast {}",
+            odpm.energy.variance(),
+            rcast.energy.variance()
+        );
+    }
+
+    #[test]
+    fn aodv_routing_delivers_under_every_scheme() {
+        for scheme in [Scheme::Dot11, Scheme::Odpm, Scheme::Rcast] {
+            let mut cfg = SimConfig::smoke(scheme, 3);
+            cfg.routing = crate::routing::RoutingKind::Aodv;
+            let r = run_sim(cfg).expect("valid config");
+            assert!(
+                r.delivery.delivery_ratio() > 0.3,
+                "{scheme}+AODV: PDR {}",
+                r.delivery.delivery_ratio()
+            );
+            assert!(r.aodv.rreq_originated > 0, "{scheme}: AODV must flood");
+            assert_eq!(r.dsr.rreq_originated, 0, "no DSR activity under AODV");
+        }
+    }
+
+    #[test]
+    fn aodv_floods_more_than_dsr() {
+        // The paper's footnote 1: AODV's conservative route maintenance
+        // "necessitates more RREQ messages" than DSR's cached,
+        // overheard route state.
+        let dsr = run_sim(SimConfig::smoke(Scheme::Rcast, 9)).unwrap();
+        let mut cfg = SimConfig::smoke(Scheme::Rcast, 9);
+        cfg.routing = crate::routing::RoutingKind::Aodv;
+        let aodv = run_sim(cfg).unwrap();
+        let dsr_rreq = dsr.dsr.rreq_originated + dsr.dsr.rreq_forwarded;
+        let aodv_rreq = aodv.aodv.rreq_originated + aodv.aodv.rreq_forwarded;
+        assert!(
+            aodv_rreq > dsr_rreq,
+            "AODV RREQ traffic {aodv_rreq} must exceed DSR's {dsr_rreq}"
+        );
+    }
+
+    #[test]
+    fn aodv_hellos_cost_energy_under_psm() {
+        // Section 1 of the paper: protocols with periodic control
+        // broadcasts "tend to consume more energy with IEEE 802.11 PSM".
+        let mut with_hello = SimConfig::smoke(Scheme::Rcast, 4);
+        with_hello.routing = crate::routing::RoutingKind::Aodv;
+        let mut without = with_hello.clone();
+        without.aodv.hello_interval = None;
+        let h = run_sim(with_hello).unwrap();
+        let q = run_sim(without).unwrap();
+        assert!(h.aodv.hello_sent > 0);
+        assert!(
+            h.energy.total_joules() > q.energy.total_joules(),
+            "hellos {} J must cost more than silence {} J",
+            h.energy.total_joules(),
+            q.energy.total_joules()
+        );
+    }
+
+    #[test]
+    fn link_cache_strategy_runs_and_delivers() {
+        let mut cfg = SimConfig::smoke(Scheme::Rcast, 6);
+        cfg.dsr.cache.strategy = rcast_dsr::CacheStrategy::Link;
+        cfg.dsr.cache.capacity = 128;
+        let r = run_sim(cfg).expect("valid config");
+        assert!(
+            r.delivery.delivery_ratio() > 0.5,
+            "link cache PDR {}",
+            r.delivery.delivery_ratio()
+        );
+        // Role sampling still works: link caches render path trees.
+        assert!(r.roles.max_role() > 0);
+    }
+
+    #[test]
+    fn packet_trace_is_consistent_with_the_tracker() {
+        let mut cfg = SimConfig::smoke(Scheme::Rcast, 3);
+        cfg.trace = true;
+        let r = run_sim(cfg).expect("valid config");
+        let trace = r.trace.as_ref().expect("tracing enabled");
+        let latencies = trace.delivery_latencies();
+        assert_eq!(
+            latencies.len() as u64,
+            r.delivery.delivered(),
+            "one latency per delivered packet"
+        );
+        // Trace-derived mean delay matches the tracker's.
+        let mean = latencies
+            .iter()
+            .map(|(_, d)| d.as_secs_f64())
+            .sum::<f64>()
+            / latencies.len() as f64;
+        assert!(
+            (mean - r.delivery.mean_delay().as_secs_f64()).abs() < 1e-9,
+            "trace mean {mean} vs tracker {}",
+            r.delivery.mean_delay()
+        );
+        // Every delivered packet shows at least one on-air hop.
+        assert!(trace
+            .delivered_hop_counts()
+            .iter()
+            .all(|&(_, hops)| hops >= 1));
+        // Accounting closes: originated = delivered + dropped + in-flight.
+        let unresolved = trace.unresolved().len() as u64;
+        assert_eq!(
+            r.delivery.originated(),
+            r.delivery.delivered() + r.delivery.dropped() + unresolved,
+            "origination ledger must balance"
+        );
+    }
+
+    #[test]
+    fn energy_series_samples_cumulative_consumption() {
+        let mut cfg = SimConfig::smoke(Scheme::Rcast, 2);
+        cfg.energy_sampling = Some(rcast_engine::SimDuration::from_secs(10));
+        let r = run_sim(cfg).expect("valid config");
+        let series = r.energy_series.expect("sampling enabled");
+        assert!(series.samples() >= 11, "120 s / 10 s: {}", series.samples());
+        // Cumulative energy is nondecreasing and ends at the report total.
+        let totals = series.totals();
+        assert!(totals.windows(2).all(|w| w[1] >= w[0]));
+        let last = *totals.last().unwrap();
+        assert!((last - r.energy.total_joules()).abs() < 1e-6);
+        // Mean slope is the network's average power draw: between the
+        // all-sleep floor and the all-awake ceiling.
+        let watts = series.mean_total_slope();
+        assert!(watts > 50.0 * 0.045 && watts < 50.0 * 1.15, "{watts} W");
+    }
+
+    #[test]
+    fn batteries_track_depletion() {
+        let mut cfg = SimConfig::smoke(Scheme::Dot11, 1);
+        cfg.battery_capacity_j = Some(10.0); // dies in ~8.7 s at 1.15 W
+        let r = run_sim(cfg).unwrap();
+        let died = r.first_depletion.expect("tiny battery must deplete");
+        assert!(died <= SimTime::from_secs(10), "{died}");
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let mut cfg = SimConfig::smoke(Scheme::Rcast, 0);
+        cfg.nodes = 1;
+        assert!(Simulation::new(cfg).is_err());
+    }
+
+    #[test]
+    fn run_seeds_produces_one_report_per_seed() {
+        let cfg = SimConfig::smoke(Scheme::Rcast, 0);
+        let reports = run_seeds(&cfg, [1, 2, 3]).unwrap();
+        assert_eq!(reports.len(), 3);
+        assert_eq!(reports[0].seed, 1);
+        assert_eq!(reports[2].seed, 3);
+    }
+}

@@ -1,0 +1,256 @@
+//! Packet-level tracing: the simulator's flight recorder.
+//!
+//! ns-2 ships a trace file per run; this is the equivalent. When
+//! `SimConfig::trace` is enabled, the simulation journals every data
+//! packet's lifecycle — origination, per-hop transmissions, delivery or
+//! drop — and the report carries a queryable [`PacketTrace`]. Intended
+//! for debugging protocol behaviour and for per-flow analysis beyond
+//! the paper's aggregate metrics.
+
+use std::collections::HashMap;
+
+use rcast_engine::{NodeId, SimDuration, SimTime};
+
+/// One journaled event in a data packet's life.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// The application handed the packet to the network layer.
+    Originated {
+        /// Source node.
+        src: NodeId,
+        /// Final destination.
+        dst: NodeId,
+    },
+    /// One on-air hop transmission completed.
+    Hop {
+        /// Transmitting node.
+        from: NodeId,
+        /// Receiving node.
+        to: NodeId,
+    },
+    /// The packet reached its destination.
+    Delivered {
+        /// The destination node.
+        at_node: NodeId,
+    },
+    /// The packet was abandoned.
+    Dropped,
+}
+
+/// A `(flow, seq)` packet identity.
+pub type PacketId = (u32, u64);
+
+/// A timestamped trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// When the event happened.
+    pub at: SimTime,
+    /// Which packet it concerns.
+    pub packet: PacketId,
+    /// What happened.
+    pub event: TraceEvent,
+}
+
+/// The journal of every traced packet in a run.
+///
+/// # Example
+///
+/// ```
+/// use rcast_core::{run_sim, Scheme, SimConfig};
+///
+/// let mut cfg = SimConfig::smoke(Scheme::Rcast, 1);
+/// cfg.trace = true;
+/// let report = run_sim(cfg)?;
+/// let trace = report.trace.expect("tracing enabled");
+/// assert!(trace.len() > 0);
+/// // Every delivered packet has a positive end-to-end latency.
+/// for (id, latency) in trace.delivery_latencies() {
+///     assert!(latency.as_secs_f64() > 0.0, "{id:?}");
+/// }
+/// # Ok::<(), String>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PacketTrace {
+    records: Vec<TraceRecord>,
+}
+
+impl PacketTrace {
+    /// An empty journal.
+    pub fn new() -> Self {
+        PacketTrace::default()
+    }
+
+    /// Appends a record (events arrive in simulation-time order per the
+    /// core loop; this is not re-sorted).
+    pub fn record(&mut self, at: SimTime, packet: PacketId, event: TraceEvent) {
+        self.records.push(TraceRecord { at, packet, event });
+    }
+
+    /// Total records journaled.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when nothing was journaled.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// All records, in journal order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// The records of one packet, in order.
+    pub fn packet_history(&self, packet: PacketId) -> Vec<TraceRecord> {
+        self.records
+            .iter()
+            .copied()
+            .filter(|r| r.packet == packet)
+            .collect()
+    }
+
+    /// The end-to-end latency of every delivered packet.
+    pub fn delivery_latencies(&self) -> Vec<(PacketId, SimDuration)> {
+        let mut origin: HashMap<PacketId, SimTime> = HashMap::new();
+        let mut out = Vec::new();
+        for r in &self.records {
+            match r.event {
+                TraceEvent::Originated { .. } => {
+                    origin.entry(r.packet).or_insert(r.at);
+                }
+                TraceEvent::Delivered { .. } => {
+                    if let Some(&t0) = origin.get(&r.packet) {
+                        out.push((r.packet, r.at - t0));
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Hop counts of delivered packets (on-air transmissions observed).
+    pub fn delivered_hop_counts(&self) -> Vec<(PacketId, usize)> {
+        let mut hops: HashMap<PacketId, usize> = HashMap::new();
+        let mut delivered: Vec<PacketId> = Vec::new();
+        for r in &self.records {
+            match r.event {
+                TraceEvent::Hop { .. } => *hops.entry(r.packet).or_insert(0) += 1,
+                TraceEvent::Delivered { .. } => delivered.push(r.packet),
+                _ => {}
+            }
+        }
+        delivered
+            .into_iter()
+            .map(|p| (p, hops.get(&p).copied().unwrap_or(0)))
+            .collect()
+    }
+
+    /// Identities of packets that were originated but neither delivered
+    /// nor dropped by the end of the run (still in flight / queued).
+    pub fn unresolved(&self) -> Vec<PacketId> {
+        let mut state: HashMap<PacketId, bool> = HashMap::new(); // resolved?
+        for r in &self.records {
+            match r.event {
+                TraceEvent::Originated { .. } => {
+                    state.entry(r.packet).or_insert(false);
+                }
+                TraceEvent::Delivered { .. } | TraceEvent::Dropped => {
+                    state.insert(r.packet, true);
+                }
+                _ => {}
+            }
+        }
+        let mut out: Vec<PacketId> = state
+            .into_iter()
+            .filter(|&(_, resolved)| !resolved)
+            .map(|(p, _)| p)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Renders one packet's journey as human-readable lines.
+    pub fn render_packet(&self, packet: PacketId) -> String {
+        let mut out = String::new();
+        for r in self.packet_history(packet) {
+            let line = match r.event {
+                TraceEvent::Originated { src, dst } => {
+                    format!("{} originated {src} → {dst}", r.at)
+                }
+                TraceEvent::Hop { from, to } => format!("{} hop {from} → {to}", r.at),
+                TraceEvent::Delivered { at_node } => {
+                    format!("{} delivered at {at_node}", r.at)
+                }
+                TraceEvent::Dropped => format!("{} dropped", r.at),
+            };
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn sample() -> PacketTrace {
+        let mut t = PacketTrace::new();
+        let p = (1, 7);
+        t.record(SimTime::from_millis(100), p, TraceEvent::Originated { src: n(0), dst: n(3) });
+        t.record(SimTime::from_millis(350), p, TraceEvent::Hop { from: n(0), to: n(1) });
+        t.record(SimTime::from_millis(600), p, TraceEvent::Hop { from: n(1), to: n(3) });
+        t.record(SimTime::from_millis(600), p, TraceEvent::Delivered { at_node: n(3) });
+        let q = (2, 0);
+        t.record(SimTime::from_millis(200), q, TraceEvent::Originated { src: n(5), dst: n(9) });
+        t.record(SimTime::from_millis(900), q, TraceEvent::Dropped);
+        let r = (3, 4);
+        t.record(SimTime::from_millis(300), r, TraceEvent::Originated { src: n(2), dst: n(8) });
+        t
+    }
+
+    #[test]
+    fn histories_are_per_packet() {
+        let t = sample();
+        assert_eq!(t.len(), 7);
+        assert_eq!(t.packet_history((1, 7)).len(), 4);
+        assert_eq!(t.packet_history((2, 0)).len(), 2);
+        assert!(t.packet_history((9, 9)).is_empty());
+    }
+
+    #[test]
+    fn latencies_only_for_delivered() {
+        let t = sample();
+        let lats = t.delivery_latencies();
+        assert_eq!(lats.len(), 1);
+        assert_eq!(lats[0], ((1, 7), SimDuration::from_millis(500)));
+    }
+
+    #[test]
+    fn hop_counts() {
+        let t = sample();
+        assert_eq!(t.delivered_hop_counts(), vec![((1, 7), 2)]);
+    }
+
+    #[test]
+    fn unresolved_packets() {
+        let t = sample();
+        assert_eq!(t.unresolved(), vec![(3, 4)]);
+    }
+
+    #[test]
+    fn rendering_mentions_every_stage() {
+        let t = sample();
+        let text = t.render_packet((1, 7));
+        assert!(text.contains("originated n0 → n3"));
+        assert!(text.contains("hop n1 → n3"));
+        assert!(text.contains("delivered at n3"));
+        assert_eq!(text.lines().count(), 4);
+    }
+}

@@ -1,0 +1,474 @@
+//! The DSR route cache (path cache).
+//!
+//! Every cached entry is a full path **starting at the cache owner**, as
+//! in ns-2's path cache. Insertions of routes that merely *contain* the
+//! owner are truncated to start there; routes that do not contain the
+//! owner are rejected (a path cache cannot use them — overheard routes
+//! are extended through the overheard transmitter before insertion, see
+//! `DsrNode::overhear`).
+//!
+//! The paper's stale-route discussion (Section 2.1.2) drives two
+//! features: link-based invalidation with *truncation* (a broken link
+//! removes the unusable tail but keeps the still-valid prefix), and an
+//! optional capacity/timeout pair for the cache-design ablation.
+
+use rcast_engine::{NodeId, SimDuration, SimTime};
+
+use crate::route::SourceRoute;
+
+/// One cached path with bookkeeping.
+#[derive(Debug, Clone)]
+struct Entry {
+    path: SourceRoute,
+    inserted_at: SimTime,
+    last_used: SimTime,
+}
+
+/// Configuration of a [`RouteCache`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheConfig {
+    /// Maximum number of cached entries: paths for the path strategy,
+    /// directed links for the link strategy (ns-2 DSR default: 64).
+    pub capacity: usize,
+    /// Optional entry lifetime; `None` reproduces stock DSR (entries die
+    /// only via RERR invalidation or eviction).
+    pub timeout: Option<SimDuration>,
+    /// Which caching strategy to use.
+    pub strategy: CacheStrategy,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            capacity: 64,
+            timeout: None,
+            strategy: CacheStrategy::Path,
+        }
+    }
+}
+
+/// The path-cache strategy: whole source routes, LRU-evicted.
+///
+#[derive(Debug, Clone)]
+pub struct PathCache {
+    owner: NodeId,
+    cfg: CacheConfig,
+    entries: Vec<Entry>,
+}
+
+impl PathCache {
+    /// An empty cache owned by `owner`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured capacity is zero.
+    pub fn new(owner: NodeId, cfg: CacheConfig) -> Self {
+        assert!(cfg.capacity > 0, "cache capacity must be positive");
+        PathCache {
+            owner,
+            cfg,
+            entries: Vec::new(),
+        }
+    }
+
+    /// The node this cache belongs to.
+    pub fn owner(&self) -> NodeId {
+        self.owner
+    }
+
+    /// Number of cached paths.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts a route. The route is normalized to start at the owner
+    /// (truncating any prefix); routes not containing the owner are
+    /// rejected. Returns `true` when a **new** path was stored (used by
+    /// the role-number metric), `false` for duplicates, rejected routes,
+    /// and paths subsumed by an identical existing entry.
+    pub fn insert(&mut self, route: SourceRoute, now: SimTime) -> bool {
+        let Some(normalized) = self.normalize(route) else {
+            return false;
+        };
+        if let Some(e) = self.entries.iter_mut().find(|e| e.path == normalized) {
+            e.last_used = now;
+            return false;
+        }
+        if self.entries.len() >= self.cfg.capacity {
+            // Evict the least recently used entry.
+            let (idx, _) = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .expect("capacity > 0 so entries is non-empty");
+            self.entries.swap_remove(idx);
+        }
+        self.entries.push(Entry {
+            path: normalized,
+            inserted_at: now,
+            last_used: now,
+        });
+        true
+    }
+
+    fn normalize(&self, route: SourceRoute) -> Option<SourceRoute> {
+        if route.origin() == self.owner {
+            Some(route)
+        } else {
+            route.suffix_from(self.owner)
+        }
+    }
+
+    /// The best (shortest, then freshest) cached route from the owner to
+    /// `dst`. Touches the entry's LRU stamp.
+    pub fn find_route(&mut self, dst: NodeId, now: SimTime) -> Option<SourceRoute> {
+        self.purge_expired(now);
+        let mut best: Option<(usize, usize, SimTime)> = None; // (idx, hops, inserted)
+        for (i, e) in self.entries.iter().enumerate() {
+            let Some(pos) = e.path.position_of(dst) else {
+                continue;
+            };
+            if pos == 0 {
+                continue; // dst == owner
+            }
+            let hops = pos;
+            match best {
+                Some((_, bh, bt)) if bh < hops || (bh == hops && bt >= e.inserted_at) => {}
+                _ => best = Some((i, hops, e.inserted_at)),
+            }
+        }
+        let (idx, _, _) = best?;
+        self.entries[idx].last_used = now;
+        let path = &self.entries[idx].path;
+        path.prefix_to(dst)
+    }
+
+    /// `true` when a route to `dst` is cached (without touching LRU).
+    pub fn has_route(&self, dst: NodeId) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.path.position_of(dst).is_some_and(|p| p > 0))
+    }
+
+    /// Invalidates the (undirected) link `a ↔ b`: every path using it is
+    /// truncated just before the break; prefixes that still form a route
+    /// (≥ 2 nodes) survive. Returns the number of affected entries.
+    pub fn remove_link(&mut self, a: NodeId, b: NodeId) -> usize {
+        let mut affected = 0;
+        let mut kept = Vec::with_capacity(self.entries.len());
+        for mut e in self.entries.drain(..) {
+            if !e.path.uses_link(a, b) {
+                kept.push(e);
+                continue;
+            }
+            affected += 1;
+            // Truncate at the first use of the broken link.
+            let nodes = e.path.nodes();
+            let cut = nodes
+                .windows(2)
+                .position(|w| (w[0] == a && w[1] == b) || (w[0] == b && w[1] == a))
+                .expect("uses_link implies a cut point");
+            if cut + 1 >= 2 {
+                if let Some(prefix) = SourceRoute::new(nodes[..=cut].to_vec()) {
+                    e.path = prefix;
+                    kept.push(e);
+                }
+            }
+        }
+        self.entries = kept;
+        affected
+    }
+
+    /// Drops entries older than the configured timeout.
+    pub fn purge_expired(&mut self, now: SimTime) {
+        if let Some(ttl) = self.cfg.timeout {
+            self.entries.retain(|e| now - e.inserted_at <= ttl);
+        }
+    }
+
+    /// The cached paths (metrics: role numbers are counted over cache
+    /// contents).
+    pub fn paths(&self) -> Vec<SourceRoute> {
+        self.entries.iter().map(|e| e.path.clone()).collect()
+    }
+}
+
+/// Which caching strategy a [`RouteCache`] uses — the design axis of
+/// Hu & Johnson (reference 11 of the paper).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum CacheStrategy {
+    /// Store whole source routes (ns-2 DSR's default).
+    #[default]
+    Path,
+    /// Store individual links; answer queries by shortest-path search.
+    Link,
+}
+
+/// A per-node DSR route cache, dispatching to the configured strategy.
+///
+/// # Example
+///
+/// ```
+/// use rcast_engine::{NodeId, SimTime};
+/// use rcast_dsr::{CacheConfig, RouteCache, SourceRoute};
+///
+/// let me = NodeId::new(0);
+/// let mut cache = RouteCache::new(me, CacheConfig::default());
+/// let route = SourceRoute::new(vec![0, 1, 2].into_iter().map(NodeId::new).collect()).unwrap();
+/// assert!(cache.insert(route, SimTime::ZERO));
+/// let found = cache.find_route(NodeId::new(2), SimTime::ZERO).unwrap();
+/// assert_eq!(found.destination(), NodeId::new(2));
+/// ```
+#[derive(Debug, Clone)]
+pub enum RouteCache {
+    /// Path-cache strategy.
+    Path(PathCache),
+    /// Link-cache strategy.
+    Link(crate::link_cache::LinkCache),
+}
+
+impl RouteCache {
+    /// A cache of the configured strategy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured capacity is zero.
+    pub fn new(owner: NodeId, cfg: CacheConfig) -> Self {
+        match cfg.strategy {
+            CacheStrategy::Path => RouteCache::Path(PathCache::new(owner, cfg)),
+            CacheStrategy::Link => RouteCache::Link(crate::link_cache::LinkCache::new(
+                owner,
+                cfg.capacity,
+                cfg.timeout,
+            )),
+        }
+    }
+
+    /// The owning node.
+    pub fn owner(&self) -> NodeId {
+        match self {
+            RouteCache::Path(c) => c.owner(),
+            RouteCache::Link(c) => c.owner(),
+        }
+    }
+
+    /// Number of stored entries (paths or directed links, by strategy).
+    pub fn len(&self) -> usize {
+        match self {
+            RouteCache::Path(c) => c.len(),
+            RouteCache::Link(c) => c.len(),
+        }
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Learns a route. Returns `true` when new information was stored.
+    pub fn insert(&mut self, route: SourceRoute, now: SimTime) -> bool {
+        match self {
+            RouteCache::Path(c) => c.insert(route, now),
+            RouteCache::Link(c) => c.insert(route, now),
+        }
+    }
+
+    /// The best cached route from the owner to `dst`.
+    pub fn find_route(&mut self, dst: NodeId, now: SimTime) -> Option<SourceRoute> {
+        match self {
+            RouteCache::Path(c) => c.find_route(dst, now),
+            RouteCache::Link(c) => c.find_route(dst, now),
+        }
+    }
+
+    /// `true` when a route to `dst` is cached.
+    pub fn has_route(&self, dst: NodeId) -> bool {
+        match self {
+            RouteCache::Path(c) => c.has_route(dst),
+            RouteCache::Link(c) => c.has_route(dst),
+        }
+    }
+
+    /// Invalidates the undirected link `a ↔ b`; returns affected entries.
+    pub fn remove_link(&mut self, a: NodeId, b: NodeId) -> usize {
+        match self {
+            RouteCache::Path(c) => c.remove_link(a, b),
+            RouteCache::Link(c) => c.remove_link(a, b),
+        }
+    }
+
+    /// Drops expired entries.
+    pub fn purge_expired(&mut self, now: SimTime) {
+        match self {
+            RouteCache::Path(c) => c.purge_expired(now),
+            RouteCache::Link(c) => c.purge_expired(now),
+        }
+    }
+
+    /// The cache contents rendered as routes from the owner (role
+    /// numbers sample these).
+    pub fn paths(&self) -> Vec<SourceRoute> {
+        match self {
+            RouteCache::Path(c) => c.paths(),
+            RouteCache::Link(c) => c.paths(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn route(ids: &[u32]) -> SourceRoute {
+        SourceRoute::new(ids.iter().copied().map(NodeId::new).collect()).unwrap()
+    }
+
+    fn cache(owner: u32) -> RouteCache {
+        RouteCache::new(NodeId::new(owner), CacheConfig::default())
+    }
+
+    #[test]
+    fn insert_and_find() {
+        let mut c = cache(0);
+        assert!(c.insert(route(&[0, 1, 2, 3]), SimTime::ZERO));
+        // Duplicate rejected.
+        assert!(!c.insert(route(&[0, 1, 2, 3]), SimTime::from_secs(1)));
+        assert_eq!(c.len(), 1);
+        // Sub-destination found via prefix.
+        let r = c.find_route(NodeId::new(2), SimTime::from_secs(2)).unwrap();
+        assert_eq!(r, route(&[0, 1, 2]));
+        assert!(c.has_route(NodeId::new(3)));
+        assert!(!c.has_route(NodeId::new(9)));
+    }
+
+    #[test]
+    fn routes_not_containing_owner_rejected() {
+        let mut c = cache(9);
+        assert!(!c.insert(route(&[0, 1, 2]), SimTime::ZERO));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn routes_containing_owner_truncated() {
+        let mut c = cache(1);
+        assert!(c.insert(route(&[0, 1, 2, 3]), SimTime::ZERO));
+        let r = c.find_route(NodeId::new(3), SimTime::ZERO).unwrap();
+        assert_eq!(r, route(&[1, 2, 3]));
+        // Upstream nodes are unreachable through this entry.
+        assert!(!c.has_route(NodeId::new(0)));
+    }
+
+    #[test]
+    fn shortest_route_wins() {
+        let mut c = cache(0);
+        c.insert(route(&[0, 1, 2, 3, 4]), SimTime::ZERO);
+        c.insert(route(&[0, 5, 4]), SimTime::from_secs(1));
+        let r = c.find_route(NodeId::new(4), SimTime::from_secs(2)).unwrap();
+        assert_eq!(r, route(&[0, 5, 4]));
+    }
+
+    #[test]
+    fn tie_breaks_by_freshness() {
+        let mut c = cache(0);
+        c.insert(route(&[0, 1, 4]), SimTime::ZERO);
+        c.insert(route(&[0, 2, 4]), SimTime::from_secs(5));
+        let r = c.find_route(NodeId::new(4), SimTime::from_secs(6)).unwrap();
+        assert_eq!(r, route(&[0, 2, 4]), "fresher equal-length route wins");
+    }
+
+    #[test]
+    fn capacity_evicts_lru() {
+        let mut c = RouteCache::new(
+            NodeId::new(0),
+            CacheConfig {
+                capacity: 2,
+                timeout: None,
+                ..CacheConfig::default()
+            },
+        );
+        c.insert(route(&[0, 1]), SimTime::ZERO);
+        c.insert(route(&[0, 2]), SimTime::from_secs(1));
+        // Touch [0,1] so [0,2] becomes LRU.
+        let _ = c.find_route(NodeId::new(1), SimTime::from_secs(2));
+        c.insert(route(&[0, 3]), SimTime::from_secs(3));
+        assert_eq!(c.len(), 2);
+        assert!(c.has_route(NodeId::new(1)));
+        assert!(!c.has_route(NodeId::new(2)), "LRU entry evicted");
+        assert!(c.has_route(NodeId::new(3)));
+    }
+
+    #[test]
+    fn link_removal_truncates() {
+        let mut c = cache(0);
+        c.insert(route(&[0, 1, 2, 3]), SimTime::ZERO);
+        c.insert(route(&[0, 4, 5]), SimTime::ZERO);
+        let affected = c.remove_link(NodeId::new(2), NodeId::new(3));
+        assert_eq!(affected, 1);
+        // Prefix 0→1→2 survives.
+        assert!(c.has_route(NodeId::new(2)));
+        assert!(!c.has_route(NodeId::new(3)));
+        // Untouched entry intact.
+        assert!(c.has_route(NodeId::new(5)));
+    }
+
+    #[test]
+    fn link_removal_is_undirected_and_can_empty_entries() {
+        let mut c = cache(0);
+        c.insert(route(&[0, 1, 2]), SimTime::ZERO);
+        let affected = c.remove_link(NodeId::new(1), NodeId::new(0));
+        assert_eq!(affected, 1);
+        assert!(c.is_empty(), "first-hop break leaves no usable prefix");
+    }
+
+    #[test]
+    fn timeout_purges_entries() {
+        let mut c = RouteCache::new(
+            NodeId::new(0),
+            CacheConfig {
+                capacity: 8,
+                timeout: Some(SimDuration::from_secs(10)),
+                ..CacheConfig::default()
+            },
+        );
+        c.insert(route(&[0, 1]), SimTime::ZERO);
+        assert!(c.find_route(NodeId::new(1), SimTime::from_secs(5)).is_some());
+        assert!(c.find_route(NodeId::new(1), SimTime::from_secs(11)).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn paths_expose_contents() {
+        let mut c = cache(0);
+        c.insert(route(&[0, 1, 2]), SimTime::ZERO);
+        c.insert(route(&[0, 3]), SimTime::ZERO);
+        let paths = c.paths();
+        assert_eq!(paths.len(), 2);
+        assert!(paths.contains(&route(&[0, 1, 2])));
+    }
+
+    #[test]
+    fn link_strategy_dispatches() {
+        let cfg = CacheConfig {
+            strategy: CacheStrategy::Link,
+            ..CacheConfig::default()
+        };
+        let mut c = RouteCache::new(NodeId::new(0), cfg);
+        assert!(c.insert(route(&[0, 1, 2]), SimTime::ZERO));
+        assert!(c.insert(route(&[2, 5]), SimTime::ZERO));
+        // Link recombination: only the link strategy can answer this.
+        assert_eq!(
+            c.find_route(NodeId::new(5), SimTime::ZERO).unwrap(),
+            route(&[0, 1, 2, 5])
+        );
+        assert_eq!(c.owner(), NodeId::new(0));
+        assert!(!c.is_empty());
+        c.remove_link(NodeId::new(1), NodeId::new(2));
+        assert!(!c.has_route(NodeId::new(5)));
+    }
+}

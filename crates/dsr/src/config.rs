@@ -1,0 +1,127 @@
+//! DSR protocol configuration.
+
+use rcast_engine::SimDuration;
+
+use crate::cache::CacheConfig;
+
+/// Tunables of the DSR implementation.
+///
+/// Timeout defaults are sized for the PSM environment, where one hop
+/// costs up to a beacon interval (250 ms): a non-propagating ring-search
+/// round trip needs ~2 intervals, a network-wide discovery across the
+/// paper's ≤ 8-hop field needs several seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DsrConfig {
+    /// Route cache shape (capacity + optional timeout).
+    pub cache: CacheConfig,
+    /// Packets buffered at the source while discovery runs.
+    pub send_buffer_capacity: usize,
+    /// How long a buffered packet may wait for a route.
+    pub send_buffer_timeout: SimDuration,
+    /// Whether intermediate nodes answer RREQs from their caches.
+    pub reply_from_cache: bool,
+    /// Whether discovery starts with a TTL-1 non-propagating request
+    /// (the expanding-ring search the paper links to load unbalance).
+    pub ring_search: bool,
+    /// Timeout awaiting a reply to the non-propagating request.
+    pub nonprop_timeout: SimDuration,
+    /// Base timeout awaiting a reply to a network-wide request
+    /// (doubled per retry).
+    pub discovery_timeout: SimDuration,
+    /// Maximum discovery rounds before buffered packets are dropped.
+    pub max_discovery_retries: u32,
+    /// TTL of network-wide requests.
+    pub network_ttl: u8,
+    /// Maximum RREPs the target answers per discovery (DSR offers
+    /// alternative routes; the paper blames stale alternates on exactly
+    /// this multiplicity).
+    pub max_replies_per_request: u32,
+    /// How many times a data packet may be salvaged en route.
+    pub max_salvage: u8,
+    /// Minimum spacing between identical RERRs (same broken link, same
+    /// source): a break drops whole queues, and reporting every frame
+    /// separately would storm the network with redundant —
+    /// unconditionally overheard — error packets.
+    pub rerr_suppression: SimDuration,
+}
+
+impl Default for DsrConfig {
+    fn default() -> Self {
+        DsrConfig {
+            cache: CacheConfig::default(),
+            send_buffer_capacity: 64,
+            send_buffer_timeout: SimDuration::from_secs(30),
+            reply_from_cache: true,
+            ring_search: true,
+            nonprop_timeout: SimDuration::from_millis(2000),
+            discovery_timeout: SimDuration::from_millis(4000),
+            max_discovery_retries: 8,
+            network_ttl: 16,
+            max_replies_per_request: 3,
+            max_salvage: 4,
+            rerr_suppression: SimDuration::from_secs(2),
+        }
+    }
+}
+
+impl DsrConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.cache.capacity == 0 {
+            return Err("cache capacity must be positive".into());
+        }
+        if self.send_buffer_capacity == 0 {
+            return Err("send buffer capacity must be positive".into());
+        }
+        if self.network_ttl == 0 {
+            return Err("network TTL must be positive".into());
+        }
+        if self.max_discovery_retries == 0 {
+            return Err("at least one discovery round required".into());
+        }
+        if self.nonprop_timeout.is_zero() || self.discovery_timeout.is_zero() {
+            return Err("discovery timeouts must be positive".into());
+        }
+        if self.max_replies_per_request == 0 {
+            return Err("target must answer at least one RREP".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        assert!(DsrConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = DsrConfig::default();
+        c.network_ttl = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = DsrConfig::default();
+        c.send_buffer_capacity = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = DsrConfig::default();
+        c.max_discovery_retries = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = DsrConfig::default();
+        c.nonprop_timeout = SimDuration::ZERO;
+        assert!(c.validate().is_err());
+
+        let mut c = DsrConfig::default();
+        c.max_replies_per_request = 0;
+        assert!(c.validate().is_err());
+    }
+}

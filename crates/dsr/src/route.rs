@@ -1,0 +1,222 @@
+//! Source routes: ordered node sequences with hop-lookup helpers.
+
+use rcast_engine::NodeId;
+
+/// A loop-free source route: the full node sequence from origin to
+/// destination, inclusive.
+///
+/// # Example
+///
+/// ```
+/// use rcast_engine::NodeId;
+/// use rcast_dsr::SourceRoute;
+///
+/// let r = SourceRoute::new(vec![0, 1, 2, 3].into_iter().map(NodeId::new).collect()).unwrap();
+/// assert_eq!(r.next_hop_after(NodeId::new(1)), Some(NodeId::new(2)));
+/// assert_eq!(r.prev_hop_before(NodeId::new(1)), Some(NodeId::new(0)));
+/// assert_eq!(r.hop_count(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SourceRoute {
+    nodes: Vec<NodeId>,
+}
+
+impl SourceRoute {
+    /// Builds a route from a node sequence.
+    ///
+    /// Returns `None` when the sequence is shorter than two nodes or
+    /// contains a repeated node (routes must be loop-free).
+    pub fn new(nodes: Vec<NodeId>) -> Option<Self> {
+        if nodes.len() < 2 {
+            return None;
+        }
+        for (i, a) in nodes.iter().enumerate() {
+            if nodes[i + 1..].contains(a) {
+                return None;
+            }
+        }
+        Some(SourceRoute { nodes })
+    }
+
+    /// The origin (first node).
+    pub fn origin(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// The destination (last node).
+    pub fn destination(&self) -> NodeId {
+        *self.nodes.last().expect("routes have >= 2 nodes")
+    }
+
+    /// The full node sequence.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Number of hops (links), i.e. `len − 1`.
+    pub fn hop_count(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// Position of `node` on the route.
+    pub fn position_of(&self, node: NodeId) -> Option<usize> {
+        self.nodes.iter().position(|&n| n == node)
+    }
+
+    /// `true` when `node` lies on the route.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.position_of(node).is_some()
+    }
+
+    /// The hop following `node` (toward the destination).
+    pub fn next_hop_after(&self, node: NodeId) -> Option<NodeId> {
+        let i = self.position_of(node)?;
+        self.nodes.get(i + 1).copied()
+    }
+
+    /// The hop preceding `node` (toward the origin).
+    pub fn prev_hop_before(&self, node: NodeId) -> Option<NodeId> {
+        let i = self.position_of(node)?;
+        if i == 0 {
+            None
+        } else {
+            Some(self.nodes[i - 1])
+        }
+    }
+
+    /// The intermediate (relay) nodes: everything but the endpoints.
+    pub fn intermediates(&self) -> &[NodeId] {
+        &self.nodes[1..self.nodes.len() - 1]
+    }
+
+    /// The reversed route (valid under DSR's bidirectional-link
+    /// assumption).
+    pub fn reversed(&self) -> SourceRoute {
+        let mut nodes = self.nodes.clone();
+        nodes.reverse();
+        SourceRoute { nodes }
+    }
+
+    /// The sub-route from `node` to the destination, if `node` is on the
+    /// route and not the destination itself.
+    pub fn suffix_from(&self, node: NodeId) -> Option<SourceRoute> {
+        let i = self.position_of(node)?;
+        SourceRoute::new(self.nodes[i..].to_vec())
+    }
+
+    /// The sub-route from the origin to `node`, if `node` is on the
+    /// route and not the origin itself.
+    pub fn prefix_to(&self, node: NodeId) -> Option<SourceRoute> {
+        let i = self.position_of(node)?;
+        SourceRoute::new(self.nodes[..=i].to_vec())
+    }
+
+    /// `true` when the route uses the directed link `a → b` or `b → a`.
+    pub fn uses_link(&self, a: NodeId, b: NodeId) -> bool {
+        self.nodes
+            .windows(2)
+            .any(|w| (w[0] == a && w[1] == b) || (w[0] == b && w[1] == a))
+    }
+
+    /// Concatenates `self` with `tail`, which must start where `self`
+    /// ends. Returns `None` when the splice would introduce a loop.
+    pub fn spliced_with(&self, tail: &SourceRoute) -> Option<SourceRoute> {
+        if self.destination() != tail.origin() {
+            return None;
+        }
+        let mut nodes = self.nodes.clone();
+        nodes.extend_from_slice(&tail.nodes()[1..]);
+        SourceRoute::new(nodes)
+    }
+}
+
+impl std::fmt::Display for SourceRoute {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut first = true;
+        for n in &self.nodes {
+            if !first {
+                write!(f, "→")?;
+            }
+            write!(f, "{n}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn route(ids: &[u32]) -> SourceRoute {
+        SourceRoute::new(ids.iter().copied().map(NodeId::new).collect()).unwrap()
+    }
+
+    #[test]
+    fn construction_rules() {
+        assert!(SourceRoute::new(vec![]).is_none());
+        assert!(SourceRoute::new(vec![NodeId::new(1)]).is_none());
+        assert!(SourceRoute::new(vec![NodeId::new(1), NodeId::new(1)]).is_none());
+        assert!(SourceRoute::new(vec![
+            NodeId::new(1),
+            NodeId::new(2),
+            NodeId::new(1)
+        ])
+        .is_none());
+        assert!(SourceRoute::new(vec![NodeId::new(1), NodeId::new(2)]).is_some());
+    }
+
+    #[test]
+    fn endpoints_and_hops() {
+        let r = route(&[5, 6, 7, 8]);
+        assert_eq!(r.origin(), NodeId::new(5));
+        assert_eq!(r.destination(), NodeId::new(8));
+        assert_eq!(r.hop_count(), 3);
+        assert_eq!(r.intermediates(), &[NodeId::new(6), NodeId::new(7)]);
+    }
+
+    #[test]
+    fn hop_lookup() {
+        let r = route(&[0, 1, 2]);
+        assert_eq!(r.next_hop_after(NodeId::new(0)), Some(NodeId::new(1)));
+        assert_eq!(r.next_hop_after(NodeId::new(2)), None);
+        assert_eq!(r.prev_hop_before(NodeId::new(0)), None);
+        assert_eq!(r.prev_hop_before(NodeId::new(2)), Some(NodeId::new(1)));
+        assert_eq!(r.next_hop_after(NodeId::new(9)), None);
+    }
+
+    #[test]
+    fn reverse_and_subroutes() {
+        let r = route(&[0, 1, 2, 3]);
+        assert_eq!(r.reversed(), route(&[3, 2, 1, 0]));
+        assert_eq!(r.suffix_from(NodeId::new(1)), Some(route(&[1, 2, 3])));
+        assert_eq!(r.suffix_from(NodeId::new(3)), None, "dest has no suffix");
+        assert_eq!(r.prefix_to(NodeId::new(2)), Some(route(&[0, 1, 2])));
+        assert_eq!(r.prefix_to(NodeId::new(0)), None, "origin has no prefix");
+    }
+
+    #[test]
+    fn link_usage() {
+        let r = route(&[0, 1, 2]);
+        assert!(r.uses_link(NodeId::new(0), NodeId::new(1)));
+        assert!(r.uses_link(NodeId::new(1), NodeId::new(0)), "undirected");
+        assert!(!r.uses_link(NodeId::new(0), NodeId::new(2)));
+    }
+
+    #[test]
+    fn splice() {
+        let a = route(&[0, 1, 2]);
+        let b = route(&[2, 3]);
+        assert_eq!(a.spliced_with(&b), Some(route(&[0, 1, 2, 3])));
+        // Mismatched junction.
+        assert_eq!(a.spliced_with(&route(&[5, 6])), None);
+        // Splice that would loop.
+        let looped = route(&[2, 1]);
+        assert_eq!(a.spliced_with(&looped), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(route(&[0, 1, 2]).to_string(), "n0→n1→n2");
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for DSR's route cache and source routes.
+
+use proptest::prelude::*;
+use rcast_engine::{NodeId, SimTime};
+use rcast_dsr::{CacheConfig, RouteCache, SourceRoute};
+
+/// Strategy: a loop-free route of 2..=8 nodes drawn from ids 0..20.
+fn route_strategy() -> impl Strategy<Value = SourceRoute> {
+    prop::collection::vec(0u32..20, 2..8)
+        .prop_filter_map("needs >=2 distinct loop-free nodes", |ids| {
+            let mut seen = std::collections::HashSet::new();
+            let nodes: Vec<NodeId> = ids
+                .into_iter()
+                .filter(|&i| seen.insert(i))
+                .map(NodeId::new)
+                .collect();
+            SourceRoute::new(nodes)
+        })
+}
+
+proptest! {
+    /// Reversal is an involution and preserves hop count.
+    #[test]
+    fn reverse_involution(r in route_strategy()) {
+        prop_assert_eq!(r.reversed().reversed(), r.clone());
+        prop_assert_eq!(r.reversed().hop_count(), r.hop_count());
+        prop_assert_eq!(r.reversed().origin(), r.destination());
+    }
+
+    /// Every node on the route except the destination has a next hop,
+    /// and following next hops walks the whole route.
+    #[test]
+    fn next_hops_walk_the_route(r in route_strategy()) {
+        let mut cur = r.origin();
+        let mut walked = vec![cur];
+        while let Some(next) = r.next_hop_after(cur) {
+            walked.push(next);
+            cur = next;
+        }
+        prop_assert_eq!(&walked[..], r.nodes());
+        prop_assert_eq!(cur, r.destination());
+    }
+
+    /// Splicing prefix_to(x) with suffix_from(x) reconstructs the route.
+    #[test]
+    fn prefix_suffix_splice_identity(r in route_strategy()) {
+        for &x in r.intermediates() {
+            let prefix = r.prefix_to(x).expect("intermediate has a prefix");
+            let suffix = r.suffix_from(x).expect("intermediate has a suffix");
+            prop_assert_eq!(prefix.spliced_with(&suffix), Some(r.clone()));
+        }
+    }
+
+    /// Whatever is inserted, every cached path starts at the owner and
+    /// the cache never exceeds its capacity.
+    #[test]
+    fn cache_invariants(
+        routes in prop::collection::vec(route_strategy(), 1..40),
+        capacity in 1usize..16,
+    ) {
+        let owner = NodeId::new(0);
+        let mut cache = RouteCache::new(
+            owner,
+            CacheConfig { capacity, ..CacheConfig::default() },
+        );
+        for (i, r) in routes.iter().enumerate() {
+            cache.insert(r.clone(), SimTime::from_secs(i as u64));
+            prop_assert!(cache.len() <= capacity);
+        }
+        for path in cache.paths() {
+            prop_assert_eq!(path.origin(), owner);
+        }
+    }
+
+    /// `find_route` returns a route from the owner to the destination,
+    /// and never one using a removed link.
+    #[test]
+    fn find_route_is_correct_and_respects_removals(
+        routes in prop::collection::vec(route_strategy(), 1..30),
+        dst in 1u32..20,
+        link in (0u32..20, 0u32..20),
+    ) {
+        let owner = NodeId::new(0);
+        let mut cache = RouteCache::new(owner, CacheConfig::default());
+        for r in &routes {
+            cache.insert(r.clone(), SimTime::ZERO);
+        }
+        let dst = NodeId::new(dst);
+        if let Some(found) = cache.find_route(dst, SimTime::from_secs(1)) {
+            prop_assert_eq!(found.origin(), owner);
+            prop_assert_eq!(found.destination(), dst);
+        }
+        let (a, b) = (NodeId::new(link.0), NodeId::new(link.1));
+        cache.remove_link(a, b);
+        if let Some(found) = cache.find_route(dst, SimTime::from_secs(2)) {
+            prop_assert!(!found.uses_link(a, b), "returned a route over a dead link");
+        }
+    }
+
+    /// Shortest-route preference: with a direct 1-hop route cached, the
+    /// cache never prefers a longer alternative.
+    #[test]
+    fn shortest_route_preferred(routes in prop::collection::vec(route_strategy(), 0..20), dst in 1u32..20) {
+        let owner = NodeId::new(0);
+        let dst = NodeId::new(dst);
+        let mut cache = RouteCache::new(
+            owner,
+            CacheConfig { capacity: 64, ..CacheConfig::default() },
+        );
+        for r in &routes {
+            cache.insert(r.clone(), SimTime::ZERO);
+        }
+        cache.insert(
+            SourceRoute::new(vec![owner, dst]).expect("direct route"),
+            SimTime::from_secs(1),
+        );
+        let found = cache.find_route(dst, SimTime::from_secs(2)).expect("direct route cached");
+        prop_assert_eq!(found.hop_count(), 1);
+    }
+}

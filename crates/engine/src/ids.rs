@@ -1,0 +1,89 @@
+//! Entity identifiers shared across simulation layers.
+
+use std::fmt;
+
+/// Identifier of a simulated node (a mobile station).
+///
+/// Node ids are dense indices `0..n` assigned at scenario construction;
+/// every layer (mobility, MAC, routing, metrics) uses the same id space,
+/// so a `NodeId` can directly index per-node state vectors via
+/// [`NodeId::index`].
+///
+/// # Example
+///
+/// ```
+/// use rcast_engine::NodeId;
+///
+/// let ids: Vec<NodeId> = NodeId::first_n(3);
+/// assert_eq!(ids[2].index(), 2);
+/// assert_eq!(ids[2].to_string(), "n2");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates an id from a dense index.
+    pub const fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// The dense index backing this id.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw `u32` value.
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    /// The ids `0..n`, in order.
+    pub fn first_n(n: u32) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NodeId({})", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let id = NodeId::new(17);
+        assert_eq!(id.index(), 17);
+        assert_eq!(id.as_u32(), 17);
+        assert_eq!(NodeId::from(17u32), id);
+    }
+
+    #[test]
+    fn ordering_is_by_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        let ids = NodeId::first_n(5);
+        assert_eq!(ids.len(), 5);
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(NodeId::new(3).to_string(), "n3");
+        assert_eq!(format!("{:?}", NodeId::new(3)), "NodeId(3)");
+    }
+}

@@ -1,0 +1,43 @@
+//! Discrete-event simulation core for the RandomCast reproduction.
+//!
+//! This crate provides the three primitives every other layer builds on:
+//!
+//! * [`SimTime`] / [`SimDuration`] — a nanosecond-resolution simulation
+//!   clock with saturating arithmetic and convenient constructors,
+//! * [`EventQueue`] — a deterministic priority queue of timestamped
+//!   events with FIFO tie-breaking,
+//! * [`rng`] — seedable, splittable random-number streams so that each
+//!   simulation component draws from an independent, reproducible stream.
+//!
+//! The engine is intentionally minimal: it owns no protocol knowledge.
+//! Upper layers (`rcast-mac`, `rcast-dsr`, `rcast-core`) define their own
+//! event payload types and drive an [`EventQueue`] in a loop.
+//!
+//! # Example
+//!
+//! ```
+//! use rcast_engine::{EventQueue, SimTime, SimDuration};
+//!
+//! #[derive(Debug, PartialEq)]
+//! enum Ev { Beacon, Arrival(u32) }
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule(SimTime::from_millis(250), Ev::Beacon);
+//! q.schedule(SimTime::from_millis(100), Ev::Arrival(7));
+//!
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!(t, SimTime::from_millis(100));
+//! assert_eq!(ev, Ev::Arrival(7));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ids;
+mod queue;
+pub mod rng;
+mod time;
+
+pub use ids::NodeId;
+pub use queue::{EventQueue, ScheduledEvent};
+pub use time::{SimDuration, SimTime};

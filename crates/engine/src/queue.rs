@@ -1,0 +1,224 @@
+//! Deterministic event queue.
+//!
+//! A thin wrapper over [`std::collections::BinaryHeap`] that orders events
+//! by `(time, sequence)`. The monotonically increasing sequence number
+//! guarantees FIFO ordering among events scheduled for the same instant,
+//! which is essential for run-to-run determinism: `BinaryHeap` alone is
+//! not stable.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An event with its scheduled firing time and tie-breaking sequence.
+#[derive(Debug, Clone)]
+pub struct ScheduledEvent<E> {
+    /// When the event fires.
+    pub time: SimTime,
+    /// Insertion order; earlier-scheduled events at the same `time` fire first.
+    pub seq: u64,
+    /// The caller-defined payload.
+    pub event: E,
+}
+
+impl<E> PartialEq for ScheduledEvent<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for ScheduledEvent<E> {}
+
+impl<E> PartialOrd for ScheduledEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for ScheduledEvent<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap but we want the earliest
+        // (time, seq) pair on top.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-priority queue of timestamped events.
+///
+/// Events pop in nondecreasing time order; events scheduled for the same
+/// instant pop in the order they were scheduled.
+///
+/// # Example
+///
+/// ```
+/// use rcast_engine::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_secs(1), "b");
+/// q.schedule(SimTime::from_secs(1), "c");
+/// q.schedule(SimTime::ZERO, "a");
+/// let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+/// assert_eq!(order, ["a", "b", "c"]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<ScheduledEvent<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The time of the most recently popped event (the simulation clock).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    ///
+    /// Scheduling in the past is permitted but the event fires "now":
+    /// popped events never move the clock backwards.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent {
+            time: at,
+            seq,
+            event,
+        });
+    }
+
+    /// Removes and returns the earliest event, advancing the clock to its
+    /// firing time (clamped to never run backwards).
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let ev = self.heap.pop()?;
+        if ev.time > self.now {
+            self.now = ev.time;
+        }
+        Some((self.now, ev.event))
+    }
+
+    /// The firing time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events without touching the clock.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(3), 3);
+        q.schedule(SimTime::from_secs(1), 1);
+        q.schedule(SimTime::from_secs(2), 2);
+        let got: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(got, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fifo_among_ties() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(SimTime::from_secs(5), i);
+        }
+        let got: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        let want: Vec<i32> = (0..100).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(10), "late");
+        q.schedule(SimTime::from_secs(10) + SimDuration::from_nanos(1), "later");
+        let (t1, _) = q.pop().unwrap();
+        // Event scheduled in the past fires at the current clock.
+        q.schedule(SimTime::from_secs(1), "past");
+        let (t2, e2) = q.pop().unwrap();
+        assert_eq!(e2, "past");
+        assert_eq!(t2, t1, "clock must not run backwards");
+        let (t3, _) = q.pop().unwrap();
+        assert!(t3 > t2);
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(SimTime::ZERO, ());
+        q.schedule(SimTime::ZERO, ());
+        assert_eq!(q.len(), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(7), 'x');
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(7)));
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_millis(7));
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn interleaved_schedule_pop_is_deterministic() {
+        // Two identical interleavings must produce identical sequences.
+        fn run() -> Vec<u32> {
+            let mut q = EventQueue::new();
+            let mut out = Vec::new();
+            for i in 0..50u32 {
+                q.schedule(SimTime::from_millis((i % 7) as u64), i);
+                if i % 3 == 0 {
+                    if let Some((_, e)) = q.pop() {
+                        out.push(e);
+                    }
+                }
+            }
+            while let Some((_, e)) = q.pop() {
+                out.push(e);
+            }
+            out
+        }
+        assert_eq!(run(), run());
+    }
+}

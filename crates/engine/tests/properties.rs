@@ -1,0 +1,99 @@
+//! Property-based tests for the event queue and RNG streams.
+
+use proptest::prelude::*;
+use rcast_engine::rng::{SplitMix64, StreamRng};
+use rcast_engine::{EventQueue, SimTime};
+
+proptest! {
+    /// Events always pop in nondecreasing time order, with FIFO order
+    /// among equal timestamps, for arbitrary schedules.
+    #[test]
+    fn queue_pops_sorted_and_stable(times in prop::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_micros(t), (t, i));
+        }
+        let mut popped = Vec::new();
+        while let Some((_, e)) = q.pop() {
+            popped.push(e);
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            let ((t1, i1), (t2, i2)) = (w[0], w[1]);
+            prop_assert!(t1 <= t2, "time order violated");
+            if t1 == t2 {
+                prop_assert!(i1 < i2, "FIFO order violated among ties");
+            }
+        }
+    }
+
+    /// The clock never runs backwards, whatever the interleaving.
+    #[test]
+    fn clock_is_monotone(ops in prop::collection::vec((0u64..1_000, prop::bool::ANY), 1..100)) {
+        let mut q = EventQueue::new();
+        let mut last = SimTime::ZERO;
+        for (t, do_pop) in ops {
+            q.schedule(SimTime::from_micros(t), ());
+            if do_pop {
+                if let Some((now, _)) = q.pop() {
+                    prop_assert!(now >= last);
+                    last = now;
+                }
+            }
+        }
+    }
+
+    /// Uniform draws stay in range for arbitrary bounds.
+    #[test]
+    fn range_draws_in_bounds(seed in any::<u64>(), lo in -1e9f64..1e9, span in 0.0f64..1e9) {
+        let mut rng = StreamRng::from_seed(seed);
+        let hi = lo + span;
+        let x = rng.range_f64(lo, hi);
+        prop_assert!(x >= lo && (x < hi || span == 0.0));
+    }
+
+    /// `below(n)` respects its bound for any n and seed.
+    #[test]
+    fn below_in_bounds(seed in any::<u64>(), n in 1u64..u64::MAX) {
+        let mut rng = StreamRng::from_seed(seed);
+        prop_assert!(rng.below(n) < n);
+    }
+
+    /// Differently-labelled child streams never replay each other.
+    #[test]
+    fn sibling_streams_differ(seed in any::<u64>()) {
+        let root = StreamRng::from_seed(seed);
+        let a: Vec<u64> = {
+            let mut s = root.child("alpha");
+            (0..8).map(|_| s.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut s = root.child("beta");
+            (0..8).map(|_| s.next_u64()).collect()
+        };
+        prop_assert_ne!(a, b);
+    }
+
+    /// SplitMix64 has no trivially short cycles from arbitrary seeds.
+    #[test]
+    fn splitmix_no_short_cycle(seed in any::<u64>()) {
+        let mut g = SplitMix64::new(seed);
+        let first = g.next();
+        for _ in 0..64 {
+            prop_assert_ne!(g.next(), first);
+        }
+    }
+
+    /// Shuffling preserves the multiset.
+    #[test]
+    fn shuffle_is_permutation(seed in any::<u64>(), mut v in prop::collection::vec(any::<u32>(), 0..50)) {
+        let mut rng = StreamRng::from_seed(seed);
+        let mut expected = v.clone();
+        rng.shuffle(&mut v);
+        expected.sort_unstable();
+        v.sort_unstable();
+        prop_assert_eq!(v, expected);
+    }
+}
+
+use rand::RngCore;

@@ -1,0 +1,325 @@
+//! The immediate (active-mode) transmission path.
+//!
+//! Nodes in 802.11 without PSM — and ODPM nodes whose next hop is known
+//! to be in AM — transmit as soon as a frame arrives instead of waiting
+//! for the next beacon interval. [`Channel`] models that path with
+//! carrier-sense deferral (per-node busy-until timelines), random
+//! backoff, ACK/retry, and promiscuous overhearing by awake neighbors.
+
+use rcast_engine::rng::StreamRng;
+use rcast_engine::{NodeId, SimDuration, SimTime};
+use rcast_mobility::NeighborTable;
+use rcast_radio::Phy;
+
+use crate::config::MacConfig;
+use crate::frame::{Destination, MacFrame};
+use crate::interval::{Delivery, LinkFailure};
+
+/// Maximum random backoff, in slots (802.11 CWmin).
+const CW_MIN_SLOTS: u64 = 31;
+/// Retry limit for immediate unicast (802.11 short retry limit).
+const SHORT_RETRY_LIMIT: u32 = 7;
+
+/// The outcome of an immediate transmission attempt.
+#[derive(Debug, Clone)]
+pub enum ImmediateResult<P> {
+    /// Frame delivered (and possibly overheard).
+    Delivered(Delivery<P>),
+    /// Frame undeliverable: receiver out of range or retries exhausted.
+    Failed(LinkFailure<P>),
+}
+
+/// Shared-medium state for the always-on transmission path.
+///
+/// # Example
+///
+/// ```
+/// use rcast_engine::{NodeId, SimTime, rng::StreamRng};
+/// use rcast_mac::{Channel, ImmediateResult, MacConfig, MacFrame, OverhearingLevel};
+/// use rcast_mobility::{Area, NeighborTable, Snapshot, Vec2};
+/// use rcast_radio::Phy;
+///
+/// let snap = Snapshot::from_positions(
+///     vec![Vec2::new(0.0, 0.0), Vec2::new(100.0, 0.0)],
+///     Area::new(1000.0, 10.0), SimTime::ZERO);
+/// let nt = NeighborTable::build(&snap, 250.0);
+/// let mut ch = Channel::new(2, MacConfig::default(), Phy::default(), StreamRng::from_seed(3));
+/// let frame = MacFrame::unicast(NodeId::new(1), OverhearingLevel::None, 512, "pkt");
+/// match ch.transmit(SimTime::ZERO, NodeId::new(0), frame, &nt, |_| true) {
+///     ImmediateResult::Delivered(d) => assert_eq!(d.receiver, Some(NodeId::new(1))),
+///     ImmediateResult::Failed(_) => unreachable!(),
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Channel {
+    cfg: MacConfig,
+    phy: Phy,
+    busy_until: Vec<SimTime>,
+    rng: StreamRng,
+}
+
+impl Channel {
+    /// Creates the channel state for `n` nodes.
+    pub fn new(n: usize, cfg: MacConfig, phy: Phy, rng: StreamRng) -> Self {
+        Channel {
+            cfg,
+            phy,
+            busy_until: vec![SimTime::ZERO; n],
+            rng,
+        }
+    }
+
+    /// When `node`'s channel becomes free.
+    pub fn busy_until(&self, node: NodeId) -> SimTime {
+        self.busy_until[node.index()]
+    }
+
+    fn backoff(&mut self) -> SimDuration {
+        self.phy.timings.slot * self.rng.below(CW_MIN_SLOTS + 1)
+    }
+
+    fn channel_free_at(&self, nodes: &[NodeId], now: SimTime) -> SimTime {
+        let mut t = now;
+        for &n in nodes {
+            t = t.max(self.busy_until[n.index()]);
+        }
+        t
+    }
+
+    fn occupy(&mut self, nodes: &[NodeId], until: SimTime) {
+        for &n in nodes {
+            if self.busy_until[n.index()] < until {
+                self.busy_until[n.index()] = until;
+            }
+        }
+    }
+
+    /// Transmits `frame` from `sender` right now (AM path).
+    ///
+    /// `is_awake` reports whether a node's radio is on at this moment —
+    /// it gates both reception (broadcast) and overhearing. The
+    /// addressed receiver of a unicast must be awake, otherwise the
+    /// transmission fails after the retry limit.
+    pub fn transmit<P>(
+        &mut self,
+        now: SimTime,
+        sender: NodeId,
+        frame: MacFrame<P>,
+        nt: &NeighborTable,
+        is_awake: impl Fn(NodeId) -> bool,
+    ) -> ImmediateResult<P> {
+        match frame.to {
+            Destination::Broadcast => {
+                let dur = self
+                    .phy
+                    .broadcast_time(frame.bytes + self.cfg.mac_header_bytes);
+                let mut affected = vec![sender];
+                affected.extend_from_slice(nt.neighbors(sender));
+                let start = self.channel_free_at(&affected, now) + self.backoff();
+                let end = start + dur;
+                self.occupy(&affected, end);
+                let recipients: Vec<NodeId> = nt
+                    .neighbors(sender)
+                    .iter()
+                    .copied()
+                    .filter(|&x| is_awake(x))
+                    .collect();
+                ImmediateResult::Delivered(Delivery {
+                    sender,
+                    receiver: None,
+                    recipients,
+                    overhearers: Vec::new(),
+                    at: end,
+                    enqueued_at: now,
+                    frame,
+                })
+            }
+            Destination::Unicast(r) => {
+                let reachable = nt.are_neighbors(sender, r) && is_awake(r);
+                let dur = self
+                    .phy
+                    .unicast_exchange_time(frame.bytes + self.cfg.mac_header_bytes, self.cfg.ack_bytes);
+                let mut affected = vec![sender, r];
+                affected.extend_from_slice(nt.neighbors(sender));
+                affected.extend_from_slice(nt.neighbors(r));
+
+                let mut t = now;
+                for _attempt in 0..SHORT_RETRY_LIMIT {
+                    let start = self.channel_free_at(&affected, t) + self.backoff();
+                    let end = start + dur;
+                    self.occupy(&affected, end);
+                    if !reachable {
+                        // Attempt burns airtime, then times out.
+                        t = end;
+                        continue;
+                    }
+                    if self.cfg.frame_loss_prob > 0.0 && self.rng.chance(self.cfg.frame_loss_prob)
+                    {
+                        t = end;
+                        continue;
+                    }
+                    let overhearers: Vec<NodeId> = nt
+                        .neighbors(sender)
+                        .iter()
+                        .copied()
+                        .filter(|&x| x != r && is_awake(x))
+                        .collect();
+                    return ImmediateResult::Delivered(Delivery {
+                        sender,
+                        receiver: Some(r),
+                        recipients: vec![r],
+                        overhearers,
+                        at: end,
+                        enqueued_at: now,
+                        frame,
+                    });
+                }
+                ImmediateResult::Failed(LinkFailure {
+                    sender,
+                    receiver: r,
+                    at: t,
+                    frame,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::OverhearingLevel;
+    use rcast_mobility::{Area, Snapshot, Vec2};
+
+    fn topology(xs: &[f64]) -> NeighborTable {
+        let snap = Snapshot::from_positions(
+            xs.iter().map(|&x| Vec2::new(x, 0.0)).collect(),
+            Area::new(10_000.0, 10.0),
+            SimTime::ZERO,
+        );
+        NeighborTable::build(&snap, 250.0)
+    }
+
+    fn channel(n: usize) -> Channel {
+        Channel::new(n, MacConfig::default(), Phy::default(), StreamRng::from_seed(5))
+    }
+
+    fn uni(to: u32) -> MacFrame<&'static str> {
+        MacFrame::unicast(NodeId::new(to), OverhearingLevel::None, 512, "pkt")
+    }
+
+    #[test]
+    fn unicast_delivers_quickly() {
+        let nt = topology(&[0.0, 100.0]);
+        let mut ch = channel(2);
+        match ch.transmit(SimTime::ZERO, NodeId::new(0), uni(1), &nt, |_| true) {
+            ImmediateResult::Delivered(d) => {
+                assert_eq!(d.receiver, Some(NodeId::new(1)));
+                // Immediate path: milliseconds, not beacon intervals.
+                assert!(d.at < SimTime::from_millis(10), "{}", d.at);
+            }
+            ImmediateResult::Failed(_) => panic!("should deliver"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_fails_after_retries() {
+        let nt = topology(&[0.0, 1000.0]);
+        let mut ch = channel(2);
+        match ch.transmit(SimTime::ZERO, NodeId::new(0), uni(1), &nt, |_| true) {
+            ImmediateResult::Failed(f) => {
+                assert_eq!(f.receiver, NodeId::new(1));
+                assert!(f.at > SimTime::ZERO);
+            }
+            ImmediateResult::Delivered(_) => panic!("should fail"),
+        }
+    }
+
+    #[test]
+    fn sleeping_receiver_fails() {
+        let nt = topology(&[0.0, 100.0]);
+        let mut ch = channel(2);
+        let asleep = |x: NodeId| x != NodeId::new(1);
+        match ch.transmit(SimTime::ZERO, NodeId::new(0), uni(1), &nt, asleep) {
+            ImmediateResult::Failed(f) => assert_eq!(f.receiver, NodeId::new(1)),
+            ImmediateResult::Delivered(_) => panic!("receiver is asleep"),
+        }
+    }
+
+    #[test]
+    fn awake_neighbors_overhear() {
+        let nt = topology(&[0.0, 100.0, 200.0]);
+        let mut ch = channel(3);
+        match ch.transmit(SimTime::ZERO, NodeId::new(0), uni(1), &nt, |_| true) {
+            ImmediateResult::Delivered(d) => {
+                assert_eq!(d.overhearers, vec![NodeId::new(2)]);
+            }
+            ImmediateResult::Failed(_) => panic!(),
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_awake_neighbors_only() {
+        let nt = topology(&[0.0, 100.0, 200.0]);
+        let mut ch = channel(3);
+        let only_node_1 = |x: NodeId| x == NodeId::new(1);
+        match ch.transmit(
+            SimTime::ZERO,
+            NodeId::new(0),
+            MacFrame::broadcast(64, "rreq"),
+            &nt,
+            only_node_1,
+        ) {
+            ImmediateResult::Delivered(d) => {
+                assert_eq!(d.recipients, vec![NodeId::new(1)]);
+                assert_eq!(d.receiver, None);
+            }
+            ImmediateResult::Failed(_) => panic!(),
+        }
+    }
+
+    #[test]
+    fn back_to_back_transmissions_serialize() {
+        let nt = topology(&[0.0, 100.0]);
+        let mut ch = channel(2);
+        let d1 = match ch.transmit(SimTime::ZERO, NodeId::new(0), uni(1), &nt, |_| true) {
+            ImmediateResult::Delivered(d) => d.at,
+            _ => panic!(),
+        };
+        let d2 = match ch.transmit(SimTime::ZERO, NodeId::new(0), uni(1), &nt, |_| true) {
+            ImmediateResult::Delivered(d) => d.at,
+            _ => panic!(),
+        };
+        assert!(d2 > d1, "second exchange defers behind the first");
+        assert!(ch.busy_until(NodeId::new(1)) >= d2);
+    }
+
+    #[test]
+    fn distant_transmissions_do_not_interfere() {
+        let nt = topology(&[0.0, 100.0, 5000.0, 5100.0]);
+        let mut ch = channel(4);
+        let a = match ch.transmit(SimTime::ZERO, NodeId::new(0), uni(1), &nt, |_| true) {
+            ImmediateResult::Delivered(d) => d.at,
+            _ => panic!(),
+        };
+        let b = match ch.transmit(SimTime::ZERO, NodeId::new(2), uni(3), &nt, |_| true) {
+            ImmediateResult::Delivered(d) => d.at,
+            _ => panic!(),
+        };
+        // Both complete within one exchange time of each other: parallel.
+        let gap = if a > b { a - b } else { b - a };
+        assert!(gap < SimDuration::from_millis(1), "gap {gap}");
+    }
+
+    #[test]
+    fn loss_injection_consumes_retries_then_delivers_or_fails() {
+        let nt = topology(&[0.0, 100.0]);
+        let mut cfg = MacConfig::default();
+        cfg.frame_loss_prob = 1.0;
+        let mut ch = Channel::new(2, cfg, Phy::default(), StreamRng::from_seed(2));
+        match ch.transmit(SimTime::ZERO, NodeId::new(0), uni(1), &nt, |_| true) {
+            ImmediateResult::Failed(f) => assert!(f.at > SimTime::ZERO),
+            ImmediateResult::Delivered(_) => panic!("loss prob 1.0 must fail"),
+        }
+    }
+}

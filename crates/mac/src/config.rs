@@ -1,0 +1,136 @@
+//! MAC-layer configuration.
+
+use rcast_engine::SimDuration;
+
+/// Tunables of the 802.11 PSM MAC.
+///
+/// Defaults reproduce the paper's testbed: a 250 ms beacon interval with
+/// a 50 ms ATIM window (the paper quotes an average per-hop wait of half
+/// a beacon interval = 125 ms, and its idle-PS-node energy arithmetic
+/// implies ATIM windows occupy 225 s of the 1125 s run = 20 %).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MacConfig {
+    /// Beacon interval length (paper: 250 ms).
+    pub beacon_interval: SimDuration,
+    /// ATIM window length at the start of each interval (paper: 50 ms).
+    pub atim_window: SimDuration,
+    /// Per-node transmit queue capacity (ns-2 IFQ default: 50).
+    pub queue_capacity: usize,
+    /// Consecutive beacon intervals an ATIM may go unacknowledged before
+    /// the link is declared broken.
+    pub atim_retry_limit: u32,
+    /// Independent per-frame loss probability during the data phase
+    /// (failure injection; 0 reproduces the paper's clean channel).
+    pub frame_loss_prob: f64,
+    /// ATIM management frame length, octets (paper Figure 4: 28).
+    pub atim_bytes: usize,
+    /// MAC ACK frame length, octets (802.11: 14).
+    pub ack_bytes: usize,
+    /// MAC data-frame header + FCS overhead added to payloads, octets.
+    pub mac_header_bytes: usize,
+    /// When `true` (default), a PS node that committed to *specific
+    /// announced unicast transfers* returns to doze as soon as its last
+    /// committed transfer completes. Commitments with no known end —
+    /// broadcasts and unconditional overhearing — still hold the radio
+    /// on for the whole interval, which is precisely the asymmetry the
+    /// paper exploits ("unconditional overhearing is not freely
+    /// available with PSM"). Set `false` for the strict-1999-standard
+    /// semantics where any ATIM commitment costs the full interval.
+    pub doze_after_transfer: bool,
+}
+
+impl Default for MacConfig {
+    fn default() -> Self {
+        MacConfig {
+            beacon_interval: SimDuration::from_millis(250),
+            atim_window: SimDuration::from_millis(50),
+            queue_capacity: 50,
+            atim_retry_limit: 4,
+            frame_loss_prob: 0.0,
+            atim_bytes: 28,
+            ack_bytes: 14,
+            mac_header_bytes: 28,
+            doze_after_transfer: true,
+        }
+    }
+}
+
+impl MacConfig {
+    /// The data-transfer window: beacon interval minus ATIM window.
+    pub fn data_window(&self) -> SimDuration {
+        self.beacon_interval - self.atim_window
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.beacon_interval.is_zero() {
+            return Err("beacon interval must be positive".into());
+        }
+        if self.atim_window.is_zero() || self.atim_window >= self.beacon_interval {
+            return Err(format!(
+                "ATIM window {} must be positive and shorter than the beacon interval {}",
+                self.atim_window, self.beacon_interval
+            ));
+        }
+        if self.queue_capacity == 0 {
+            return Err("queue capacity must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.frame_loss_prob) {
+            return Err(format!(
+                "loss probability {} outside [0,1]",
+                self.frame_loss_prob
+            ));
+        }
+        if self.atim_retry_limit == 0 {
+            return Err("ATIM retry limit must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = MacConfig::default();
+        assert_eq!(c.beacon_interval, SimDuration::from_millis(250));
+        assert_eq!(c.atim_window, SimDuration::from_millis(50));
+        assert_eq!(c.data_window(), SimDuration::from_millis(200));
+        assert_eq!(c.queue_capacity, 50);
+        assert_eq!(c.atim_retry_limit, 4);
+        assert!(c.validate().is_ok());
+        // ATIM fraction of the interval = 20 %, matching the paper's
+        // 225 s / 1125 s idle-node arithmetic.
+        let frac = c.atim_window.as_secs_f64() / c.beacon_interval.as_secs_f64();
+        assert!((frac - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut c = MacConfig::default();
+        c.atim_window = c.beacon_interval;
+        assert!(c.validate().is_err());
+
+        let mut c = MacConfig::default();
+        c.queue_capacity = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = MacConfig::default();
+        c.frame_loss_prob = 1.5;
+        assert!(c.validate().is_err());
+
+        let mut c = MacConfig::default();
+        c.atim_retry_limit = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = MacConfig::default();
+        c.beacon_interval = SimDuration::ZERO;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,887 @@
+//! Beacon-interval resolution: the heart of the PSM MAC.
+//!
+//! A beacon interval (250 ms) splits into an ATIM window (50 ms) and a
+//! data window (200 ms). The resolver performs, in order:
+//!
+//! 1. **ATIM phase** — every node advertises its queued traffic, one
+//!    ATIM per destination, budgeted against the ATIM window's airtime
+//!    per neighborhood. A unicast ATIM whose receiver is out of range
+//!    gets no acknowledgment; after [`MacConfig::atim_retry_limit`]
+//!    silent intervals the link is declared broken and the frames are
+//!    returned to the network layer. A broadcast ATIM commits *every*
+//!    neighbor to stay awake.
+//! 2. **Overhearing decisions** — for each announced unicast, neighbors
+//!    that are not the addressee resolve the advertised
+//!    [`OverhearingLevel`]: `None` lets them sleep, `Unconditional`
+//!    keeps them awake, `Randomized` consults the [`WakePolicy`]
+//!    (the Rcast mechanism).
+//! 3. **Data phase** — announced transfers execute in announcement
+//!    order, budgeted against the data window per neighborhood.
+//!    Transfers that do not fit stay queued (and re-advertise next
+//!    interval). Each completed unicast is overheard by every node that
+//!    is awake and within range of the sender — the radio is
+//!    promiscuous, so an awake node hears everything around it
+//!    regardless of why it is awake.
+//!
+//! The resolver reports per-node committed-awake durations so the
+//! energy layer can integrate `P_awake × awake + P_sleep × sleep` —
+//! exactly the arithmetic the paper uses in Figure 5.
+
+use rcast_engine::rng::StreamRng;
+use rcast_engine::{NodeId, SimDuration, SimTime};
+use rcast_mobility::NeighborTable;
+use rcast_radio::Phy;
+
+use crate::budget::AirtimeBudget;
+use crate::config::MacConfig;
+use crate::frame::{Destination, MacFrame, OverhearingLevel};
+use crate::queue::TxQueue;
+use crate::wake::{PowerMode, WakePolicy};
+
+/// A frame the MAC delivered during an interval (or immediately).
+#[derive(Debug, Clone)]
+pub struct Delivery<P> {
+    /// Transmitting node.
+    pub sender: NodeId,
+    /// Addressed receiver; `None` for broadcast.
+    pub receiver: Option<NodeId>,
+    /// Broadcast recipients (empty for unicast).
+    pub recipients: Vec<NodeId>,
+    /// Awake in-range nodes that overheard the transmission
+    /// (excludes the receiver; empty for broadcast).
+    pub overhearers: Vec<NodeId>,
+    /// When the exchange completed on the air.
+    pub at: SimTime,
+    /// When the frame entered the MAC queue (for delay accounting).
+    pub enqueued_at: SimTime,
+    /// The delivered frame.
+    pub frame: MacFrame<P>,
+}
+
+/// A frame the MAC gave up on: the ATIM advertisement went
+/// unacknowledged for the configured number of intervals, i.e. the link
+/// to the next hop broke.
+#[derive(Debug, Clone)]
+pub struct LinkFailure<P> {
+    /// The node that was trying to transmit.
+    pub sender: NodeId,
+    /// The unreachable next hop.
+    pub receiver: NodeId,
+    /// When the MAC gave up.
+    pub at: SimTime,
+    /// The undeliverable frame, returned to the network layer.
+    pub frame: MacFrame<P>,
+}
+
+/// Everything that happened during one resolved beacon interval.
+#[derive(Debug, Clone)]
+pub struct IntervalOutcome<P> {
+    /// Start of the interval.
+    pub start: SimTime,
+    /// Completed transfers, in on-air order.
+    pub deliveries: Vec<Delivery<P>>,
+    /// Broken-link frames returned to the network layer.
+    pub failures: Vec<LinkFailure<P>>,
+    /// Per node: was the radio on past the ATIM window for any reason?
+    /// (AM nodes are always `true`.)
+    pub awake: Vec<bool>,
+    /// Per node: did a PSM commitment (sending, receiving, a broadcast,
+    /// or an overhearing decision) keep it awake past the ATIM window?
+    /// Unlike [`awake`](Self::awake), this excludes baseline AM-ness —
+    /// the ODPM energy integrator needs the distinction.
+    pub ps_awake: Vec<bool>,
+    /// Per node: radio-on time attributable to PSM commitments, in
+    /// `[atim_window, beacon_interval]`, *ignoring* AM mode. With
+    /// [`MacConfig::doze_after_transfer`] enabled, a node committed to
+    /// specific unicast transfers is charged only until its last
+    /// transfer completes; unbounded commitments (broadcasts,
+    /// unconditional overhearing, deferred/lost transfers) are charged
+    /// the whole interval.
+    pub committed_awake: Vec<SimDuration>,
+}
+
+/// Cumulative MAC statistics across a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MacCounters {
+    /// Unicast ATIM advertisements acknowledged.
+    pub atim_unicast: u64,
+    /// Broadcast ATIM advertisements sent.
+    pub atim_broadcast: u64,
+    /// Advertisements deferred for lack of ATIM-window airtime.
+    pub atim_deferred: u64,
+    /// Unicast advertisements that drew no acknowledgment
+    /// (receiver out of range).
+    pub atim_no_ack: u64,
+    /// Unicast frames delivered through the data window.
+    pub data_delivered: u64,
+    /// Broadcast frames delivered through the data window.
+    pub broadcast_delivered: u64,
+    /// Announced frames that did not fit the data window.
+    pub data_deferred: u64,
+    /// Frames destroyed by injected channel loss (retried next interval).
+    pub data_lost: u64,
+    /// Links declared broken after repeated silent ATIMs.
+    pub link_failures: u64,
+    /// Frames rejected by full transmit queues.
+    pub queue_drops: u64,
+}
+
+/// The PSM MAC for the whole network: per-node queues plus the
+/// beacon-interval resolver.
+///
+/// `P` is the opaque network-layer payload type.
+///
+/// # Example
+///
+/// ```
+/// use rcast_engine::{NodeId, SimTime, rng::StreamRng};
+/// use rcast_mac::{AllPowerSave, MacConfig, MacFrame, MacLayer, OverhearingLevel};
+/// use rcast_mobility::{Area, NeighborTable, Snapshot, Vec2};
+/// use rcast_radio::Phy;
+///
+/// let snap = Snapshot::from_positions(
+///     vec![Vec2::new(0.0, 0.0), Vec2::new(100.0, 0.0)],
+///     Area::new(1000.0, 10.0), SimTime::ZERO);
+/// let nt = NeighborTable::build(&snap, 250.0);
+/// let mut mac: MacLayer<&str> = MacLayer::new(
+///     2, MacConfig::default(), Phy::default(), StreamRng::from_seed(0));
+/// mac.enqueue(NodeId::new(0),
+///     MacFrame::unicast(NodeId::new(1), OverhearingLevel::None, 512, "hello"),
+///     SimTime::ZERO);
+/// let out = mac.run_interval(SimTime::ZERO, &nt,
+///     &mut AllPowerSave { overhear_randomized: false });
+/// assert_eq!(out.deliveries.len(), 1);
+/// assert_eq!(out.deliveries[0].frame.payload, "hello");
+/// ```
+#[derive(Debug, Clone)]
+pub struct MacLayer<P> {
+    cfg: MacConfig,
+    phy: Phy,
+    queues: Vec<TxQueue<P>>,
+    rng: StreamRng,
+    counters: MacCounters,
+}
+
+/// One announced (acknowledged) advertisement awaiting its data phase.
+#[derive(Debug, Clone, Copy)]
+struct Announcement {
+    sender: NodeId,
+    dest: Destination,
+    level: OverhearingLevel,
+}
+
+impl<P> MacLayer<P> {
+    /// Creates the MAC for `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`MacConfig::validate`].
+    pub fn new(n: usize, cfg: MacConfig, phy: Phy, rng: StreamRng) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid MAC config: {e}");
+        }
+        MacLayer {
+            cfg,
+            phy,
+            queues: (0..n).map(|_| TxQueue::new(cfg.queue_capacity)).collect(),
+            rng,
+            counters: MacCounters::default(),
+        }
+    }
+
+    /// The MAC configuration.
+    pub fn config(&self) -> &MacConfig {
+        &self.cfg
+    }
+
+    /// The PHY in use.
+    pub fn phy(&self) -> &Phy {
+        &self.phy
+    }
+
+    /// Cumulative statistics.
+    pub fn counters(&self) -> MacCounters {
+        self.counters
+    }
+
+    /// Queue length of a node.
+    pub fn queue_len(&self, node: NodeId) -> usize {
+        self.queues[node.index()].len()
+    }
+
+    /// Hands a frame to the MAC for transmission via the PSM path.
+    /// Returns the frame when the queue is full.
+    pub fn enqueue(
+        &mut self,
+        from: NodeId,
+        frame: MacFrame<P>,
+        now: SimTime,
+    ) -> Result<(), MacFrame<P>> {
+        match self.queues[from.index()].push(frame, now) {
+            Ok(()) => Ok(()),
+            Err(f) => {
+                self.counters.queue_drops += 1;
+                Err(f)
+            }
+        }
+    }
+
+    /// Airtime of a unicast ATIM/ACK handshake.
+    fn atim_unicast_time(&self) -> SimDuration {
+        self.phy
+            .unicast_exchange_time(self.cfg.atim_bytes, self.cfg.ack_bytes)
+    }
+
+    /// Airtime of a broadcast ATIM.
+    fn atim_broadcast_time(&self) -> SimDuration {
+        self.phy.broadcast_time(self.cfg.atim_bytes)
+    }
+
+    /// Airtime of a unicast data/ACK exchange for `payload_bytes`.
+    fn data_unicast_time(&self, payload_bytes: usize) -> SimDuration {
+        self.phy.unicast_exchange_time(
+            payload_bytes + self.cfg.mac_header_bytes,
+            self.cfg.ack_bytes,
+        )
+    }
+
+    /// Airtime of a broadcast data frame for `payload_bytes`.
+    fn data_broadcast_time(&self, payload_bytes: usize) -> SimDuration {
+        self.phy
+            .broadcast_time(payload_bytes + self.cfg.mac_header_bytes)
+    }
+
+    /// Nodes whose channel an `s → r` exchange occupies.
+    fn affected_unicast(nt: &NeighborTable, s: NodeId, r: NodeId) -> Vec<NodeId> {
+        let mut v = Vec::with_capacity(nt.degree(s) + nt.degree(r) + 2);
+        v.push(s);
+        v.push(r);
+        v.extend_from_slice(nt.neighbors(s));
+        v.extend_from_slice(nt.neighbors(r));
+        v
+    }
+
+    /// Nodes whose channel a broadcast from `s` occupies.
+    fn affected_broadcast(nt: &NeighborTable, s: NodeId) -> Vec<NodeId> {
+        let mut v = Vec::with_capacity(nt.degree(s) + 1);
+        v.push(s);
+        v.extend_from_slice(nt.neighbors(s));
+        v
+    }
+
+    /// Resolves one beacon interval starting at `start`.
+    ///
+    /// `nt` must describe node positions at `start`; `policy` supplies
+    /// per-node power modes and randomized-overhearing decisions.
+    pub fn run_interval(
+        &mut self,
+        start: SimTime,
+        nt: &NeighborTable,
+        policy: &mut dyn WakePolicy,
+    ) -> IntervalOutcome<P> {
+        let n = self.queues.len();
+        debug_assert_eq!(nt.len(), n, "neighbor table size mismatch");
+
+        // AM nodes are awake regardless of traffic; PSM commitments are
+        // tracked separately in `committed`.
+        let active: Vec<bool> = (0..n)
+            .map(|i| policy.mode(NodeId::new(i as u32)) == PowerMode::Active)
+            .collect();
+        let mut committed = vec![false; n];
+        let mut awake: Vec<bool> = active.clone();
+        // Doze bookkeeping: `full_wake` marks unbounded commitments;
+        // `doze_at` tracks when a bounded commitment lets the node doze.
+        let mut full_wake = vec![false; n];
+        let mut doze_at: Vec<SimTime> = vec![start + self.cfg.atim_window; n];
+        // Which randomized overhearers accepted which sender's ATIM.
+        let mut accepted: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+
+        // ---- Phase 1: ATIM window -------------------------------------
+        let mut atim_budget = AirtimeBudget::new(n, self.cfg.atim_window);
+        let atim_uni = self.atim_unicast_time();
+        let atim_bc = self.atim_broadcast_time();
+        let mut announcements: Vec<Announcement> = Vec::new();
+        let mut failures: Vec<LinkFailure<P>> = Vec::new();
+
+        for i in 0..n {
+            let sender = NodeId::new(i as u32);
+            for dest in self.queues[i].destinations() {
+                match dest {
+                    Destination::Broadcast => {
+                        if atim_budget
+                            .try_reserve(
+                                Self::affected_broadcast(nt, sender).iter().copied(),
+                                atim_bc,
+                            )
+                            .is_some()
+                        {
+                            self.counters.atim_broadcast += 1;
+                            awake[i] = true;
+                            committed[i] = true;
+                            full_wake[i] = true;
+                            let level = self.queues[i]
+                                .strongest_level_for(dest)
+                                .unwrap_or(OverhearingLevel::Unconditional);
+                            for &x in nt.neighbors(sender) {
+                                // Standard PSM commits every neighbor to
+                                // the broadcast; the randomized level is
+                                // the paper's broadcast-Rcast extension.
+                                if level == OverhearingLevel::Randomized {
+                                    if !awake[x.index()]
+                                        && policy.overhear_broadcast(x, sender, nt)
+                                    {
+                                        awake[x.index()] = true;
+                                        committed[x.index()] = true;
+                                        full_wake[x.index()] = true;
+                                    }
+                                } else {
+                                    awake[x.index()] = true;
+                                    committed[x.index()] = true;
+                                    full_wake[x.index()] = true;
+                                }
+                            }
+                            announcements.push(Announcement {
+                                sender,
+                                dest,
+                                level,
+                            });
+                        } else {
+                            self.counters.atim_deferred += 1;
+                        }
+                    }
+                    Destination::Unicast(r) => {
+                        if !nt.are_neighbors(sender, r) {
+                            // No ATIM-ACK: the receiver moved away.
+                            self.counters.atim_no_ack += 1;
+                            let attempts = self.queues[i].bump_attempts_for(dest);
+                            if attempts >= self.cfg.atim_retry_limit {
+                                self.counters.link_failures += 1;
+                                for q in self.queues[i].remove_all_for(dest) {
+                                    failures.push(LinkFailure {
+                                        sender,
+                                        receiver: r,
+                                        at: start + self.cfg.atim_window,
+                                        frame: q.frame,
+                                    });
+                                }
+                            }
+                            continue;
+                        }
+                        if atim_budget
+                            .try_reserve(
+                                Self::affected_unicast(nt, sender, r).iter().copied(),
+                                atim_uni,
+                            )
+                            .is_some()
+                        {
+                            self.counters.atim_unicast += 1;
+                            awake[i] = true;
+                            committed[i] = true;
+                            awake[r.index()] = true;
+                            committed[r.index()] = true;
+                            self.queues[i].reset_attempts_for(dest);
+                            let level = self.queues[i]
+                                .strongest_level_for(dest)
+                                .unwrap_or(OverhearingLevel::None);
+                            announcements.push(Announcement {
+                                sender,
+                                dest,
+                                level,
+                            });
+                        } else {
+                            self.counters.atim_deferred += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        // ---- Phase 2: overhearing decisions ----------------------------
+        for a in &announcements {
+            let Destination::Unicast(r) = a.dest else {
+                continue; // broadcast already woke everyone in range
+            };
+            match a.level {
+                OverhearingLevel::None => {}
+                OverhearingLevel::Unconditional => {
+                    // Promiscuous listening has no announced end: the
+                    // whole interval is committed.
+                    for &x in nt.neighbors(a.sender) {
+                        if x != r {
+                            awake[x.index()] = true;
+                            committed[x.index()] = true;
+                            full_wake[x.index()] = true;
+                        }
+                    }
+                }
+                OverhearingLevel::Randomized => {
+                    for &x in nt.neighbors(a.sender) {
+                        if x != r
+                            && !awake[x.index()]
+                            && policy.overhear(x, a.sender, a.level, nt)
+                        {
+                            awake[x.index()] = true;
+                            committed[x.index()] = true;
+                            accepted[a.sender.index()].push(x);
+                        }
+                    }
+                }
+            }
+        }
+
+        // ---- Phase 3: data window --------------------------------------
+        let data_start = start + self.cfg.atim_window;
+        let mut data_budget = AirtimeBudget::new(n, self.cfg.data_window());
+        let mut deliveries: Vec<Delivery<P>> = Vec::new();
+
+        for a in &announcements {
+            let qi = a.sender.index();
+            match a.dest {
+                Destination::Broadcast => {
+                    while let Some(idx) = self.queues[qi].first_for(Destination::Broadcast) {
+                        let bytes = self.queues[qi].get(idx).expect("valid index").frame.bytes;
+                        let dur = self.data_broadcast_time(bytes);
+                        let affected = Self::affected_broadcast(nt, a.sender);
+                        match data_budget.try_reserve(affected.iter().copied(), dur) {
+                            Some(offset) => {
+                                let q = self.queues[qi].remove(idx);
+                                self.counters.broadcast_delivered += 1;
+                                // Only awake neighbors receive: with the
+                                // randomized-broadcast extension some may
+                                // have chosen to sleep.
+                                let recipients: Vec<NodeId> = nt
+                                    .neighbors(a.sender)
+                                    .iter()
+                                    .copied()
+                                    .filter(|&x| awake[x.index()])
+                                    .collect();
+                                deliveries.push(Delivery {
+                                    sender: a.sender,
+                                    receiver: None,
+                                    recipients,
+                                    overhearers: Vec::new(),
+                                    at: data_start + offset + dur,
+                                    enqueued_at: q.enqueued_at,
+                                    frame: q.frame,
+                                });
+                            }
+                            None => {
+                                self.counters.data_deferred += 1;
+                                full_wake[qi] = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+                Destination::Unicast(r) => {
+                    while let Some(idx) = self.queues[qi].first_for(a.dest) {
+                        let bytes = self.queues[qi].get(idx).expect("valid index").frame.bytes;
+                        let dur = self.data_unicast_time(bytes);
+                        let affected = Self::affected_unicast(nt, a.sender, r);
+                        match data_budget.try_reserve(affected.iter().copied(), dur) {
+                            Some(offset) => {
+                                if self.cfg.frame_loss_prob > 0.0
+                                    && self.rng.chance(self.cfg.frame_loss_prob)
+                                {
+                                    // Lost on the air: the sender retries
+                                    // next interval (frame stays queued);
+                                    // both ends keep waiting.
+                                    self.counters.data_lost += 1;
+                                    full_wake[qi] = true;
+                                    full_wake[r.index()] = true;
+                                    break;
+                                }
+                                let q = self.queues[qi].remove(idx);
+                                self.counters.data_delivered += 1;
+                                let end = data_start + offset + dur;
+                                for x in [a.sender, r]
+                                    .into_iter()
+                                    .chain(accepted[qi].iter().copied())
+                                {
+                                    if doze_at[x.index()] < end {
+                                        doze_at[x.index()] = end;
+                                    }
+                                }
+                                let overhearers: Vec<NodeId> = nt
+                                    .neighbors(a.sender)
+                                    .iter()
+                                    .copied()
+                                    .filter(|&x| x != r && awake[x.index()])
+                                    .collect();
+                                deliveries.push(Delivery {
+                                    sender: a.sender,
+                                    receiver: Some(r),
+                                    recipients: vec![r],
+                                    overhearers,
+                                    at: data_start + offset + dur,
+                                    enqueued_at: q.enqueued_at,
+                                    frame: q.frame,
+                                });
+                            }
+                            None => {
+                                // The pair waits out the window hoping
+                                // for airtime that never comes.
+                                self.counters.data_deferred += 1;
+                                full_wake[qi] = true;
+                                full_wake[r.index()] = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Keep on-air ordering for downstream consumers.
+        deliveries.sort_by_key(|d| d.at);
+
+        let bi = self.cfg.beacon_interval;
+        let aw = self.cfg.atim_window;
+        let committed_awake: Vec<SimDuration> = (0..n)
+            .map(|i| {
+                if !committed[i] {
+                    aw
+                } else if full_wake[i] || !self.cfg.doze_after_transfer {
+                    bi
+                } else {
+                    (doze_at[i] - start).max(aw).min(bi)
+                }
+            })
+            .collect();
+
+        IntervalOutcome {
+            start,
+            deliveries,
+            failures,
+            awake,
+            ps_awake: committed,
+            committed_awake,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wake::AllPowerSave;
+    use rcast_mobility::{Area, Snapshot, Vec2};
+
+    type Mac = MacLayer<&'static str>;
+
+    fn line_topology(xs: &[f64]) -> NeighborTable {
+        let snap = Snapshot::from_positions(
+            xs.iter().map(|&x| Vec2::new(x, 0.0)).collect(),
+            Area::new(10_000.0, 10.0),
+            SimTime::ZERO,
+        );
+        NeighborTable::build(&snap, 250.0)
+    }
+
+    fn mac(n: usize) -> Mac {
+        MacLayer::new(
+            n,
+            MacConfig::default(),
+            Phy::default(),
+            StreamRng::from_seed(7),
+        )
+    }
+
+    fn ps(overhear: bool) -> AllPowerSave {
+        AllPowerSave {
+            overhear_randomized: overhear,
+        }
+    }
+
+    #[test]
+    fn unicast_delivery_with_no_overhearing() {
+        // 0 -- 1 -- 2: node 2 hears node 1's ATIM but not the data for
+        // level None, so it sleeps.
+        let nt = line_topology(&[0.0, 200.0, 400.0]);
+        let mut m = mac(3);
+        m.enqueue(
+            NodeId::new(1),
+            MacFrame::unicast(NodeId::new(0), OverhearingLevel::None, 512, "d"),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        let out = m.run_interval(SimTime::ZERO, &nt, &mut ps(false));
+        assert_eq!(out.deliveries.len(), 1);
+        let d = &out.deliveries[0];
+        assert_eq!(d.sender, NodeId::new(1));
+        assert_eq!(d.receiver, Some(NodeId::new(0)));
+        assert!(d.overhearers.is_empty());
+        assert_eq!(out.awake, vec![true, true, false]);
+        assert!(d.at > SimTime::ZERO + MacConfig::default().atim_window);
+        assert_eq!(m.counters().data_delivered, 1);
+    }
+
+    #[test]
+    fn unconditional_overhearing_wakes_all_neighbors() {
+        let nt = line_topology(&[0.0, 200.0, 400.0]);
+        let mut m = mac(3);
+        m.enqueue(
+            NodeId::new(1),
+            MacFrame::unicast(NodeId::new(0), OverhearingLevel::Unconditional, 512, "d"),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        let out = m.run_interval(SimTime::ZERO, &nt, &mut ps(false));
+        assert_eq!(out.awake, vec![true, true, true]);
+        assert_eq!(out.deliveries[0].overhearers, vec![NodeId::new(2)]);
+    }
+
+    #[test]
+    fn randomized_overhearing_consults_policy() {
+        let nt = line_topology(&[0.0, 200.0, 400.0]);
+        for (ans, expect_awake) in [(false, false), (true, true)] {
+            let mut m = mac(3);
+            m.enqueue(
+                NodeId::new(1),
+                MacFrame::unicast(NodeId::new(0), OverhearingLevel::Randomized, 512, "d"),
+                SimTime::ZERO,
+            )
+            .unwrap();
+            let out = m.run_interval(SimTime::ZERO, &nt, &mut ps(ans));
+            assert_eq!(out.awake[2], expect_awake, "policy answer {ans}");
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_all_neighbors() {
+        let nt = line_topology(&[0.0, 200.0, 400.0]);
+        let mut m = mac(3);
+        m.enqueue(NodeId::new(1), MacFrame::broadcast(64, "rreq"), SimTime::ZERO)
+            .unwrap();
+        let out = m.run_interval(SimTime::ZERO, &nt, &mut ps(false));
+        assert_eq!(out.deliveries.len(), 1);
+        let d = &out.deliveries[0];
+        assert_eq!(d.receiver, None);
+        assert_eq!(d.recipients, vec![NodeId::new(0), NodeId::new(2)]);
+        // Everyone who must receive the broadcast stays awake.
+        assert_eq!(out.awake, vec![true, true, true]);
+        assert_eq!(m.counters().broadcast_delivered, 1);
+    }
+
+    #[test]
+    fn randomized_broadcast_lets_neighbors_sleep() {
+        struct NeverReceive;
+        impl crate::wake::WakePolicy for NeverReceive {
+            fn mode(&self, _n: NodeId) -> crate::wake::PowerMode {
+                crate::wake::PowerMode::PowerSave
+            }
+            fn overhear(
+                &mut self,
+                _o: NodeId,
+                _s: NodeId,
+                _l: OverhearingLevel,
+                _nt: &NeighborTable,
+            ) -> bool {
+                false
+            }
+            fn overhear_broadcast(
+                &mut self,
+                _o: NodeId,
+                _s: NodeId,
+                _nt: &NeighborTable,
+            ) -> bool {
+                false
+            }
+        }
+        let nt = line_topology(&[0.0, 200.0, 400.0]);
+        let mut m = mac(3);
+        m.enqueue(
+            NodeId::new(1),
+            MacFrame::broadcast_with_level(OverhearingLevel::Randomized, 64, "rreq"),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        let out = m.run_interval(SimTime::ZERO, &nt, &mut NeverReceive);
+        assert_eq!(out.deliveries.len(), 1);
+        assert!(
+            out.deliveries[0].recipients.is_empty(),
+            "all neighbors elected to sleep through the broadcast"
+        );
+        assert_eq!(out.awake, vec![false, true, false]);
+    }
+
+    #[test]
+    fn out_of_range_receiver_breaks_link_after_retries() {
+        let nt = line_topology(&[0.0, 1000.0]);
+        let mut m = mac(2);
+        m.enqueue(
+            NodeId::new(0),
+            MacFrame::unicast(NodeId::new(1), OverhearingLevel::None, 512, "d"),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        let limit = MacConfig::default().atim_retry_limit;
+        let mut failures = Vec::new();
+        for k in 0..limit {
+            let out = m.run_interval(
+                SimTime::from_millis(250 * k as u64),
+                &nt,
+                &mut ps(false),
+            );
+            assert!(out.deliveries.is_empty());
+            failures.extend(out.failures);
+        }
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].receiver, NodeId::new(1));
+        assert_eq!(failures[0].frame.payload, "d");
+        assert_eq!(m.counters().link_failures, 1);
+        assert_eq!(m.queue_len(NodeId::new(0)), 0);
+    }
+
+    #[test]
+    fn receiver_back_in_range_resets_attempts() {
+        let far = line_topology(&[0.0, 1000.0]);
+        let near = line_topology(&[0.0, 100.0]);
+        let mut m = mac(2);
+        m.enqueue(
+            NodeId::new(0),
+            MacFrame::unicast(NodeId::new(1), OverhearingLevel::None, 512, "d"),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        // Two silent intervals (limit is 3), then the receiver returns.
+        for k in 0..2 {
+            let out = m.run_interval(SimTime::from_millis(250 * k), &far, &mut ps(false));
+            assert!(out.failures.is_empty());
+        }
+        let out = m.run_interval(SimTime::from_millis(500), &near, &mut ps(false));
+        assert_eq!(out.deliveries.len(), 1);
+        assert!(out.failures.is_empty());
+    }
+
+    #[test]
+    fn data_window_capacity_defers_excess_traffic() {
+        // One sender, one receiver, queue far more than 200 ms of data.
+        let nt = line_topology(&[0.0, 100.0]);
+        let mut m = mac(2);
+        // 512 B + 28 B header at 2 Mbps ≈ 2.7 ms per exchange;
+        // 200 ms fits ~70 frames. Queue 50 (capacity) — all fit.
+        // Use 12 000-byte frames instead: ~48.8 ms each, only 4 fit.
+        for _ in 0..10 {
+            m.enqueue(
+                NodeId::new(0),
+                MacFrame::unicast(NodeId::new(1), OverhearingLevel::None, 12_000, "big"),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        }
+        let out = m.run_interval(SimTime::ZERO, &nt, &mut ps(false));
+        assert!(out.deliveries.len() < 10, "{}", out.deliveries.len());
+        assert!(!out.deliveries.is_empty());
+        assert_eq!(
+            m.queue_len(NodeId::new(0)),
+            10 - out.deliveries.len()
+        );
+        assert!(m.counters().data_deferred > 0);
+    }
+
+    #[test]
+    fn spatially_separated_pairs_transmit_in_parallel() {
+        // Two pairs far apart: both fully drain in one interval even
+        // with frames that would exceed the window if serialized.
+        let nt = line_topology(&[0.0, 100.0, 5000.0, 5100.0]);
+        let mut m = mac(4);
+        for _ in 0..4 {
+            m.enqueue(
+                NodeId::new(0),
+                MacFrame::unicast(NodeId::new(1), OverhearingLevel::None, 12_000, "a"),
+                SimTime::ZERO,
+            )
+            .unwrap();
+            m.enqueue(
+                NodeId::new(2),
+                MacFrame::unicast(NodeId::new(3), OverhearingLevel::None, 12_000, "b"),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        }
+        let out = m.run_interval(SimTime::ZERO, &nt, &mut ps(false));
+        assert_eq!(out.deliveries.len(), 8);
+    }
+
+    #[test]
+    fn active_nodes_always_awake_and_overhear() {
+        let nt = line_topology(&[0.0, 200.0, 400.0]);
+        let mut m = mac(3);
+        m.enqueue(
+            NodeId::new(1),
+            MacFrame::unicast(NodeId::new(0), OverhearingLevel::None, 512, "d"),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        let mut policy = crate::wake::AllActive;
+        let out = m.run_interval(SimTime::ZERO, &nt, &mut policy);
+        assert_eq!(out.awake, vec![true, true, true]);
+        // Node 2 is awake (AM), so it physically overhears even though
+        // the sender requested no overhearing.
+        assert_eq!(out.deliveries[0].overhearers, vec![NodeId::new(2)]);
+    }
+
+    #[test]
+    fn injected_loss_keeps_frame_queued() {
+        let nt = line_topology(&[0.0, 100.0]);
+        let mut cfg = MacConfig::default();
+        cfg.frame_loss_prob = 1.0; // always lose
+        let mut m: Mac = MacLayer::new(2, cfg, Phy::default(), StreamRng::from_seed(1));
+        m.enqueue(
+            NodeId::new(0),
+            MacFrame::unicast(NodeId::new(1), OverhearingLevel::None, 512, "d"),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        let out = m.run_interval(SimTime::ZERO, &nt, &mut ps(false));
+        assert!(out.deliveries.is_empty());
+        assert_eq!(m.queue_len(NodeId::new(0)), 1);
+        assert_eq!(m.counters().data_lost, 1);
+    }
+
+    #[test]
+    fn deliveries_are_time_ordered() {
+        let nt = line_topology(&[0.0, 100.0, 5000.0, 5100.0]);
+        let mut m = mac(4);
+        for i in 0..3 {
+            m.enqueue(
+                NodeId::new(0),
+                MacFrame::unicast(NodeId::new(1), OverhearingLevel::None, 512 + i, "a"),
+                SimTime::ZERO,
+            )
+            .unwrap();
+            m.enqueue(
+                NodeId::new(2),
+                MacFrame::unicast(NodeId::new(3), OverhearingLevel::None, 512 + i, "b"),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        }
+        let out = m.run_interval(SimTime::ZERO, &nt, &mut ps(false));
+        assert!(out.deliveries.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn queue_overflow_counted() {
+        let nt = line_topology(&[0.0, 100.0]);
+        let mut m = mac(2);
+        let cap = MacConfig::default().queue_capacity;
+        for _ in 0..cap {
+            m.enqueue(
+                NodeId::new(0),
+                MacFrame::unicast(NodeId::new(1), OverhearingLevel::None, 512, "d"),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        }
+        assert!(m
+            .enqueue(
+                NodeId::new(0),
+                MacFrame::unicast(NodeId::new(1), OverhearingLevel::None, 512, "x"),
+                SimTime::ZERO,
+            )
+            .is_err());
+        assert_eq!(m.counters().queue_drops, 1);
+        let _ = nt;
+    }
+}

@@ -1,0 +1,280 @@
+//! Bounded per-node transmit queues.
+
+use std::collections::VecDeque;
+
+use rcast_engine::SimTime;
+
+use crate::frame::{Destination, MacFrame};
+
+/// A frame waiting in a node's transmit queue.
+#[derive(Debug, Clone)]
+pub struct Queued<P> {
+    /// The frame itself.
+    pub frame: MacFrame<P>,
+    /// When the network layer handed the frame down (for delay metrics).
+    pub enqueued_at: SimTime,
+    /// Consecutive beacon intervals in which the ATIM advertisement for
+    /// this frame's destination went unacknowledged.
+    pub atim_attempts: u32,
+}
+
+/// A bounded FIFO transmit queue for one node.
+///
+/// Mirrors ns-2's 50-packet interface queue: pushes beyond capacity are
+/// rejected (and counted) so congestion manifests as drops, exactly as
+/// in the paper's high-rate scenarios.
+#[derive(Debug, Clone)]
+pub struct TxQueue<P> {
+    items: VecDeque<Queued<P>>,
+    capacity: usize,
+    drops: u64,
+}
+
+impl<P> TxQueue<P> {
+    /// An empty queue with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        TxQueue {
+            items: VecDeque::new(),
+            capacity,
+            drops: 0,
+        }
+    }
+
+    /// Appends a frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns the frame back when the queue is full (the caller decides
+    /// whether to count the drop at a higher layer; the queue counts it
+    /// too via [`drop_count`](Self::drop_count)).
+    pub fn push(&mut self, frame: MacFrame<P>, now: SimTime) -> Result<(), MacFrame<P>> {
+        if self.items.len() >= self.capacity {
+            self.drops += 1;
+            return Err(frame);
+        }
+        self.items.push_back(Queued {
+            frame,
+            enqueued_at: now,
+            atim_attempts: 0,
+        });
+        Ok(())
+    }
+
+    /// Number of queued frames.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Frames rejected because the queue was full.
+    pub fn drop_count(&self) -> u64 {
+        self.drops
+    }
+
+    /// Distinct destinations present, in order of their first queued
+    /// frame (the order ATIMs are sent in).
+    pub fn destinations(&self) -> Vec<Destination> {
+        let mut seen = Vec::new();
+        for q in &self.items {
+            if !seen.contains(&q.frame.to) {
+                seen.push(q.frame.to);
+            }
+        }
+        seen
+    }
+
+    /// Index of the first frame bound for `dest`.
+    pub fn first_for(&self, dest: Destination) -> Option<usize> {
+        self.items.iter().position(|q| q.frame.to == dest)
+    }
+
+    /// Index of the first frame bound for `dest` at or after `from`.
+    pub fn next_for(&self, dest: Destination, from: usize) -> Option<usize> {
+        self.items
+            .iter()
+            .skip(from)
+            .position(|q| q.frame.to == dest)
+            .map(|p| p + from)
+    }
+
+    /// Borrow a queued frame by index.
+    pub fn get(&self, idx: usize) -> Option<&Queued<P>> {
+        self.items.get(idx)
+    }
+
+    /// Removes and returns the frame at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn remove(&mut self, idx: usize) -> Queued<P> {
+        self.items.remove(idx).expect("index validated by caller")
+    }
+
+    /// Removes every frame bound for `dest`, preserving FIFO order.
+    pub fn remove_all_for(&mut self, dest: Destination) -> Vec<Queued<P>> {
+        let mut kept = VecDeque::with_capacity(self.items.len());
+        let mut out = Vec::new();
+        for q in self.items.drain(..) {
+            if q.frame.to == dest {
+                out.push(q);
+            } else {
+                kept.push_back(q);
+            }
+        }
+        self.items = kept;
+        out
+    }
+
+    /// Increments the ATIM attempt counter on every frame bound for
+    /// `dest`; returns the new maximum.
+    pub fn bump_attempts_for(&mut self, dest: Destination) -> u32 {
+        let mut max = 0;
+        for q in self.items.iter_mut().filter(|q| q.frame.to == dest) {
+            q.atim_attempts += 1;
+            max = max.max(q.atim_attempts);
+        }
+        max
+    }
+
+    /// Clears the ATIM attempt counter on every frame bound for `dest`
+    /// (called when the destination acknowledged an advertisement).
+    pub fn reset_attempts_for(&mut self, dest: Destination) {
+        for q in self.items.iter_mut().filter(|q| q.frame.to == dest) {
+            q.atim_attempts = 0;
+        }
+    }
+
+    /// The strongest overhearing level among frames bound for `dest`
+    /// (the ATIM frame advertises one subtype per destination, so the
+    /// most permissive request wins).
+    pub fn strongest_level_for(&self, dest: Destination) -> Option<crate::OverhearingLevel> {
+        use crate::OverhearingLevel::*;
+        self.items
+            .iter()
+            .filter(|q| q.frame.to == dest)
+            .map(|q| q.frame.level)
+            .max_by_key(|l| match l {
+                None => 0,
+                Randomized => 1,
+                Unconditional => 2,
+            })
+    }
+
+    /// Iterates over queued frames in FIFO order.
+    pub fn iter(&self) -> impl Iterator<Item = &Queued<P>> {
+        self.items.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::OverhearingLevel;
+    use rcast_engine::NodeId;
+
+    fn uni(to: u32, level: OverhearingLevel, tag: &'static str) -> MacFrame<&'static str> {
+        MacFrame::unicast(NodeId::new(to), level, 512, tag)
+    }
+
+    #[test]
+    fn fifo_and_capacity() {
+        let mut q = TxQueue::new(2);
+        assert!(q.push(uni(1, OverhearingLevel::None, "a"), SimTime::ZERO).is_ok());
+        assert!(q.push(uni(1, OverhearingLevel::None, "b"), SimTime::ZERO).is_ok());
+        let back = q.push(uni(1, OverhearingLevel::None, "c"), SimTime::ZERO);
+        assert_eq!(back.unwrap_err().payload, "c");
+        assert_eq!(q.drop_count(), 1);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.remove(0).frame.payload, "a");
+        assert_eq!(q.remove(0).frame.payload, "b");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn destinations_in_first_seen_order() {
+        let mut q = TxQueue::new(10);
+        q.push(uni(2, OverhearingLevel::None, "x"), SimTime::ZERO).unwrap();
+        q.push(uni(1, OverhearingLevel::None, "y"), SimTime::ZERO).unwrap();
+        q.push(uni(2, OverhearingLevel::None, "z"), SimTime::ZERO).unwrap();
+        q.push(MacFrame::broadcast(64, "b"), SimTime::ZERO).unwrap();
+        assert_eq!(
+            q.destinations(),
+            vec![
+                Destination::Unicast(NodeId::new(2)),
+                Destination::Unicast(NodeId::new(1)),
+                Destination::Broadcast
+            ]
+        );
+    }
+
+    #[test]
+    fn first_and_next_for() {
+        let mut q = TxQueue::new(10);
+        q.push(uni(1, OverhearingLevel::None, "a"), SimTime::ZERO).unwrap();
+        q.push(uni(2, OverhearingLevel::None, "b"), SimTime::ZERO).unwrap();
+        q.push(uni(1, OverhearingLevel::None, "c"), SimTime::ZERO).unwrap();
+        let d1 = Destination::Unicast(NodeId::new(1));
+        assert_eq!(q.first_for(d1), Some(0));
+        assert_eq!(q.next_for(d1, 1), Some(2));
+        assert_eq!(q.next_for(d1, 3), None);
+        assert_eq!(q.first_for(Destination::Broadcast), None);
+    }
+
+    #[test]
+    fn remove_all_preserves_other_frames() {
+        let mut q = TxQueue::new(10);
+        q.push(uni(1, OverhearingLevel::None, "a"), SimTime::ZERO).unwrap();
+        q.push(uni(2, OverhearingLevel::None, "b"), SimTime::ZERO).unwrap();
+        q.push(uni(1, OverhearingLevel::None, "c"), SimTime::ZERO).unwrap();
+        let removed = q.remove_all_for(Destination::Unicast(NodeId::new(1)));
+        assert_eq!(
+            removed.iter().map(|r| r.frame.payload).collect::<Vec<_>>(),
+            vec!["a", "c"]
+        );
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.get(0).unwrap().frame.payload, "b");
+    }
+
+    #[test]
+    fn attempts_bump_and_reset() {
+        let mut q = TxQueue::new(10);
+        let d = Destination::Unicast(NodeId::new(1));
+        q.push(uni(1, OverhearingLevel::None, "a"), SimTime::ZERO).unwrap();
+        assert_eq!(q.bump_attempts_for(d), 1);
+        q.push(uni(1, OverhearingLevel::None, "b"), SimTime::ZERO).unwrap();
+        // Frame "a" has 1 attempt, "b" has 0; bump makes them 2 and 1.
+        assert_eq!(q.bump_attempts_for(d), 2);
+        q.reset_attempts_for(d);
+        assert_eq!(q.get(0).unwrap().atim_attempts, 0);
+        assert_eq!(q.get(1).unwrap().atim_attempts, 0);
+    }
+
+    #[test]
+    fn strongest_level_wins() {
+        let mut q = TxQueue::new(10);
+        let d = Destination::Unicast(NodeId::new(1));
+        q.push(uni(1, OverhearingLevel::None, "a"), SimTime::ZERO).unwrap();
+        assert_eq!(q.strongest_level_for(d), Some(OverhearingLevel::None));
+        q.push(uni(1, OverhearingLevel::Randomized, "b"), SimTime::ZERO).unwrap();
+        assert_eq!(q.strongest_level_for(d), Some(OverhearingLevel::Randomized));
+        q.push(uni(1, OverhearingLevel::Unconditional, "c"), SimTime::ZERO).unwrap();
+        assert_eq!(q.strongest_level_for(d), Some(OverhearingLevel::Unconditional));
+        assert_eq!(q.strongest_level_for(Destination::Broadcast), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_panics() {
+        let _: TxQueue<()> = TxQueue::new(0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Power-management modes and the wake/overhear policy interface.
+
+use rcast_engine::NodeId;
+use rcast_mobility::NeighborTable;
+
+use crate::frame::OverhearingLevel;
+
+/// A node's 802.11 power-management mode during a beacon interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PowerMode {
+    /// Active mode (AM): radio on for the whole interval.
+    Active,
+    /// Power-save mode (PS): awake for the ATIM window, then asleep
+    /// unless committed to a transfer or an overhearing decision.
+    PowerSave,
+}
+
+/// The scheme-specific policy consulted by the MAC while resolving a
+/// beacon interval.
+///
+/// The four schemes of the paper differ exactly here:
+///
+/// * **802.11** — every node reports [`PowerMode::Active`];
+///   `overhear` is never reached (nothing goes through ATIM).
+/// * **PSM** — every node reports [`PowerMode::PowerSave`] and frames
+///   carry [`OverhearingLevel::Unconditional`], so `overhear` is never
+///   consulted either.
+/// * **ODPM** — `mode` reflects the event-driven AM/PS timeout machine;
+///   PS nodes never overhear.
+/// * **Rcast** — every node is PS and `overhear` implements the
+///   randomized decision (`P_R = 1/#neighbors` plus optional factors).
+pub trait WakePolicy {
+    /// The node's mode for the interval being resolved.
+    fn mode(&self, node: NodeId) -> PowerMode;
+
+    /// Whether `observer` (a PS node that would otherwise sleep) elects
+    /// to stay awake for a transmission advertised by `sender` with
+    /// [`OverhearingLevel::Randomized`]. Only called for the randomized
+    /// level — `None` and `Unconditional` are resolved by the MAC.
+    fn overhear(
+        &mut self,
+        observer: NodeId,
+        sender: NodeId,
+        level: OverhearingLevel,
+        neighbors: &NeighborTable,
+    ) -> bool;
+
+    /// Whether `observer` elects to stay awake for a **broadcast**
+    /// advertised with [`OverhearingLevel::Randomized`] — the paper's
+    /// proposed extension of Rcast to broadcast traffic (randomized
+    /// *receiving* to curb redundant rebroadcasts). The default keeps
+    /// the standard-conformant behaviour: every neighbor receives every
+    /// broadcast.
+    fn overhear_broadcast(
+        &mut self,
+        _observer: NodeId,
+        _sender: NodeId,
+        _neighbors: &NeighborTable,
+    ) -> bool {
+        true
+    }
+}
+
+/// Every node always active — the 802.11-without-PSM baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AllActive;
+
+impl WakePolicy for AllActive {
+    fn mode(&self, _node: NodeId) -> PowerMode {
+        PowerMode::Active
+    }
+
+    fn overhear(
+        &mut self,
+        _observer: NodeId,
+        _sender: NodeId,
+        _level: OverhearingLevel,
+        _neighbors: &NeighborTable,
+    ) -> bool {
+        true
+    }
+}
+
+/// Every node in PS mode with a fixed answer to randomized-overhearing
+/// requests — handy for MAC-level tests.
+#[derive(Debug, Clone, Copy)]
+pub struct AllPowerSave {
+    /// The fixed answer to randomized-overhearing consultations.
+    pub overhear_randomized: bool,
+}
+
+impl WakePolicy for AllPowerSave {
+    fn mode(&self, _node: NodeId) -> PowerMode {
+        PowerMode::PowerSave
+    }
+
+    fn overhear(
+        &mut self,
+        _observer: NodeId,
+        _sender: NodeId,
+        _level: OverhearingLevel,
+        _neighbors: &NeighborTable,
+    ) -> bool {
+        self.overhear_randomized
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcast_engine::SimTime;
+    use rcast_mobility::{Area, Snapshot};
+
+    fn table() -> NeighborTable {
+        let snap = Snapshot::from_positions(vec![], Area::new(1.0, 1.0), SimTime::ZERO);
+        NeighborTable::build(&snap, 1.0)
+    }
+
+    #[test]
+    fn all_active_reports_active() {
+        let p = AllActive;
+        assert_eq!(p.mode(NodeId::new(0)), PowerMode::Active);
+        assert_eq!(p.mode(NodeId::new(99)), PowerMode::Active);
+    }
+
+    #[test]
+    fn all_power_save_fixed_answer() {
+        let mut yes = AllPowerSave {
+            overhear_randomized: true,
+        };
+        let mut no = AllPowerSave {
+            overhear_randomized: false,
+        };
+        let nt = table();
+        assert_eq!(yes.mode(NodeId::new(0)), PowerMode::PowerSave);
+        assert!(yes.overhear(
+            NodeId::new(0),
+            NodeId::new(1),
+            OverhearingLevel::Randomized,
+            &nt
+        ));
+        assert!(!no.overhear(
+            NodeId::new(0),
+            NodeId::new(1),
+            OverhearingLevel::Randomized,
+            &nt
+        ));
+    }
+}

@@ -1,0 +1,140 @@
+//! Confidence intervals for seed-averaged results.
+//!
+//! The paper repeats every scenario ten times; a faithful harness should
+//! say how tight those averages are. [`confidence95`] computes the
+//! classic two-sided Student-t interval for the mean.
+
+use crate::stats::RunningStats;
+
+/// Two-sided 95 % critical values of Student's t-distribution for
+/// `df = 1..=30`; beyond 30 the normal approximation (1.960) is used.
+const T_TABLE_95: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+/// The 95 % t critical value for `df` degrees of freedom.
+pub fn t_critical_95(df: u64) -> f64 {
+    if df == 0 {
+        f64::INFINITY
+    } else if df <= 30 {
+        T_TABLE_95[(df - 1) as usize]
+    } else {
+        1.960
+    }
+}
+
+/// A symmetric confidence interval around a mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Confidence {
+    /// The sample mean.
+    pub mean: f64,
+    /// The half-width of the interval (`mean ± half_width`).
+    pub half_width: f64,
+}
+
+impl Confidence {
+    /// Lower bound.
+    pub fn low(&self) -> f64 {
+        self.mean - self.half_width
+    }
+
+    /// Upper bound.
+    pub fn high(&self) -> f64 {
+        self.mean + self.half_width
+    }
+
+    /// `true` when `other`'s interval does not overlap this one —
+    /// the difference of means is significant at the interval's level.
+    pub fn separated_from(&self, other: &Confidence) -> bool {
+        self.high() < other.low() || other.high() < self.low()
+    }
+}
+
+impl std::fmt::Display for Confidence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3} ± {:.3}", self.mean, self.half_width)
+    }
+}
+
+/// The 95 % confidence interval for the mean of `samples`
+/// (per-seed results of one experiment point).
+///
+/// With fewer than two samples the half-width is infinite — a single
+/// run says nothing about run-to-run spread.
+pub fn confidence95(samples: &[f64]) -> Confidence {
+    let stats = RunningStats::from_slice(samples);
+    let n = stats.count();
+    if n < 2 {
+        return Confidence {
+            mean: stats.mean(),
+            half_width: f64::INFINITY,
+        };
+    }
+    let se = (stats.sample_variance() / n as f64).sqrt();
+    Confidence {
+        mean: stats.mean(),
+        half_width: t_critical_95(n - 1) * se,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t_table_endpoints() {
+        assert_eq!(t_critical_95(0), f64::INFINITY);
+        assert!((t_critical_95(1) - 12.706).abs() < 1e-9);
+        assert!((t_critical_95(9) - 2.262).abs() < 1e-9, "the paper's n=10");
+        assert!((t_critical_95(30) - 2.042).abs() < 1e-9);
+        assert!((t_critical_95(1000) - 1.960).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_sample_is_uninformative() {
+        let c = confidence95(&[5.0]);
+        assert_eq!(c.mean, 5.0);
+        assert!(c.half_width.is_infinite());
+    }
+
+    #[test]
+    fn textbook_example() {
+        // n = 4, mean = 5, sample sd = 2 → hw = 3.182 * 2/2 = 3.182.
+        let samples = [3.0, 5.0, 5.0, 7.0];
+        let c = confidence95(&samples);
+        assert!((c.mean - 5.0).abs() < 1e-12);
+        let sd: f64 = 8.0 / 3.0; // sample variance
+        let expect = 3.182 * (sd / 4.0_f64).sqrt();
+        assert!((c.half_width - expect).abs() < 1e-9, "{c}");
+        assert!((c.low() - (5.0 - expect)).abs() < 1e-9);
+        assert!((c.high() - (5.0 + expect)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_variance_collapses() {
+        let c = confidence95(&[2.0; 10]);
+        assert_eq!(c.mean, 2.0);
+        assert_eq!(c.half_width, 0.0);
+    }
+
+    #[test]
+    fn separation() {
+        let a = confidence95(&[1.0, 1.1, 0.9, 1.0]);
+        let b = confidence95(&[5.0, 5.1, 4.9, 5.0]);
+        assert!(a.separated_from(&b));
+        assert!(b.separated_from(&a));
+        let c = confidence95(&[1.0, 5.0, 3.0, 2.5]);
+        assert!(!a.separated_from(&c));
+    }
+
+    #[test]
+    fn display_format() {
+        let c = Confidence {
+            mean: 1.5,
+            half_width: 0.25,
+        };
+        assert_eq!(c.to_string(), "1.500 ± 0.250");
+    }
+}

@@ -1,0 +1,258 @@
+//! Packet-delivery bookkeeping: PDR, end-to-end delay, routing overhead.
+
+use rcast_engine::{SimDuration, SimTime};
+
+use crate::histogram::Histogram;
+use crate::stats::RunningStats;
+
+/// Tracks data-plane outcomes across a run.
+///
+/// Feeds three of the paper's metrics: **packet delivery ratio**
+/// (Fig. 7b/7e), **average end-to-end delay** (Fig. 8a/8c), and the
+/// denominator of **normalized routing overhead** (Fig. 8b/8d).
+///
+/// # Example
+///
+/// ```
+/// use rcast_engine::{SimDuration, SimTime};
+/// use rcast_metrics::DeliveryTracker;
+///
+/// let mut t = DeliveryTracker::new();
+/// t.record_originated();
+/// t.record_originated();
+/// t.record_delivered(SimTime::from_secs(1), SimTime::from_secs(1) + SimDuration::from_millis(375));
+/// assert_eq!(t.delivery_ratio(), 0.5);
+/// assert!((t.mean_delay().as_millis_f64() - 375.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeliveryTracker {
+    originated: u64,
+    delivered: u64,
+    dropped: u64,
+    delay: RunningStats,
+    delay_hist: Histogram,
+    hop_counts: RunningStats,
+    control_transmissions: u64,
+    data_transmissions: u64,
+}
+
+impl Default for DeliveryTracker {
+    fn default() -> Self {
+        DeliveryTracker::new()
+    }
+}
+
+impl DeliveryTracker {
+    /// An empty tracker. Delay percentiles resolve at millisecond bins
+    /// up to 60 s (beacon-paced multi-hop worst cases).
+    pub fn new() -> Self {
+        DeliveryTracker {
+            originated: 0,
+            delivered: 0,
+            dropped: 0,
+            delay: RunningStats::new(),
+            delay_hist: Histogram::new(60.0, 60_000),
+            hop_counts: RunningStats::new(),
+            control_transmissions: 0,
+            data_transmissions: 0,
+        }
+    }
+
+    /// A data packet entered the network at its source.
+    pub fn record_originated(&mut self) {
+        self.originated += 1;
+    }
+
+    /// A data packet reached its destination.
+    pub fn record_delivered(&mut self, generated_at: SimTime, delivered_at: SimTime) {
+        self.delivered += 1;
+        let d = delivered_at.saturating_since(generated_at).as_secs_f64();
+        self.delay.push(d);
+        self.delay_hist.push(d);
+    }
+
+    /// A delivered packet's route length (hops), for delay analysis.
+    pub fn record_hops(&mut self, hops: usize) {
+        self.hop_counts.push(hops as f64);
+    }
+
+    /// A data packet was abandoned anywhere in the network.
+    pub fn record_dropped(&mut self) {
+        self.dropped += 1;
+    }
+
+    /// One on-air transmission of a routing-control packet
+    /// (RREQ/RREP/RERR, counted per hop — the paper's overhead numerator).
+    pub fn record_control_transmission(&mut self) {
+        self.control_transmissions += 1;
+    }
+
+    /// One on-air transmission of a data packet (any hop).
+    pub fn record_data_transmission(&mut self) {
+        self.data_transmissions += 1;
+    }
+
+    /// Packets originated.
+    pub fn originated(&self) -> u64 {
+        self.originated
+    }
+
+    /// Packets delivered end-to-end.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Packets recorded as dropped.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Control-packet transmissions (per hop).
+    pub fn control_transmissions(&self) -> u64 {
+        self.control_transmissions
+    }
+
+    /// Data-packet transmissions (per hop).
+    pub fn data_transmissions(&self) -> u64 {
+        self.data_transmissions
+    }
+
+    /// Delivered / originated, in `[0, 1]`; `0` when nothing originated.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.originated == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / self.originated as f64
+        }
+    }
+
+    /// Mean end-to-end delay of delivered packets.
+    pub fn mean_delay(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.delay.mean().max(0.0))
+    }
+
+    /// Full delay statistics.
+    pub fn delay_stats(&self) -> &RunningStats {
+        &self.delay
+    }
+
+    /// The `p`-th percentile of end-to-end delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn delay_percentile(&self, p: f64) -> SimDuration {
+        SimDuration::from_secs_f64(self.delay_hist.percentile(p))
+    }
+
+    /// Mean route length (hops) of delivered packets.
+    pub fn mean_hops(&self) -> f64 {
+        self.hop_counts.mean()
+    }
+
+    /// Control transmissions per delivered data packet — the paper's
+    /// *normalized routing overhead*. `0` when nothing was delivered.
+    pub fn normalized_routing_overhead(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.control_transmissions as f64 / self.delivered as f64
+        }
+    }
+
+    /// Merges another tracker (multi-seed aggregation).
+    pub fn merge(&mut self, other: &DeliveryTracker) {
+        self.originated += other.originated;
+        self.delivered += other.delivered;
+        self.dropped += other.dropped;
+        self.delay.merge(&other.delay);
+        self.delay_hist.merge(&other.delay_hist);
+        self.hop_counts.merge(&other.hop_counts);
+        self.control_transmissions += other.control_transmissions;
+        self.data_transmissions += other.data_transmissions;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tracker_is_all_zero() {
+        let t = DeliveryTracker::new();
+        assert_eq!(t.delivery_ratio(), 0.0);
+        assert_eq!(t.mean_delay(), SimDuration::ZERO);
+        assert_eq!(t.normalized_routing_overhead(), 0.0);
+        assert_eq!(t.mean_hops(), 0.0);
+    }
+
+    #[test]
+    fn delay_percentiles_track_the_distribution() {
+        let mut t = DeliveryTracker::new();
+        for i in 1..=100u64 {
+            t.record_originated();
+            t.record_delivered(
+                SimTime::ZERO,
+                SimTime::ZERO + SimDuration::from_millis(10 * i),
+            );
+        }
+        // Uniform 10..=1000 ms: p50 ≈ 500 ms, p95 ≈ 950 ms.
+        let p50 = t.delay_percentile(50.0).as_millis_f64();
+        let p95 = t.delay_percentile(95.0).as_millis_f64();
+        assert!((p50 - 500.0).abs() < 15.0, "{p50}");
+        assert!((p95 - 950.0).abs() < 15.0, "{p95}");
+        assert!(t.delay_percentile(100.0) >= t.delay_percentile(95.0));
+    }
+
+    #[test]
+    fn pdr_and_delay() {
+        let mut t = DeliveryTracker::new();
+        for _ in 0..10 {
+            t.record_originated();
+        }
+        for i in 0..9u64 {
+            let g = SimTime::from_secs(i);
+            t.record_delivered(g, g + SimDuration::from_millis(100 * (i + 1)));
+        }
+        t.record_dropped();
+        assert!((t.delivery_ratio() - 0.9).abs() < 1e-12);
+        // Mean of 100..900 ms = 500 ms.
+        assert!((t.mean_delay().as_millis_f64() - 500.0).abs() < 1e-9);
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn overhead_normalizes_by_deliveries() {
+        let mut t = DeliveryTracker::new();
+        t.record_originated();
+        t.record_originated();
+        t.record_delivered(SimTime::ZERO, SimTime::from_secs(1));
+        t.record_delivered(SimTime::ZERO, SimTime::from_secs(1));
+        for _ in 0..7 {
+            t.record_control_transmission();
+        }
+        t.record_data_transmission();
+        assert!((t.normalized_routing_overhead() - 3.5).abs() < 1e-12);
+        assert_eq!(t.data_transmissions(), 1);
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = DeliveryTracker::new();
+        a.record_originated();
+        a.record_delivered(SimTime::ZERO, SimTime::from_millis(200));
+        a.record_control_transmission();
+        a.record_hops(2);
+        let mut b = DeliveryTracker::new();
+        b.record_originated();
+        b.record_originated();
+        b.record_delivered(SimTime::ZERO, SimTime::from_millis(400));
+        b.record_hops(4);
+        a.merge(&b);
+        assert_eq!(a.originated(), 3);
+        assert_eq!(a.delivered(), 2);
+        assert!((a.mean_delay().as_millis_f64() - 300.0).abs() < 1e-9);
+        assert!((a.mean_hops() - 3.0).abs() < 1e-12);
+        assert_eq!(a.control_transmissions(), 1);
+    }
+}

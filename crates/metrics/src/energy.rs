@@ -1,0 +1,162 @@
+//! Energy-centric network metrics.
+
+use crate::stats::{population_variance, RunningStats};
+
+/// Per-node energy figures for a finished run.
+///
+/// Wraps the raw joules-per-node vector and derives the paper's energy
+/// metrics: the sorted per-node curve (Fig. 5), total consumption
+/// (Fig. 7a/7d), variance (Fig. 6), energy-per-bit (Fig. 7c/7f), and
+/// network-lifetime proxies.
+///
+/// # Example
+///
+/// ```
+/// use rcast_metrics::EnergyReport;
+///
+/// let r = EnergyReport::new(vec![10.0, 30.0, 20.0]);
+/// assert_eq!(r.total_joules(), 60.0);
+/// assert_eq!(r.sorted_joules(), vec![10.0, 20.0, 30.0]);
+/// assert!(r.variance() > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyReport {
+    per_node_joules: Vec<f64>,
+}
+
+impl EnergyReport {
+    /// Builds a report from per-node consumption (indexed by node id).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is negative or non-finite.
+    pub fn new(per_node_joules: Vec<f64>) -> Self {
+        for &j in &per_node_joules {
+            assert!(j.is_finite() && j >= 0.0, "invalid energy {j}");
+        }
+        EnergyReport { per_node_joules }
+    }
+
+    /// Raw per-node joules, indexed by node id.
+    pub fn per_node_joules(&self) -> &[f64] {
+        &self.per_node_joules
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.per_node_joules.len()
+    }
+
+    /// `true` when the report covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.per_node_joules.is_empty()
+    }
+
+    /// Per-node joules in ascending order — the curve of Figure 5.
+    pub fn sorted_joules(&self) -> Vec<f64> {
+        let mut v = self.per_node_joules.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite by construction"));
+        v
+    }
+
+    /// Network-wide total, joules.
+    pub fn total_joules(&self) -> f64 {
+        self.per_node_joules.iter().sum()
+    }
+
+    /// Mean per-node consumption, joules.
+    pub fn mean_joules(&self) -> f64 {
+        RunningStats::from_slice(&self.per_node_joules).mean()
+    }
+
+    /// Population variance of per-node consumption — the energy-balance
+    /// metric of Figure 6 (lower is better balanced).
+    pub fn variance(&self) -> f64 {
+        population_variance(&self.per_node_joules)
+    }
+
+    /// Max/min consumption ratio (∞ if some node used nothing); another
+    /// balance lens.
+    pub fn imbalance_ratio(&self) -> f64 {
+        let s = RunningStats::from_slice(&self.per_node_joules);
+        if s.min() == 0.0 {
+            f64::INFINITY
+        } else {
+            s.max() / s.min()
+        }
+    }
+
+    /// Energy per successfully delivered bit, J/bit (Fig. 7c/7f).
+    /// `INFINITY` when nothing was delivered.
+    pub fn energy_per_bit(&self, delivered_bits: u64) -> f64 {
+        if delivered_bits == 0 {
+            f64::INFINITY
+        } else {
+            self.total_joules() / delivered_bits as f64
+        }
+    }
+
+    /// The consumption of the hungriest node — a proxy for time-to-first
+    /// -death under equal batteries: network lifetime shrinks as this
+    /// grows.
+    pub fn max_joules(&self) -> f64 {
+        RunningStats::from_slice(&self.per_node_joules).max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_sorting() {
+        let r = EnergyReport::new(vec![5.0, 1.0, 3.0]);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.total_joules(), 9.0);
+        assert_eq!(r.mean_joules(), 3.0);
+        assert_eq!(r.sorted_joules(), vec![1.0, 3.0, 5.0]);
+        assert_eq!(r.max_joules(), 5.0);
+    }
+
+    #[test]
+    fn flat_consumption_has_zero_variance() {
+        // The 802.11 scheme: every node burns 1293.75 J.
+        let r = EnergyReport::new(vec![1293.75; 100]);
+        assert_eq!(r.variance(), 0.0);
+        assert_eq!(r.imbalance_ratio(), 1.0);
+    }
+
+    #[test]
+    fn unbalanced_consumption_shows_in_variance() {
+        // ODPM-like: on-route nodes burn full power, others doze.
+        let mut v = vec![300.0; 80];
+        v.extend(vec![1290.0; 20]);
+        let odpm = EnergyReport::new(v);
+        // Rcast-like: everyone in a narrow band.
+        let rcast = EnergyReport::new(
+            (0..100).map(|i| 400.0 + (i % 10) as f64 * 8.0).collect(),
+        );
+        assert!(odpm.variance() > 4.0 * rcast.variance());
+    }
+
+    #[test]
+    fn energy_per_bit() {
+        let r = EnergyReport::new(vec![50.0, 50.0]);
+        assert_eq!(r.energy_per_bit(1_000_000), 1e-4);
+        assert_eq!(r.energy_per_bit(0), f64::INFINITY);
+    }
+
+    #[test]
+    fn empty_report() {
+        let r = EnergyReport::new(vec![]);
+        assert!(r.is_empty());
+        assert_eq!(r.total_joules(), 0.0);
+        assert_eq!(r.variance(), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_energy_rejected() {
+        let _ = EnergyReport::new(vec![-1.0]);
+    }
+}

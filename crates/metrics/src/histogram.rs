@@ -1,0 +1,227 @@
+//! Fixed-bin histograms with percentile queries.
+//!
+//! The paper reports mean delays; a release-quality harness should also
+//! answer "what's the p95?" — beacon-paced delivery makes MANET delay
+//! distributions heavy-tailed, and means hide that. [`Histogram`] uses
+//! uniform bins over a configured range with an overflow bucket, so
+//! memory stays constant however many samples arrive.
+
+/// A streaming histogram over `[0, upper)` with uniform bins.
+///
+/// # Example
+///
+/// ```
+/// use rcast_metrics::Histogram;
+///
+/// let mut h = Histogram::new(10.0, 100);
+/// for i in 0..100 {
+///     h.push(i as f64 / 10.0);
+/// }
+/// assert_eq!(h.count(), 100);
+/// let p50 = h.percentile(50.0);
+/// assert!((p50 - 5.0).abs() < 0.2, "{p50}");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    upper: f64,
+    bins: Vec<u64>,
+    overflow: u64,
+    count: u64,
+    sum: f64,
+    max_seen: f64,
+}
+
+impl Histogram {
+    /// A histogram over `[0, upper)` with `bins` uniform buckets plus an
+    /// overflow bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `upper` is not positive and finite or `bins` is zero.
+    pub fn new(upper: f64, bins: usize) -> Self {
+        assert!(upper.is_finite() && upper > 0.0, "invalid upper {upper}");
+        assert!(bins > 0, "need at least one bin");
+        Histogram {
+            upper,
+            bins: vec![0; bins],
+            overflow: 0,
+            count: 0,
+            sum: 0.0,
+            max_seen: 0.0,
+        }
+    }
+
+    /// Adds a sample (negative values clamp to zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not finite.
+    pub fn push(&mut self, value: f64) {
+        assert!(value.is_finite(), "non-finite sample {value}");
+        let v = value.max(0.0);
+        self.count += 1;
+        self.sum += v;
+        self.max_seen = self.max_seen.max(v);
+        if v >= self.upper {
+            self.overflow += 1;
+        } else {
+            let last = self.bins.len() - 1;
+            let idx = ((v / self.upper) * self.bins.len() as f64) as usize;
+            self.bins[idx.min(last)] += 1;
+        }
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// The largest sample seen (exact, not binned).
+    pub fn max(&self) -> f64 {
+        self.max_seen
+    }
+
+    /// Samples at or beyond the histogram range.
+    pub fn overflow_count(&self) -> u64 {
+        self.overflow
+    }
+
+    /// The approximate value below which `p` percent of samples fall
+    /// (linear interpolation within the bin; the exact maximum for
+    /// queries landing in the overflow bucket). Zero when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (p / 100.0) * self.count as f64;
+        let mut seen = 0.0;
+        let bin_width = self.upper / self.bins.len() as f64;
+        for (i, &c) in self.bins.iter().enumerate() {
+            let next = seen + c as f64;
+            if next >= target && c > 0 {
+                let frac = if c == 0 { 0.0 } else { (target - seen) / c as f64 };
+                return bin_width * (i as f64 + frac.clamp(0.0, 1.0));
+            }
+            seen = next;
+        }
+        // Landed in the overflow bucket.
+        self.max_seen
+    }
+
+    /// Merges another histogram with identical shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.upper, other.upper, "histogram range mismatch");
+        assert_eq!(self.bins.len(), other.bins.len(), "bin count mismatch");
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max_seen = self.max_seen.max(other.max_seen);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new(1.0, 10);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(50.0), 0.0);
+        assert_eq!(h.max(), 0.0);
+    }
+
+    #[test]
+    fn uniform_percentiles() {
+        let mut h = Histogram::new(100.0, 1000);
+        for i in 0..10_000 {
+            h.push(i as f64 / 100.0);
+        }
+        for p in [10.0, 25.0, 50.0, 75.0, 90.0, 99.0] {
+            let got = h.percentile(p);
+            assert!((got - p).abs() < 0.5, "p{p}: {got}");
+        }
+        assert!((h.mean() - 49.995).abs() < 0.01);
+    }
+
+    #[test]
+    fn overflow_handling() {
+        let mut h = Histogram::new(10.0, 10);
+        for _ in 0..9 {
+            h.push(1.0);
+        }
+        h.push(1_000.0);
+        assert_eq!(h.overflow_count(), 1);
+        assert_eq!(h.max(), 1_000.0);
+        // p99 lands in the overflow bucket → exact max.
+        assert_eq!(h.percentile(99.9), 1_000.0);
+        // p50 stays in range.
+        assert!(h.percentile(50.0) < 2.0);
+    }
+
+    #[test]
+    fn negative_clamps_to_zero() {
+        let mut h = Histogram::new(10.0, 10);
+        h.push(-5.0);
+        assert_eq!(h.count(), 1);
+        assert!(h.percentile(100.0) <= 1.0);
+    }
+
+    #[test]
+    fn merge_equals_concat() {
+        let mut a = Histogram::new(10.0, 100);
+        let mut b = Histogram::new(10.0, 100);
+        let mut both = Histogram::new(10.0, 100);
+        for i in 0..50 {
+            let v = (i as f64 * 0.37) % 10.0;
+            a.push(v);
+            both.push(v);
+        }
+        for i in 0..70 {
+            let v = (i as f64 * 0.53) % 12.0;
+            b.push(v);
+            both.push(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), both.count());
+        assert_eq!(a.overflow_count(), both.overflow_count());
+        assert!((a.percentile(50.0) - both.percentile(50.0)).abs() < 1e-9);
+        assert!((a.mean() - both.mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn shape_mismatch_panics() {
+        let mut a = Histogram::new(10.0, 100);
+        let b = Histogram::new(20.0, 100);
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_percentile_panics() {
+        Histogram::new(1.0, 1).percentile(101.0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Plain-text table rendering for the figure-regeneration binaries.
+
+/// A simple aligned-column text table.
+///
+/// The bench binaries print each paper figure as one of these, so the
+/// rows/series can be compared against the paper by eye or diffed in CI.
+///
+/// # Example
+///
+/// ```
+/// use rcast_metrics::TextTable;
+///
+/// let mut t = TextTable::new(vec!["rate".into(), "802.11".into(), "Rcast".into()]);
+/// t.add_row(vec!["0.4".into(), "129375.0".into(), "39820.1".into()]);
+/// let s = t.render();
+/// assert!(s.contains("rate"));
+/// assert!(s.lines().count() >= 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// A table with the given column headers.
+    pub fn new(header: Vec<String>) -> Self {
+        TextTable {
+            header,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn add_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row width must match header"
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns and a separator line.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let cell = &cells[i];
+                line.push_str(&" ".repeat(widths[i] - cell.len()));
+                line.push_str(cell);
+            }
+            line
+        };
+        let mut out = fmt_row(&self.header);
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with sensible figure precision.
+pub fn fmt_f64(v: f64, decimals: usize) -> String {
+    if v.is_infinite() {
+        "inf".to_string()
+    } else {
+        format!("{v:.decimals$}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["a".into(), "long_header".into()]);
+        t.add_row(vec!["12345".into(), "1".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // All lines equal width.
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_row_panics() {
+        let mut t = TextTable::new(vec!["a".into()]);
+        t.add_row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f64(1.23456, 2), "1.23");
+        assert_eq!(fmt_f64(f64::INFINITY, 2), "inf");
+        assert_eq!(fmt_f64(0.0, 0), "0");
+    }
+}

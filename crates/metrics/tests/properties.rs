@@ -1,0 +1,72 @@
+//! Property-based tests: streaming statistics agree with naive
+//! formulas, and merging agrees with concatenation.
+
+use proptest::prelude::*;
+use rcast_metrics::{population_variance, RunningStats};
+
+fn naive_mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+fn naive_var(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        return 0.0;
+    }
+    let m = naive_mean(v);
+    v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64
+}
+
+proptest! {
+    /// Welford matches the two-pass textbook formulas.
+    #[test]
+    fn welford_matches_naive(v in prop::collection::vec(-1e6f64..1e6, 0..300)) {
+        let s = RunningStats::from_slice(&v);
+        prop_assert!((s.mean() - naive_mean(&v)).abs() < 1e-6 * (1.0 + naive_mean(&v).abs()));
+        let nv = naive_var(&v);
+        prop_assert!((s.population_variance() - nv).abs() < 1e-4 * (1.0 + nv.abs()));
+        prop_assert_eq!(s.count() as usize, v.len());
+        if !v.is_empty() {
+            prop_assert_eq!(s.min(), v.iter().cloned().fold(f64::INFINITY, f64::min));
+            prop_assert_eq!(s.max(), v.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+        }
+    }
+
+    /// merge(A, B) == stats(A ++ B) for arbitrary splits.
+    #[test]
+    fn merge_equals_concat(
+        a in prop::collection::vec(-1e4f64..1e4, 0..150),
+        b in prop::collection::vec(-1e4f64..1e4, 0..150),
+    ) {
+        let mut merged = RunningStats::from_slice(&a);
+        merged.merge(&RunningStats::from_slice(&b));
+        let concat: Vec<f64> = a.iter().chain(&b).copied().collect();
+        let direct = RunningStats::from_slice(&concat);
+        prop_assert_eq!(merged.count(), direct.count());
+        prop_assert!((merged.mean() - direct.mean()).abs() < 1e-6 * (1.0 + direct.mean().abs()));
+        prop_assert!(
+            (merged.population_variance() - direct.population_variance()).abs()
+                < 1e-4 * (1.0 + direct.population_variance().abs())
+        );
+    }
+
+    /// Variance is translation-invariant and scales quadratically.
+    #[test]
+    fn variance_affine_laws(
+        v in prop::collection::vec(-1e3f64..1e3, 2..100),
+        shift in -1e3f64..1e3,
+        scale in -10.0f64..10.0,
+    ) {
+        let base = population_variance(&v);
+        let shifted: Vec<f64> = v.iter().map(|x| x + shift).collect();
+        prop_assert!((population_variance(&shifted) - base).abs() < 1e-5 * (1.0 + base));
+        let scaled: Vec<f64> = v.iter().map(|x| x * scale).collect();
+        let expect = base * scale * scale;
+        prop_assert!(
+            (population_variance(&scaled) - expect).abs() < 1e-5 * (1.0 + expect.abs())
+        );
+    }
+}

@@ -1,0 +1,219 @@
+//! All-node mobility container and position snapshots.
+
+use rcast_engine::rng::StreamRng;
+use rcast_engine::{NodeId, SimTime};
+
+use crate::geometry::{Area, Vec2};
+use crate::grid::SpatialGrid;
+use crate::waypoint::{MotionState, RandomWaypoint, WaypointConfig};
+
+/// The positions of every node at one instant.
+///
+/// Produced by [`MobilityField::snapshot`]; consumed by the MAC layer
+/// (link checks) and by [`SpatialGrid`] (neighbor queries).
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    time: SimTime,
+    area: Area,
+    positions: Vec<Vec2>,
+}
+
+impl Snapshot {
+    /// Builds a snapshot directly from positions (mainly for tests and
+    /// hand-crafted topologies).
+    pub fn from_positions(positions: Vec<Vec2>, area: Area, time: SimTime) -> Self {
+        Snapshot {
+            time,
+            area,
+            positions,
+        }
+    }
+
+    /// The instant this snapshot describes.
+    pub fn time(&self) -> SimTime {
+        self.time
+    }
+
+    /// The field the nodes live in.
+    pub fn area(&self) -> Area {
+        self.area
+    }
+
+    /// Position of every node, indexed by [`NodeId::index`].
+    pub fn positions(&self) -> &[Vec2] {
+        &self.positions
+    }
+
+    /// Position of one node.
+    pub fn position(&self, id: NodeId) -> Vec2 {
+        self.positions[id.index()]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// `true` when the snapshot holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Distance between two nodes at this instant.
+    pub fn distance(&self, a: NodeId, b: NodeId) -> f64 {
+        self.position(a).distance_to(self.position(b))
+    }
+
+    /// `true` when `a` and `b` are within `range` meters of each other.
+    pub fn in_range(&self, a: NodeId, b: NodeId, range: f64) -> bool {
+        self.position(a).distance_squared_to(self.position(b)) <= range * range
+    }
+
+    /// Builds a neighbor index with the given cell size.
+    pub fn grid(&self, cell_size: f64) -> SpatialGrid {
+        SpatialGrid::build(self, cell_size)
+    }
+}
+
+/// The mobility state of an entire scenario: one trajectory per node.
+///
+/// # Example
+///
+/// ```
+/// use rcast_engine::{SimTime, rng::StreamRng};
+/// use rcast_mobility::{Area, MobilityField, WaypointConfig};
+///
+/// let mut field = MobilityField::random_waypoint(
+///     10, Area::paper_default(), WaypointConfig::default(), StreamRng::from_seed(0));
+/// assert_eq!(field.len(), 10);
+/// let snap = field.snapshot(SimTime::from_secs(1));
+/// assert_eq!(snap.len(), 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MobilityField {
+    area: Area,
+    nodes: Vec<RandomWaypoint>,
+}
+
+impl MobilityField {
+    /// Creates `n` random-waypoint trajectories.
+    ///
+    /// Each node's motion derives from its own child stream of `rng`, so
+    /// scenarios are reproducible and per-node independent.
+    pub fn random_waypoint(n: u32, area: Area, cfg: WaypointConfig, rng: StreamRng) -> Self {
+        let nodes = (0..n)
+            .map(|i| RandomWaypoint::new(area, cfg, rng.child_indexed("waypoint", i as u64)))
+            .collect();
+        MobilityField { area, nodes }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when the field holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The field the nodes live in.
+    pub fn area(&self) -> Area {
+        self.area
+    }
+
+    /// Positions of every node at `t`.
+    ///
+    /// Queries must be monotonically non-decreasing in `t` (see
+    /// [`RandomWaypoint::position_at`]).
+    pub fn snapshot(&mut self, t: SimTime) -> Snapshot {
+        let positions = self.nodes.iter_mut().map(|n| n.position_at(t)).collect();
+        Snapshot {
+            time: t,
+            area: self.area,
+            positions,
+        }
+    }
+
+    /// Motion state of one node at `t` (same monotonic constraint).
+    pub fn state_at(&mut self, id: NodeId, t: SimTime) -> MotionState {
+        self.nodes[id.index()].state_at(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field(n: u32, seed: u64) -> MobilityField {
+        MobilityField::random_waypoint(
+            n,
+            Area::paper_default(),
+            WaypointConfig::default(),
+            StreamRng::from_seed(seed),
+        )
+    }
+
+    #[test]
+    fn snapshot_has_all_nodes_in_area() {
+        let mut f = field(100, 1);
+        let snap = f.snapshot(SimTime::from_secs(100));
+        assert_eq!(snap.len(), 100);
+        assert!(!snap.is_empty());
+        for &p in snap.positions() {
+            assert!(snap.area().contains(p));
+        }
+    }
+
+    #[test]
+    fn per_node_streams_are_independent() {
+        // Node 0's trajectory is identical whether or not other nodes exist.
+        let mut small = field(1, 77);
+        let mut large = field(50, 77);
+        for i in 0..100u64 {
+            let t = SimTime::from_secs(i * 10);
+            assert_eq!(
+                small.snapshot(t).position(NodeId::new(0)),
+                large.snapshot(t).position(NodeId::new(0))
+            );
+        }
+    }
+
+    #[test]
+    fn in_range_is_symmetric() {
+        let mut f = field(30, 5);
+        let snap = f.snapshot(SimTime::from_secs(3));
+        for a in 0..30u32 {
+            for b in 0..30u32 {
+                assert_eq!(
+                    snap.in_range(NodeId::new(a), NodeId::new(b), 250.0),
+                    snap.in_range(NodeId::new(b), NodeId::new(a), 250.0)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distance_matches_positions() {
+        let snap = Snapshot::from_positions(
+            vec![Vec2::new(0.0, 0.0), Vec2::new(30.0, 40.0)],
+            Area::new(100.0, 100.0),
+            SimTime::ZERO,
+        );
+        assert_eq!(snap.distance(NodeId::new(0), NodeId::new(1)), 50.0);
+        assert!(snap.in_range(NodeId::new(0), NodeId::new(1), 50.0));
+        assert!(!snap.in_range(NodeId::new(0), NodeId::new(1), 49.0));
+    }
+
+    #[test]
+    fn empty_field() {
+        let mut f = MobilityField::random_waypoint(
+            0,
+            Area::paper_default(),
+            WaypointConfig::default(),
+            StreamRng::from_seed(0),
+        );
+        assert!(f.is_empty());
+        assert!(f.snapshot(SimTime::ZERO).is_empty());
+    }
+}

@@ -1,0 +1,244 @@
+//! 2-D geometry primitives: points/vectors and the rectangular field.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+/// A 2-D point or displacement in meters.
+///
+/// # Example
+///
+/// ```
+/// use rcast_mobility::Vec2;
+///
+/// let a = Vec2::new(0.0, 3.0);
+/// let b = Vec2::new(4.0, 0.0);
+/// assert_eq!(a.distance_to(b), 5.0);
+/// ```
+#[derive(Clone, Copy, Default, PartialEq)]
+pub struct Vec2 {
+    /// East–west coordinate, meters.
+    pub x: f64,
+    /// North–south coordinate, meters.
+    pub y: f64,
+}
+
+impl Vec2 {
+    /// The origin.
+    pub const ZERO: Vec2 = Vec2 { x: 0.0, y: 0.0 };
+
+    /// Creates a point from coordinates.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// Euclidean length of this vector.
+    pub fn length(self) -> f64 {
+        self.x.hypot(self.y)
+    }
+
+    /// Squared Euclidean length (avoids the square root).
+    pub fn length_squared(self) -> f64 {
+        self.x * self.x + self.y * self.y
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn distance_to(self, other: Vec2) -> f64 {
+        (other - self).length()
+    }
+
+    /// Squared distance to `other` (for threshold comparisons).
+    pub fn distance_squared_to(self, other: Vec2) -> f64 {
+        (other - self).length_squared()
+    }
+
+    /// Unit vector in this direction, or zero for the zero vector.
+    pub fn normalized(self) -> Vec2 {
+        let len = self.length();
+        if len == 0.0 {
+            Vec2::ZERO
+        } else {
+            Vec2::new(self.x / len, self.y / len)
+        }
+    }
+
+    /// Linear interpolation: `self` at `t = 0`, `other` at `t = 1`.
+    pub fn lerp(self, other: Vec2, t: f64) -> Vec2 {
+        Vec2::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+    fn add(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign for Vec2 {
+    fn add_assign(&mut self, rhs: Vec2) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+    fn sub(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+    fn mul(self, rhs: f64) -> Vec2 {
+        Vec2::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl fmt::Debug for Vec2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.2}, {:.2})", self.x, self.y)
+    }
+}
+
+impl fmt::Display for Vec2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.2} m, {:.2} m)", self.x, self.y)
+    }
+}
+
+/// The rectangular simulation field, `[0, width] × [0, height]` meters.
+///
+/// The paper uses a 1500 × 300 m field for 100 nodes.
+///
+/// # Example
+///
+/// ```
+/// use rcast_mobility::{Area, Vec2};
+///
+/// let area = Area::new(1500.0, 300.0);
+/// assert!(area.contains(Vec2::new(750.0, 150.0)));
+/// assert!(!area.contains(Vec2::new(-1.0, 0.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Area {
+    width: f64,
+    height: f64,
+}
+
+impl Area {
+    /// Creates a field of the given dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is not positive and finite.
+    pub fn new(width: f64, height: f64) -> Self {
+        assert!(
+            width.is_finite() && width > 0.0 && height.is_finite() && height > 0.0,
+            "invalid area {width}x{height}"
+        );
+        Area { width, height }
+    }
+
+    /// The paper's testbed field: 1500 × 300 m.
+    pub fn paper_default() -> Self {
+        Area::new(1500.0, 300.0)
+    }
+
+    /// Field width (meters).
+    pub fn width(self) -> f64 {
+        self.width
+    }
+
+    /// Field height (meters).
+    pub fn height(self) -> f64 {
+        self.height
+    }
+
+    /// `true` when `p` lies inside the field (inclusive of edges).
+    pub fn contains(self, p: Vec2) -> bool {
+        (0.0..=self.width).contains(&p.x) && (0.0..=self.height).contains(&p.y)
+    }
+
+    /// Clamps `p` onto the field.
+    pub fn clamp(self, p: Vec2) -> Vec2 {
+        Vec2::new(p.x.clamp(0.0, self.width), p.y.clamp(0.0, self.height))
+    }
+
+    /// The field diagonal — the longest possible trip.
+    pub fn diagonal(self) -> f64 {
+        self.width.hypot(self.height)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_arithmetic() {
+        let a = Vec2::new(1.0, 2.0);
+        let b = Vec2::new(3.0, -1.0);
+        assert_eq!(a + b, Vec2::new(4.0, 1.0));
+        assert_eq!(b - a, Vec2::new(2.0, -3.0));
+        assert_eq!(a * 2.0, Vec2::new(2.0, 4.0));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, a + b);
+    }
+
+    #[test]
+    fn distances() {
+        let a = Vec2::new(0.0, 0.0);
+        let b = Vec2::new(3.0, 4.0);
+        assert_eq!(a.distance_to(b), 5.0);
+        assert_eq!(a.distance_squared_to(b), 25.0);
+        assert_eq!(b.length(), 5.0);
+        assert_eq!(b.length_squared(), 25.0);
+    }
+
+    #[test]
+    fn normalization() {
+        let v = Vec2::new(10.0, 0.0).normalized();
+        assert!((v.length() - 1.0).abs() < 1e-12);
+        assert_eq!(Vec2::ZERO.normalized(), Vec2::ZERO);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Vec2::new(0.0, 0.0);
+        let b = Vec2::new(10.0, 20.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Vec2::new(5.0, 10.0));
+    }
+
+    #[test]
+    fn area_contains_and_clamp() {
+        let area = Area::paper_default();
+        assert_eq!(area.width(), 1500.0);
+        assert_eq!(area.height(), 300.0);
+        assert!(area.contains(Vec2::new(0.0, 0.0)));
+        assert!(area.contains(Vec2::new(1500.0, 300.0)));
+        assert!(!area.contains(Vec2::new(1500.1, 0.0)));
+        assert_eq!(
+            area.clamp(Vec2::new(2000.0, -5.0)),
+            Vec2::new(1500.0, 0.0)
+        );
+    }
+
+    #[test]
+    fn area_diagonal() {
+        let area = Area::new(30.0, 40.0);
+        assert_eq!(area.diagonal(), 50.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_area_panics() {
+        let _ = Area::new(0.0, 10.0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Per-interval neighbor table.
+//!
+//! The simulator recomputes who-hears-whom once per beacon interval.
+//! [`NeighborTable`] materializes those lists for every node so the MAC
+//! layer (wake/overhear bookkeeping) and the Rcast decision engine
+//! (`P_R = 1 / #neighbors`) can query them repeatedly at zero cost.
+
+use rcast_engine::NodeId;
+
+use crate::field::Snapshot;
+
+/// Materialized neighbor lists for every node at one instant.
+///
+/// # Example
+///
+/// ```
+/// use rcast_engine::{NodeId, SimTime};
+/// use rcast_mobility::{Area, NeighborTable, Snapshot, Vec2};
+///
+/// let snap = Snapshot::from_positions(
+///     vec![Vec2::new(0.0, 0.0), Vec2::new(100.0, 0.0), Vec2::new(600.0, 0.0)],
+///     Area::new(1000.0, 10.0),
+///     SimTime::ZERO,
+/// );
+/// let table = NeighborTable::build(&snap, 250.0);
+/// assert_eq!(table.neighbors(NodeId::new(0)), &[NodeId::new(1)]);
+/// assert_eq!(table.degree(NodeId::new(2)), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NeighborTable {
+    range_m: f64,
+    lists: Vec<Vec<NodeId>>,
+}
+
+impl NeighborTable {
+    /// Builds the table from a snapshot with the given radio range.
+    pub fn build(snapshot: &Snapshot, range_m: f64) -> Self {
+        let grid = snapshot.grid(range_m);
+        let lists = (0..snapshot.len())
+            .map(|i| grid.neighbors_of(NodeId::new(i as u32), snapshot, range_m))
+            .collect();
+        NeighborTable { range_m, lists }
+    }
+
+    /// The radio range this table was built with.
+    pub fn range_m(&self) -> f64 {
+        self.range_m
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// `true` when the table covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.lists.is_empty()
+    }
+
+    /// The sorted neighbor list of `id`.
+    pub fn neighbors(&self, id: NodeId) -> &[NodeId] {
+        &self.lists[id.index()]
+    }
+
+    /// Number of neighbors of `id`.
+    pub fn degree(&self, id: NodeId) -> usize {
+        self.lists[id.index()].len()
+    }
+
+    /// `true` when `b` is in `a`'s neighbor list.
+    pub fn are_neighbors(&self, a: NodeId, b: NodeId) -> bool {
+        self.lists[a.index()].binary_search(&b).is_ok()
+    }
+
+    /// Mean node degree over the whole network.
+    pub fn mean_degree(&self) -> f64 {
+        if self.lists.is_empty() {
+            return 0.0;
+        }
+        self.lists.iter().map(|l| l.len()).sum::<usize>() as f64 / self.lists.len() as f64
+    }
+
+    /// Number of neighbor-set changes for `id` between `prev` and `self`
+    /// (symmetric difference size). The Rcast mobility factor uses this
+    /// as a local mobility estimate.
+    pub fn link_changes_since(&self, prev: &NeighborTable, id: NodeId) -> usize {
+        let a = &prev.lists[id.index()];
+        let b = &self.lists[id.index()];
+        // Both sorted: merge-count the symmetric difference.
+        let (mut i, mut j, mut changes) = (0usize, 0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => {
+                    changes += 1;
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    changes += 1;
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        changes + (a.len() - i) + (b.len() - j)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::{Area, Vec2};
+    use rcast_engine::SimTime;
+
+    fn table(positions: Vec<Vec2>) -> NeighborTable {
+        let snap = Snapshot::from_positions(positions, Area::new(2000.0, 400.0), SimTime::ZERO);
+        NeighborTable::build(&snap, 250.0)
+    }
+
+    #[test]
+    fn chain_topology() {
+        // 0 -- 1 -- 2, with 0 and 2 out of mutual range.
+        let t = table(vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(200.0, 0.0),
+            Vec2::new(400.0, 0.0),
+        ]);
+        assert_eq!(t.neighbors(NodeId::new(0)), &[NodeId::new(1)]);
+        assert_eq!(
+            t.neighbors(NodeId::new(1)),
+            &[NodeId::new(0), NodeId::new(2)]
+        );
+        assert_eq!(t.degree(NodeId::new(1)), 2);
+        assert!(t.are_neighbors(NodeId::new(0), NodeId::new(1)));
+        assert!(!t.are_neighbors(NodeId::new(0), NodeId::new(2)));
+        assert!((t.mean_degree() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetry() {
+        let t = table(vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(100.0, 100.0),
+            Vec2::new(90.0, 10.0),
+            Vec2::new(800.0, 0.0),
+        ]);
+        for a in 0..4u32 {
+            for b in 0..4u32 {
+                if a == b {
+                    continue;
+                }
+                assert_eq!(
+                    t.are_neighbors(NodeId::new(a), NodeId::new(b)),
+                    t.are_neighbors(NodeId::new(b), NodeId::new(a))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn link_change_counting() {
+        let before = table(vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(100.0, 0.0),
+            Vec2::new(200.0, 0.0),
+        ]);
+        // Node 1 walks away from node 0 but stays near node 2.
+        let after = table(vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(300.0, 0.0),
+            Vec2::new(200.0, 0.0),
+        ]);
+        // Node 0 lost both neighbors (1 moved off; 2 was in range at 200 m
+        // before but still is — wait, 0..2 distance unchanged at 200).
+        assert_eq!(after.link_changes_since(&before, NodeId::new(0)), 1);
+        // Node 1: lost 0, kept 2.
+        assert_eq!(after.link_changes_since(&before, NodeId::new(1)), 1);
+        // Node 2 kept both.
+        assert_eq!(after.link_changes_since(&before, NodeId::new(2)), 0);
+        // No movement → no changes.
+        assert_eq!(before.link_changes_since(&before, NodeId::new(0)), 0);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = table(vec![]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.mean_degree(), 0.0);
+    }
+}

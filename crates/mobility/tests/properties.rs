@@ -1,0 +1,123 @@
+//! Property-based tests for mobility: trajectories stay in bounds,
+//! speeds respect limits, and the spatial grid agrees with brute force.
+
+use proptest::prelude::*;
+use rcast_engine::rng::StreamRng;
+use rcast_engine::{NodeId, SimTime};
+use rcast_mobility::{Area, NeighborTable, RandomWaypoint, Snapshot, Vec2, WaypointConfig};
+
+proptest! {
+    /// A trajectory never leaves its field, for arbitrary seeds,
+    /// speeds, pause times and query patterns.
+    #[test]
+    fn trajectory_stays_in_area(
+        seed in any::<u64>(),
+        max_speed in 1.0f64..50.0,
+        pause in 0.0f64..100.0,
+        steps in prop::collection::vec(1u64..5_000, 1..50),
+    ) {
+        let area = Area::new(1_500.0, 300.0);
+        let cfg = WaypointConfig {
+            min_speed_mps: 0.1,
+            max_speed_mps: max_speed,
+            pause_secs: pause,
+        };
+        let mut rw = RandomWaypoint::new(area, cfg, StreamRng::from_seed(seed));
+        let mut t = 0u64;
+        for step in steps {
+            t += step;
+            let p = rw.position_at(SimTime::from_millis(t));
+            prop_assert!(area.contains(p), "escaped to {p:?} at {t} ms");
+        }
+    }
+
+    /// Observed speed between samples never exceeds the configured max.
+    #[test]
+    fn observed_speed_bounded(seed in any::<u64>(), max_speed in 1.0f64..40.0) {
+        let area = Area::new(1_000.0, 200.0);
+        let cfg = WaypointConfig {
+            min_speed_mps: 0.1,
+            max_speed_mps: max_speed,
+            pause_secs: 0.0,
+        };
+        let mut rw = RandomWaypoint::new(area, cfg, StreamRng::from_seed(seed));
+        let dt = 0.5;
+        let mut prev = rw.position_at(SimTime::ZERO);
+        for i in 1..200u64 {
+            let cur = rw.position_at(SimTime::from_millis(i * 500));
+            let v = prev.distance_to(cur) / dt;
+            prop_assert!(v <= max_speed + 1e-6, "speed {v} > {max_speed}");
+            prev = cur;
+        }
+    }
+
+    /// The grid-backed neighbor query equals the O(n^2) answer for
+    /// arbitrary point sets and ranges.
+    #[test]
+    fn grid_matches_brute_force(
+        points in prop::collection::vec((0.0f64..2_000.0, 0.0f64..400.0), 1..80),
+        range in 50.0f64..400.0,
+    ) {
+        let positions: Vec<Vec2> = points.iter().map(|&(x, y)| Vec2::new(x, y)).collect();
+        let snap = Snapshot::from_positions(positions.clone(), Area::new(2_000.0, 400.0), SimTime::ZERO);
+        let table = NeighborTable::build(&snap, range);
+        for i in 0..positions.len() {
+            let id = NodeId::new(i as u32);
+            let mut brute: Vec<NodeId> = (0..positions.len())
+                .filter(|&j| j != i && positions[i].distance_to(positions[j]) <= range)
+                .map(|j| NodeId::new(j as u32))
+                .collect();
+            brute.sort_unstable();
+            prop_assert_eq!(table.neighbors(id), &brute[..]);
+        }
+    }
+
+    /// Neighbor relations are symmetric for arbitrary topologies.
+    #[test]
+    fn neighbor_symmetry(
+        points in prop::collection::vec((0.0f64..1_000.0, 0.0f64..1_000.0), 2..40),
+    ) {
+        let positions: Vec<Vec2> = points.iter().map(|&(x, y)| Vec2::new(x, y)).collect();
+        let count = positions.len();
+        let snap = Snapshot::from_positions(positions, Area::new(1_000.0, 1_000.0), SimTime::ZERO);
+        let table = NeighborTable::build(&snap, 250.0);
+        for a in 0..count {
+            for b in 0..count {
+                prop_assert_eq!(
+                    table.are_neighbors(NodeId::new(a as u32), NodeId::new(b as u32)),
+                    table.are_neighbors(NodeId::new(b as u32), NodeId::new(a as u32))
+                );
+            }
+        }
+    }
+
+    /// Link-change counting is zero against itself and symmetric in
+    /// total count between two arbitrary snapshots.
+    #[test]
+    fn link_changes_consistency(
+        before in prop::collection::vec((0.0f64..800.0, 0.0f64..200.0), 3..30),
+        jitter in prop::collection::vec((-300.0f64..300.0, -100.0f64..100.0), 3..30),
+    ) {
+        let n = before.len().min(jitter.len());
+        let area = Area::new(2_000.0, 600.0);
+        let p1: Vec<Vec2> = before[..n].iter().map(|&(x, y)| Vec2::new(x, y)).collect();
+        let p2: Vec<Vec2> = p1
+            .iter()
+            .zip(&jitter[..n])
+            .map(|(p, &(dx, dy))| area.clamp(Vec2::new(p.x + dx + 300.0, p.y + dy + 100.0)))
+            .collect();
+        let s1 = Snapshot::from_positions(p1, area, SimTime::ZERO);
+        let s2 = Snapshot::from_positions(p2, area, SimTime::from_secs(1));
+        let t1 = NeighborTable::build(&s1, 250.0);
+        let t2 = NeighborTable::build(&s2, 250.0);
+        for i in 0..n {
+            let id = NodeId::new(i as u32);
+            prop_assert_eq!(t1.link_changes_since(&t1, id), 0);
+            // Symmetric difference is direction-independent.
+            prop_assert_eq!(
+                t2.link_changes_since(&t1, id),
+                t1.link_changes_since(&t2, id)
+            );
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! PHY data-rate and 802.11 timing constants.
+
+use rcast_engine::SimDuration;
+
+/// IEEE 802.11 (DSSS) inter-frame spacings and slot timing.
+///
+/// These default to the 1997 DSSS PHY values used by ns-2's 2 Mbps
+/// WaveLAN model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhyTimings {
+    /// Short inter-frame space.
+    pub sifs: SimDuration,
+    /// DCF inter-frame space.
+    pub difs: SimDuration,
+    /// Backoff slot length.
+    pub slot: SimDuration,
+    /// PLCP preamble + header transmission time (fixed, rate-independent).
+    pub plcp: SimDuration,
+}
+
+impl Default for PhyTimings {
+    fn default() -> Self {
+        PhyTimings {
+            sifs: SimDuration::from_micros(10),
+            difs: SimDuration::from_micros(50),
+            slot: SimDuration::from_micros(20),
+            plcp: SimDuration::from_micros(192),
+        }
+    }
+}
+
+/// The physical layer: data rate plus timing, with airtime helpers.
+///
+/// # Example
+///
+/// ```
+/// use rcast_radio::Phy;
+///
+/// let phy = Phy::default(); // 2 Mbps
+/// // 512 bytes of payload take 2.048 ms on the air plus PLCP overhead.
+/// let t = phy.airtime(512);
+/// assert!(t.as_secs_f64() > 0.002 && t.as_secs_f64() < 0.003);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Phy {
+    /// Payload bit rate, bits per second (paper: 2 Mbps).
+    data_rate_bps: f64,
+    /// Timing constants.
+    pub timings: PhyTimings,
+}
+
+impl Default for Phy {
+    /// The paper's 2 Mbps channel.
+    fn default() -> Self {
+        Phy::new(2_000_000.0)
+    }
+}
+
+impl Phy {
+    /// Creates a PHY with the given data rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data_rate_bps` is not positive and finite.
+    pub fn new(data_rate_bps: f64) -> Self {
+        assert!(
+            data_rate_bps.is_finite() && data_rate_bps > 0.0,
+            "invalid data rate {data_rate_bps}"
+        );
+        Phy {
+            data_rate_bps,
+            timings: PhyTimings::default(),
+        }
+    }
+
+    /// The payload bit rate, bits per second.
+    pub fn data_rate_bps(&self) -> f64 {
+        self.data_rate_bps
+    }
+
+    /// Time on the air for `bytes` of frame (PLCP overhead included).
+    pub fn airtime(&self, bytes: usize) -> SimDuration {
+        let bits = bytes as f64 * 8.0;
+        self.timings.plcp + SimDuration::from_secs_f64(bits / self.data_rate_bps)
+    }
+
+    /// Airtime of a complete acknowledged unicast exchange:
+    /// `DIFS + DATA + SIFS + ACK`.
+    ///
+    /// `ack_bytes` is the MAC ACK frame length (14 octets in 802.11).
+    pub fn unicast_exchange_time(&self, data_bytes: usize, ack_bytes: usize) -> SimDuration {
+        self.timings.difs + self.airtime(data_bytes) + self.timings.sifs + self.airtime(ack_bytes)
+    }
+
+    /// Airtime of an unacknowledged broadcast: `DIFS + DATA`.
+    pub fn broadcast_time(&self, data_bytes: usize) -> SimDuration {
+        self.timings.difs + self.airtime(data_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn airtime_scales_linearly_with_size() {
+        let phy = Phy::default();
+        let t1 = phy.airtime(100);
+        let t2 = phy.airtime(200);
+        let delta = t2 - t1;
+        // 100 extra bytes at 2 Mbps = 400 µs.
+        assert_eq!(delta, SimDuration::from_micros(400));
+    }
+
+    #[test]
+    fn airtime_includes_plcp() {
+        let phy = Phy::default();
+        assert_eq!(phy.airtime(0), phy.timings.plcp);
+    }
+
+    #[test]
+    fn faster_phy_is_faster() {
+        let slow = Phy::new(1_000_000.0);
+        let fast = Phy::new(11_000_000.0);
+        assert!(fast.airtime(512) < slow.airtime(512));
+        assert_eq!(fast.data_rate_bps(), 11_000_000.0);
+    }
+
+    #[test]
+    fn unicast_exchange_adds_overheads() {
+        let phy = Phy::default();
+        let t = phy.unicast_exchange_time(512, 14);
+        let expect = phy.timings.difs
+            + phy.airtime(512)
+            + phy.timings.sifs
+            + phy.airtime(14);
+        assert_eq!(t, expect);
+        assert!(t > phy.broadcast_time(512));
+    }
+
+    #[test]
+    fn paper_scale_sanity() {
+        // A 512-byte CBR packet at 2 Mbps occupies ~2.2 ms; hundreds fit
+        // in a 200 ms data window — consistent with the paper's loads.
+        let phy = Phy::default();
+        let per_packet = phy.unicast_exchange_time(512 + 40, 14).as_secs_f64();
+        assert!(per_packet < 0.004, "{per_packet}");
+        assert!(0.2 / per_packet > 50.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_rate_panics() {
+        let _ = Phy::new(0.0);
+    }
+}

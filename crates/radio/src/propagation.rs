@@ -1,0 +1,194 @@
+//! Path-loss model: Friis free-space near the transmitter, two-ray
+//! ground beyond the crossover distance.
+//!
+//! ns-2's `TwoRayGround` model computes received power as
+//!
+//! * `Pr = Pt·Gt·Gr·λ² / ((4π)²·d²·L)` for `d < d_c` (Friis), and
+//! * `Pr = Pt·Gt·Gr·ht²·hr² / d⁴` for `d ≥ d_c` (two-ray ground),
+//!
+//! with crossover `d_c = 4π·ht·hr / λ`. Reception succeeds when `Pr`
+//! exceeds the receive threshold. ns-2 scenario files pick the threshold
+//! so the nominal range is exactly 250 m; [`Propagation::with_range`]
+//! performs the same calibration, which is why the resulting reception
+//! region is a deterministic disk — exactly the behaviour the paper's
+//! simulations exhibit.
+
+/// A calibrated two-ray-ground propagation model.
+///
+/// # Example
+///
+/// ```
+/// use rcast_radio::Propagation;
+///
+/// let prop = Propagation::with_range(250.0);
+/// assert!(prop.receivable(249.9));
+/// assert!(!prop.receivable(250.1));
+/// assert_eq!(prop.range_m(), 250.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Propagation {
+    /// Transmit power, watts (ns-2 default 0.2818 W for 250 m).
+    tx_power_w: f64,
+    /// Antenna heights, meters (ns-2 default 1.5 m).
+    antenna_height_m: f64,
+    /// Carrier wavelength, meters (914 MHz WaveLAN ⇒ ~0.328 m).
+    wavelength_m: f64,
+    /// Receive threshold, watts — calibrated from the nominal range.
+    rx_threshold_w: f64,
+    /// The nominal range the threshold was calibrated to.
+    range_m: f64,
+}
+
+impl Propagation {
+    /// ns-2 defaults: 0.2818 W transmit power, 1.5 m antennas, 914 MHz.
+    const TX_POWER_W: f64 = 0.2818;
+    const ANTENNA_HEIGHT_M: f64 = 1.5;
+    const WAVELENGTH_M: f64 = 0.328_227;
+
+    /// Builds the model calibrated so the reception disk has exactly the
+    /// given nominal radius (the paper uses 250 m).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range_m` is not positive and finite.
+    pub fn with_range(range_m: f64) -> Self {
+        assert!(
+            range_m.is_finite() && range_m > 0.0,
+            "invalid range {range_m}"
+        );
+        let mut p = Propagation {
+            tx_power_w: Self::TX_POWER_W,
+            antenna_height_m: Self::ANTENNA_HEIGHT_M,
+            wavelength_m: Self::WAVELENGTH_M,
+            rx_threshold_w: 0.0,
+            range_m,
+        };
+        p.rx_threshold_w = p.rx_power_w(range_m);
+        p
+    }
+
+    /// The crossover distance between the Friis and two-ray regimes.
+    pub fn crossover_m(&self) -> f64 {
+        4.0 * std::f64::consts::PI * self.antenna_height_m * self.antenna_height_m
+            / self.wavelength_m
+    }
+
+    /// Received power at distance `d` meters (unit antenna gains, no
+    /// system loss).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is negative or not finite.
+    pub fn rx_power_w(&self, d: f64) -> f64 {
+        assert!(d.is_finite() && d >= 0.0, "invalid distance {d}");
+        // Guard the singularity at d = 0: anything at the antenna hears
+        // full transmit power.
+        if d < 1e-3 {
+            return self.tx_power_w;
+        }
+        let g = 1.0; // Gt = Gr = 1, L = 1 (ns-2 defaults)
+        if d < self.crossover_m() {
+            let denom = (4.0 * std::f64::consts::PI * d / self.wavelength_m).powi(2);
+            self.tx_power_w * g / denom
+        } else {
+            let h2 = self.antenna_height_m * self.antenna_height_m;
+            self.tx_power_w * g * h2 * h2 / d.powi(4)
+        }
+    }
+
+    /// Received power at distance `d`, in dBm.
+    pub fn rx_power_dbm(&self, d: f64) -> f64 {
+        10.0 * (self.rx_power_w(d) * 1000.0).log10()
+    }
+
+    /// `true` when a frame transmitted at distance `d` is receivable.
+    pub fn receivable(&self, d: f64) -> bool {
+        self.rx_power_w(d) >= self.rx_threshold_w
+    }
+
+    /// The calibrated nominal range, meters.
+    pub fn range_m(&self) -> f64 {
+        self.range_m
+    }
+
+    /// The calibrated receive threshold, watts.
+    pub fn rx_threshold_w(&self) -> f64 {
+        self.rx_threshold_w
+    }
+}
+
+impl Default for Propagation {
+    /// The paper's 250 m range.
+    fn default() -> Self {
+        Propagation::with_range(250.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reception_boundary_is_the_nominal_range() {
+        let p = Propagation::with_range(250.0);
+        assert!(p.receivable(0.0));
+        assert!(p.receivable(100.0));
+        assert!(p.receivable(250.0));
+        assert!(!p.receivable(250.5));
+        assert!(!p.receivable(1000.0));
+    }
+
+    #[test]
+    fn power_decreases_monotonically() {
+        let p = Propagation::default();
+        let mut prev = p.rx_power_w(0.5);
+        for i in 1..600 {
+            let d = i as f64;
+            let cur = p.rx_power_w(d);
+            assert!(cur <= prev + 1e-18, "at {d} m");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn regimes_meet_continuously_at_crossover() {
+        let p = Propagation::default();
+        let dc = p.crossover_m();
+        // The two formulas coincide at d_c by construction of d_c.
+        let just_below = p.rx_power_w(dc - 1e-6);
+        let just_above = p.rx_power_w(dc + 1e-6);
+        let rel = (just_below - just_above).abs() / just_below;
+        assert!(rel < 1e-3, "discontinuity at crossover: {rel}");
+    }
+
+    #[test]
+    fn crossover_near_86m_for_defaults() {
+        // 4π·1.5²/0.328227 ≈ 86.1 m — the well-known ns-2 value.
+        let p = Propagation::default();
+        assert!((p.crossover_m() - 86.14).abs() < 0.5, "{}", p.crossover_m());
+    }
+
+    #[test]
+    fn different_ranges_calibrate_different_thresholds() {
+        let a = Propagation::with_range(100.0);
+        let b = Propagation::with_range(250.0);
+        assert!(a.rx_threshold_w() > b.rx_threshold_w());
+        assert!(a.receivable(100.0));
+        assert!(!a.receivable(150.0));
+        assert!(b.receivable(150.0));
+    }
+
+    #[test]
+    fn dbm_is_log_of_watts() {
+        let p = Propagation::default();
+        let w = p.rx_power_w(250.0);
+        let dbm = p.rx_power_dbm(250.0);
+        assert!((10f64.powf(dbm / 10.0) / 1000.0 - w).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_distance_panics() {
+        let _ = Propagation::default().rx_power_w(-1.0);
+    }
+}

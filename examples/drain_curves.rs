@@ -1,0 +1,55 @@
+//! Scenario: plotting energy-drain trajectories.
+//!
+//! ```sh
+//! cargo run --release --example drain_curves
+//! ```
+//!
+//! The paper's Figure 5 shows end-of-run energy; operators usually want
+//! the trajectory — how fast each scheme drains the network and when
+//! the hungriest node would cross a battery limit. This example enables
+//! `SimConfig::energy_sampling`, prints an ASCII drain chart of the
+//! network total, and reports the average power draw per scheme.
+
+use randomcast::metrics::fmt_f64;
+use randomcast::{run_sim, Scheme, SimConfig, SimDuration};
+
+fn main() -> Result<(), String> {
+    println!("Energy drain trajectories: 50 nodes, 10 flows, 120 s\n");
+
+    let mut curves = Vec::new();
+    for scheme in [Scheme::Dot11, Scheme::Odpm, Scheme::Rcast] {
+        let mut cfg = SimConfig::smoke(scheme, 5);
+        cfg.energy_sampling = Some(SimDuration::from_secs(5));
+        let report = run_sim(cfg)?;
+        let series = report.energy_series.clone().expect("sampling enabled");
+        println!(
+            "{:>7}: average network draw {} W ({} J total)",
+            scheme.label(),
+            fmt_f64(series.mean_total_slope(), 1),
+            fmt_f64(report.energy.total_joules(), 0),
+        );
+        curves.push((scheme, series));
+    }
+
+    // ASCII chart: network total vs time, one row per scheme sample.
+    println!("\nnetwork energy consumed (each █ ≈ 150 J):");
+    let times = curves[0].1.times().to_vec();
+    for (i, t) in times.iter().enumerate().step_by(4) {
+        print!("{:>5.0} s |", t.as_secs_f64());
+        for (scheme, series) in &curves {
+            let total = series.totals()[i];
+            let bars = (total / 150.0).round() as usize;
+            print!(
+                " {:>6} {:<46}",
+                scheme.label(),
+                "█".repeat(bars.min(46))
+            );
+        }
+        println!();
+    }
+
+    println!();
+    println!("802.11 drains linearly at full tilt; ODPM tracks it at a");
+    println!("discount; Rcast's slope is the shallowest from the start.");
+    Ok(())
+}

@@ -1,0 +1,30 @@
+//! Quickstart: run one RandomCast simulation and print its report.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Simulates a 50-node MANET for two simulated minutes under each of
+//! the paper's schemes and prints the headline metrics, demonstrating
+//! the library's one-call entry point.
+
+use randomcast::{run_sim, Scheme, SimConfig};
+
+fn main() -> Result<(), String> {
+    println!("RandomCast quickstart: 50 nodes, 10 CBR flows, 120 simulated seconds\n");
+
+    for scheme in Scheme::ALL {
+        let cfg = SimConfig::smoke(scheme, 7);
+        let report = run_sim(cfg)?;
+        println!("{}", report.summary());
+    }
+
+    println!();
+    println!("Things to notice:");
+    println!(" * 802.11 burns the most energy (radios never sleep) with zero variance;");
+    println!(" * PSM saves little: unconditional overhearing keeps neighborhoods awake;");
+    println!(" * PSM-none sleeps a lot but pays in delivery ratio and flooding;");
+    println!(" * ODPM sits in between with a lopsided (high-variance) energy profile;");
+    println!(" * Rcast gets the low energy AND the balance, at beacon-paced delay.");
+    Ok(())
+}

@@ -1,0 +1,124 @@
+//! The `rcast` command-line simulator.
+//!
+//! ```sh
+//! cargo run --release --bin rcast -- run --scheme rcast --rate 0.4
+//! cargo run --release --bin rcast -- compare --rates 0.2,2.0
+//! cargo run --release --bin rcast -- help
+//! ```
+
+use std::process::ExitCode;
+
+use randomcast::cli::{self, Command};
+use randomcast::metrics::{fmt_f64, TextTable};
+use randomcast::{run_sim, AggregateReport};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cli::parse(&args) {
+        Ok(Command::Help) => {
+            print!("{}", cli::USAGE);
+            ExitCode::SUCCESS
+        }
+        Ok(Command::Run(run)) => match run_sim(run.config.clone()) {
+            Ok(report) => {
+                if run.csv {
+                    println!("{}", cli::csv_row(&report, &run.config));
+                } else {
+                    println!("{}", report.summary());
+                    println!(
+                        "  routing {} | originated {} | delivered {} | control tx {} | EPB {} J/bit",
+                        run.config.routing,
+                        report.delivery.originated(),
+                        report.delivery.delivered(),
+                        report.delivery.control_transmissions(),
+                        fmt_f64(report.energy_per_bit(run.config.traffic.packet_bytes), 9),
+                    );
+                    if let Some(t) = report.first_depletion {
+                        println!("  first battery depletion at {t}");
+                    }
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Ok(Command::Scenario { path, csv }) => {
+            let text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let config = match randomcast::parse_scenario(&text) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("error in {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match run_sim(config.clone()) {
+                Ok(report) => {
+                    if csv {
+                        println!("{}", cli::csv_row(&report, &config));
+                    } else {
+                        println!("{}", report.summary());
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Ok(Command::ExportScenario(cfg)) => {
+            print!("{}", randomcast::write_scenario(&cfg));
+            ExitCode::SUCCESS
+        }
+        Ok(Command::Compare(cmp)) => {
+            let mut table = TextTable::new(vec![
+                "scheme".into(),
+                "rate".into(),
+                "energy (J)".into(),
+                "PDR (%)".into(),
+                "delay (ms)".into(),
+                "overhead".into(),
+                "variance".into(),
+            ]);
+            for &scheme in &cmp.schemes {
+                for &rate in &cmp.rates {
+                    let mut cfg = cmp.base.clone();
+                    cfg.scheme = scheme;
+                    cfg.traffic.rate_pps = rate;
+                    let reports = match randomcast::run_seeds(&cfg, cmp.seeds.iter().copied()) {
+                        Ok(r) => r,
+                        Err(e) => {
+                            eprintln!("error: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                    let agg = AggregateReport::from_runs(&reports, cfg.traffic.packet_bytes);
+                    table.add_row(vec![
+                        scheme.label().into(),
+                        format!("{rate}"),
+                        fmt_f64(agg.mean_total_energy_j, 0),
+                        fmt_f64(agg.mean_pdr * 100.0, 1),
+                        fmt_f64(agg.mean_delay_s * 1e3, 0),
+                        fmt_f64(agg.mean_overhead, 2),
+                        fmt_f64(agg.mean_energy_variance, 0),
+                    ]);
+                }
+            }
+            println!("{}", table.render());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprint!("{}", cli::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

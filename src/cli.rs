@@ -1,0 +1,458 @@
+//! Command-line interface plumbing for the `rcast` binary.
+//!
+//! Hand-rolled parsing (no CLI dependency) kept in the library so every
+//! rule is unit-testable. Two subcommands:
+//!
+//! * `run` — one simulation, human summary or CSV row;
+//! * `compare` — a scheme × rate sweep printed as a table.
+
+use std::fmt;
+
+use crate::core::{OverhearFactors, RoutingKind, Scheme, SimConfig};
+use crate::engine::SimDuration;
+use crate::mobility::Area;
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Run one simulation.
+    Run(RunArgs),
+    /// Sweep schemes × rates.
+    Compare(CompareArgs),
+    /// Run a scenario file (`rcast scenario <path> [--csv]`).
+    Scenario {
+        /// Path to the scenario file.
+        path: String,
+        /// Emit a CSV row instead of the human summary.
+        csv: bool,
+    },
+    /// Print the scenario text for the given flags
+    /// (`rcast export-scenario [options]`).
+    ExportScenario(SimConfig),
+    /// Print usage.
+    Help,
+}
+
+/// Arguments of `rcast run`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunArgs {
+    /// The assembled configuration.
+    pub config: SimConfig,
+    /// Emit one CSV row instead of the human summary.
+    pub csv: bool,
+}
+
+/// Arguments of `rcast compare`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareArgs {
+    /// Base configuration (scheme/rate overwritten per cell).
+    pub base: SimConfig,
+    /// Schemes to sweep.
+    pub schemes: Vec<Scheme>,
+    /// Packet rates to sweep.
+    pub rates: Vec<f64>,
+    /// Seeds to average.
+    pub seeds: Vec<u64>,
+}
+
+/// A CLI parsing failure, with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCliError(String);
+
+impl fmt::Display for ParseCliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ParseCliError {}
+
+fn err(msg: impl Into<String>) -> ParseCliError {
+    ParseCliError(msg.into())
+}
+
+/// Parses a scheme name as printed by the paper.
+pub fn parse_scheme(s: &str) -> Result<Scheme, ParseCliError> {
+    match s.to_ascii_lowercase().as_str() {
+        "802.11" | "80211" | "dot11" | "always-on" => Ok(Scheme::Dot11),
+        "psm" => Ok(Scheme::Psm),
+        "psm-none" | "no-overhear" => Ok(Scheme::PsmNoOverhear),
+        "odpm" => Ok(Scheme::Odpm),
+        "rcast" | "randomcast" => Ok(Scheme::Rcast),
+        other => Err(err(format!(
+            "unknown scheme '{other}' (expected 802.11, psm, psm-none, odpm, rcast)"
+        ))),
+    }
+}
+
+/// Parses a routing protocol name.
+pub fn parse_routing(s: &str) -> Result<RoutingKind, ParseCliError> {
+    match s.to_ascii_lowercase().as_str() {
+        "dsr" => Ok(RoutingKind::Dsr),
+        "aodv" => Ok(RoutingKind::Aodv),
+        other => Err(err(format!(
+            "unknown routing protocol '{other}' (expected dsr, aodv)"
+        ))),
+    }
+}
+
+fn parse_f64(flag: &str, v: &str) -> Result<f64, ParseCliError> {
+    v.parse()
+        .map_err(|_| err(format!("{flag} expects a number, got '{v}'")))
+}
+
+fn parse_u64(flag: &str, v: &str) -> Result<u64, ParseCliError> {
+    v.parse()
+        .map_err(|_| err(format!("{flag} expects an integer, got '{v}'")))
+}
+
+/// The usage text.
+pub const USAGE: &str = "\
+rcast — RandomCast MANET simulator (reproduction of Lim/Yu/Das, ICDCS 2005)
+
+USAGE:
+    rcast run     [options]          run one simulation
+    rcast compare [options]          sweep schemes x rates
+    rcast scenario <file> [--csv]    run a saved scenario file
+    rcast export-scenario [options]  print a scenario file for the flags
+    rcast help                       show this text
+
+COMMON OPTIONS (both subcommands):
+    --scheme <s>      802.11 | psm | psm-none | odpm | rcast   [rcast]
+    --routing <r>     dsr | aodv                               [dsr]
+    --nodes <n>       node count                               [100]
+    --area <WxH>      field size in meters                     [1500x300]
+    --rate <pps>      packets/second per flow                  [0.4]
+    --flows <n>       CBR flow count                           [20]
+    --pause <s>       random-waypoint pause time               [600]
+    --duration <s>    simulated seconds                        [1125]
+    --seed <n>        run seed                                 [1]
+    --battery <J>     finite battery per node (enables lifetime)
+    --broadcast-p <p> Rcast randomized-broadcast receive probability
+    --factors <list>  comma list of rcast factors:
+                      neighbors,sender-id,mobility,battery
+
+run-ONLY:
+    --csv             print one CSV row (with header)
+
+compare-ONLY:
+    --schemes <list>  comma list of schemes      [802.11,odpm,rcast]
+    --rates <list>    comma list of rates        [0.2,0.4,1.0,2.0]
+    --seeds <list>    comma list of seeds        [1,2,3]
+";
+
+/// Parses a full argument vector (without the binary name).
+///
+/// # Errors
+///
+/// Returns a user-facing message for unknown flags or malformed values.
+pub fn parse(args: &[String]) -> Result<Command, ParseCliError> {
+    let Some((sub, rest)) = args.split_first() else {
+        return Ok(Command::Help);
+    };
+    match sub.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "run" => {
+            let (config, extras) = parse_config(rest)?;
+            let mut csv = false;
+            for e in extras {
+                match e.as_str() {
+                    "--csv" => csv = true,
+                    other => return Err(err(format!("unknown option '{other}'"))),
+                }
+            }
+            Ok(Command::Run(RunArgs { config, csv }))
+        }
+        "scenario" => {
+            let mut path = None;
+            let mut csv = false;
+            for a in rest {
+                match a.as_str() {
+                    "--csv" => csv = true,
+                    p if !p.starts_with("--") && path.is_none() => path = Some(p.to_string()),
+                    other => return Err(err(format!("unknown option '{other}'"))),
+                }
+            }
+            let path = path.ok_or_else(|| err("scenario needs a file path"))?;
+            Ok(Command::Scenario { path, csv })
+        }
+        "export-scenario" => {
+            let (config, extras) = parse_config(rest)?;
+            if let Some(e) = extras.first() {
+                return Err(err(format!("unknown option '{e}'")));
+            }
+            Ok(Command::ExportScenario(config))
+        }
+        "compare" => {
+            let mut schemes = vec![Scheme::Dot11, Scheme::Odpm, Scheme::Rcast];
+            let mut rates = vec![0.2, 0.4, 1.0, 2.0];
+            let mut seeds = vec![1, 2, 3];
+            let mut passthrough = Vec::new();
+            let mut it = rest.iter();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--schemes" => {
+                        let v = it.next().ok_or_else(|| err("--schemes needs a value"))?;
+                        schemes = v
+                            .split(',')
+                            .map(parse_scheme)
+                            .collect::<Result<_, _>>()?;
+                    }
+                    "--rates" => {
+                        let v = it.next().ok_or_else(|| err("--rates needs a value"))?;
+                        rates = v
+                            .split(',')
+                            .map(|r| parse_f64("--rates", r))
+                            .collect::<Result<_, _>>()?;
+                    }
+                    "--seeds" => {
+                        let v = it.next().ok_or_else(|| err("--seeds needs a value"))?;
+                        seeds = v
+                            .split(',')
+                            .map(|s| parse_u64("--seeds", s))
+                            .collect::<Result<_, _>>()?;
+                    }
+                    other => {
+                        passthrough.push(other.to_string());
+                        if let Some(v) = it.next() {
+                            passthrough.push(v.clone());
+                        }
+                    }
+                }
+            }
+            let (base, extras) = parse_config(&passthrough)?;
+            if let Some(e) = extras.first() {
+                return Err(err(format!("unknown option '{e}'")));
+            }
+            if schemes.is_empty() || rates.is_empty() || seeds.is_empty() {
+                return Err(err("schemes, rates and seeds must be non-empty"));
+            }
+            Ok(Command::Compare(CompareArgs {
+                base,
+                schemes,
+                rates,
+                seeds,
+            }))
+        }
+        other => Err(err(format!(
+            "unknown subcommand '{other}' (expected run, compare, help)"
+        ))),
+    }
+}
+
+/// Parses the shared configuration flags, returning leftover flags.
+fn parse_config(args: &[String]) -> Result<(SimConfig, Vec<String>), ParseCliError> {
+    let mut cfg = SimConfig::paper(Scheme::Rcast, 1, 0.4, 600.0);
+    let mut extras = Vec::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, ParseCliError> {
+            it.next().ok_or_else(|| err(format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--scheme" => cfg.scheme = parse_scheme(value("--scheme")?)?,
+            "--routing" => cfg.routing = parse_routing(value("--routing")?)?,
+            "--nodes" => cfg.nodes = parse_u64("--nodes", value("--nodes")?)? as u32,
+            "--area" => {
+                let v = value("--area")?;
+                let (w, h) = v
+                    .split_once(['x', 'X'])
+                    .ok_or_else(|| err(format!("--area expects WxH, got '{v}'")))?;
+                cfg.area = Area::new(parse_f64("--area", w)?, parse_f64("--area", h)?);
+            }
+            "--rate" => cfg.traffic.rate_pps = parse_f64("--rate", value("--rate")?)?,
+            "--flows" => {
+                cfg.traffic.flows = parse_u64("--flows", value("--flows")?)? as u32
+            }
+            "--pause" => {
+                cfg.waypoint.pause_secs = parse_f64("--pause", value("--pause")?)?
+            }
+            "--duration" => {
+                cfg.duration =
+                    SimDuration::from_secs_f64(parse_f64("--duration", value("--duration")?)?)
+            }
+            "--seed" => cfg.seed = parse_u64("--seed", value("--seed")?)?,
+            "--battery" => {
+                cfg.battery_capacity_j =
+                    Some(parse_f64("--battery", value("--battery")?)?)
+            }
+            "--broadcast-p" => {
+                cfg.factors.broadcast_probability =
+                    parse_f64("--broadcast-p", value("--broadcast-p")?)?
+            }
+            "--factors" => {
+                let v = value("--factors")?;
+                let mut f = OverhearFactors {
+                    neighbors: false,
+                    ..OverhearFactors::default()
+                };
+                for part in v.split(',') {
+                    match part {
+                        "neighbors" => f.neighbors = true,
+                        "sender-id" => f.sender_id = true,
+                        "mobility" => f.mobility = true,
+                        "battery" => f.battery = true,
+                        other => {
+                            return Err(err(format!("unknown factor '{other}'")))
+                        }
+                    }
+                }
+                cfg.factors = f;
+            }
+            other => extras.push(other.to_string()),
+        }
+    }
+    cfg.validate().map_err(err)?;
+    Ok((cfg, extras))
+}
+
+/// One CSV row (with header) for a finished run.
+pub fn csv_row(report: &crate::SimReport, cfg: &SimConfig) -> String {
+    let header = "scheme,routing,nodes,rate_pps,pause_s,duration_s,seed,\
+energy_j,variance,pdr,delay_ms,overhead,epb_j_per_bit,first_depletion_s";
+    let depletion = report
+        .first_depletion
+        .map(|t| format!("{:.3}", t.as_secs_f64()))
+        .unwrap_or_default();
+    format!(
+        "{header}\n{},{},{},{},{},{},{},{:.3},{:.3},{:.5},{:.1},{:.4},{:.9},{}",
+        report.scheme.label(),
+        cfg.routing.label(),
+        cfg.nodes,
+        cfg.traffic.rate_pps,
+        cfg.waypoint.pause_secs,
+        cfg.duration.as_secs_f64(),
+        report.seed,
+        report.energy.total_joules(),
+        report.energy.variance(),
+        report.delivery.delivery_ratio(),
+        report.delivery.mean_delay().as_millis_f64(),
+        report.delivery.normalized_routing_overhead(),
+        report.energy_per_bit(cfg.traffic.packet_bytes),
+        depletion,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn empty_and_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&args("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&args("--help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn run_defaults_are_paper_defaults() {
+        let Command::Run(r) = parse(&args("run")).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(r.config.nodes, 100);
+        assert_eq!(r.config.scheme, Scheme::Rcast);
+        assert_eq!(r.config.routing, RoutingKind::Dsr);
+        assert!(!r.csv);
+    }
+
+    #[test]
+    fn run_with_overrides() {
+        let cmd = parse(&args(
+            "run --scheme odpm --routing aodv --nodes 40 --rate 2.0 \
+             --pause 0 --duration 100 --seed 9 --area 800x200 --csv",
+        ))
+        .unwrap();
+        let Command::Run(r) = cmd else { panic!() };
+        assert_eq!(r.config.scheme, Scheme::Odpm);
+        assert_eq!(r.config.routing, RoutingKind::Aodv);
+        assert_eq!(r.config.nodes, 40);
+        assert_eq!(r.config.traffic.rate_pps, 2.0);
+        assert_eq!(r.config.waypoint.pause_secs, 0.0);
+        assert_eq!(r.config.duration, SimDuration::from_secs(100));
+        assert_eq!(r.config.seed, 9);
+        assert_eq!(r.config.area.width(), 800.0);
+        assert!(r.csv);
+    }
+
+    #[test]
+    fn scheme_names_paper_style() {
+        assert_eq!(parse_scheme("802.11").unwrap(), Scheme::Dot11);
+        assert_eq!(parse_scheme("PSM").unwrap(), Scheme::Psm);
+        assert_eq!(parse_scheme("psm-none").unwrap(), Scheme::PsmNoOverhear);
+        assert_eq!(parse_scheme("ODPM").unwrap(), Scheme::Odpm);
+        assert_eq!(parse_scheme("RandomCast").unwrap(), Scheme::Rcast);
+        assert!(parse_scheme("span").is_err());
+    }
+
+    #[test]
+    fn factor_list_parses() {
+        let cmd = parse(&args("run --factors neighbors,sender-id,battery")).unwrap();
+        let Command::Run(r) = cmd else { panic!() };
+        assert!(r.config.factors.neighbors);
+        assert!(r.config.factors.sender_id);
+        assert!(r.config.factors.battery);
+        assert!(!r.config.factors.mobility);
+        assert!(parse(&args("run --factors psychic")).is_err());
+    }
+
+    #[test]
+    fn scenario_subcommands_parse() {
+        assert_eq!(
+            parse(&args("scenario exp.scn --csv")).unwrap(),
+            Command::Scenario {
+                path: "exp.scn".into(),
+                csv: true
+            }
+        );
+        assert!(parse(&args("scenario")).is_err());
+        let Command::ExportScenario(cfg) =
+            parse(&args("export-scenario --scheme odpm --rate 2.0")).unwrap()
+        else {
+            panic!("expected export");
+        };
+        assert_eq!(cfg.scheme, Scheme::Odpm);
+        // Round trip through the scenario format.
+        let text = crate::core::write_scenario(&cfg);
+        assert_eq!(crate::core::parse_scenario(&text).unwrap(), cfg);
+    }
+
+    #[test]
+    fn compare_lists_parse() {
+        let cmd = parse(&args(
+            "compare --schemes 802.11,rcast --rates 0.2,2.0 --seeds 5,6 --nodes 30",
+        ))
+        .unwrap();
+        let Command::Compare(c) = cmd else { panic!() };
+        assert_eq!(c.schemes, vec![Scheme::Dot11, Scheme::Rcast]);
+        assert_eq!(c.rates, vec![0.2, 2.0]);
+        assert_eq!(c.seeds, vec![5, 6]);
+        assert_eq!(c.base.nodes, 30);
+    }
+
+    #[test]
+    fn errors_are_user_facing() {
+        assert!(parse(&args("launch")).is_err());
+        assert!(parse(&args("run --nodes")).is_err());
+        assert!(parse(&args("run --nodes many")).is_err());
+        assert!(parse(&args("run --area 100")).is_err());
+        assert!(parse(&args("run --bogus 1")).is_err());
+        // Validation runs too: one node is rejected.
+        assert!(parse(&args("run --nodes 1")).is_err());
+    }
+
+    #[test]
+    fn csv_row_shape() {
+        let cfg = SimConfig::smoke(Scheme::Rcast, 1);
+        let report = crate::run_sim(cfg.clone()).unwrap();
+        let csv = csv_row(&report, &cfg);
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        let row = lines.next().unwrap();
+        assert_eq!(header.split(',').count(), row.split(',').count());
+        assert!(row.starts_with("Rcast,DSR,50,"));
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based invariants of the full simulation: whatever the
+//! (small) configuration and seed, physical conservation laws hold.
+
+use proptest::prelude::*;
+use randomcast::{run_sim, Scheme, SimConfig, SimDuration};
+
+fn small_config(
+    scheme_idx: usize,
+    seed: u64,
+    nodes: u32,
+    rate: f64,
+    pause: f64,
+    flows: u32,
+) -> SimConfig {
+    let scheme = Scheme::ALL[scheme_idx % Scheme::ALL.len()];
+    let mut cfg = SimConfig::paper(scheme, seed, rate, pause);
+    cfg.nodes = nodes;
+    cfg.area = randomcast::mobility::Area::new(700.0, 300.0);
+    cfg.duration = SimDuration::from_secs(40);
+    cfg.traffic.flows = flows;
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Energy bounds: every node consumes at least the all-sleep floor
+    /// and at most the always-awake ceiling; delivered <= originated;
+    /// PDR in [0,1]; delays non-negative.
+    #[test]
+    fn physical_invariants(
+        scheme_idx in 0usize..5,
+        seed in 0u64..1_000,
+        nodes in 10u32..40,
+        rate in 0.2f64..2.0,
+        pause in 0.0f64..200.0,
+        flows in 1u32..8,
+    ) {
+        let cfg = small_config(scheme_idx, seed, nodes, rate, pause, flows);
+        let duration_s = cfg.duration.as_secs_f64();
+        let report = run_sim(cfg).expect("valid config");
+
+        let ceiling = 1.15 * duration_s + 1e-6;
+        // Even a silent PS node wakes for every ATIM window (20 %).
+        let floor = (1.15 * 0.2 + 0.045 * 0.8) * duration_s - 1e-6;
+        for &j in report.energy.per_node_joules() {
+            prop_assert!(j <= ceiling, "node exceeds always-on ceiling: {j}");
+            if report.scheme != Scheme::Dot11 {
+                prop_assert!(j >= floor, "node below PSM floor: {j}");
+            }
+        }
+
+        prop_assert!(report.delivery.delivered() <= report.delivery.originated());
+        let pdr = report.delivery.delivery_ratio();
+        prop_assert!((0.0..=1.0).contains(&pdr));
+        prop_assert!(report.delivery.mean_delay() >= randomcast::SimDuration::ZERO);
+        prop_assert!(report.delivery.normalized_routing_overhead() >= 0.0);
+    }
+
+    /// Determinism: the same configuration and seed produce bit-identical
+    /// reports, whatever the parameters.
+    #[test]
+    fn determinism_across_parameters(
+        scheme_idx in 0usize..5,
+        seed in 0u64..1_000,
+        rate in 0.2f64..2.0,
+    ) {
+        let cfg = small_config(scheme_idx, seed, 20, rate, 50.0, 4);
+        let a = run_sim(cfg.clone()).expect("valid");
+        let b = run_sim(cfg).expect("valid");
+        prop_assert_eq!(a.energy.per_node_joules(), b.energy.per_node_joules());
+        prop_assert_eq!(a.delivery.delivered(), b.delivery.delivered());
+        prop_assert_eq!(a.delivery.originated(), b.delivery.originated());
+        prop_assert_eq!(a.roles.all(), b.roles.all());
+        prop_assert_eq!(a.mac, b.mac);
+        prop_assert_eq!(a.dsr, b.dsr);
+    }
+
+    /// The 802.11 scheme's per-node energy is always exactly flat.
+    #[test]
+    fn dot11_flatness(seed in 0u64..1_000, nodes in 5u32..30) {
+        let cfg = small_config(0, seed, nodes, 0.4, 50.0, 3);
+        prop_assert_eq!(cfg.scheme, Scheme::Dot11);
+        let report = run_sim(cfg).expect("valid");
+        prop_assert_eq!(report.energy.variance(), 0.0);
+    }
+}
