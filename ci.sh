@@ -1,0 +1,21 @@
+#!/bin/sh
+# Offline CI gate for the RandomCast workspace.
+#
+# The workspace has no external dependencies, so every step runs with
+# --offline: any registry access is a regression this script catches.
+#
+#   ./ci.sh          # build + all tests (including doctests)
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "==> cargo test --offline (unit, integration, property, doctests)"
+cargo test -q --offline --workspace
+
+echo "==> cargo test --offline --doc (doctests, explicitly)"
+cargo test -q --offline --workspace --doc
+
+echo "CI gate passed."

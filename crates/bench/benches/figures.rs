@@ -1,8 +1,9 @@
-//! Criterion benches that exercise every figure/table regeneration path
-//! at reduced scale, so `cargo bench` touches the same code the `fig5`…
-//! `fig9` and `table1` binaries run at full scale.
+//! Benches that exercise every figure/table regeneration path at
+//! reduced scale, so `cargo bench` touches the same code the `fig5`…
+//! `fig9` and `table1` binaries run at full scale. Runs on the in-tree
+//! std-only harness (`rcast_bench::timing`) so it works fully offline.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rcast_bench::timing::Harness;
 use rcast_core::{run_sim, Scheme, SimConfig};
 use rcast_engine::SimDuration;
 use rcast_metrics::RunningStats;
@@ -15,102 +16,57 @@ fn tiny(scheme: Scheme, rate: f64, pause: f64) -> SimConfig {
     cfg
 }
 
-fn bench_table1(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figures/table1_point");
-    g.sample_size(10);
-    g.bench_function("three_schemes", |b| {
-        b.iter(|| {
-            Scheme::PAPER_FIGURES
-                .into_iter()
-                .map(|s| {
-                    run_sim(tiny(s, 0.4, 600.0))
-                        .expect("valid")
-                        .energy
-                        .total_joules()
-                })
-                .sum::<f64>()
-        })
-    });
-    g.finish();
-}
+fn main() {
+    let h = Harness {
+        max_iters: 10,
+        ..Harness::from_args()
+    };
+    println!("figure regeneration paths (std-only harness; pass --quick for a smoke run)\n");
 
-fn bench_fig5_curve(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figures/fig5_sorted_curve");
-    g.sample_size(10);
-    g.bench_function("rcast", |b| {
-        b.iter(|| {
-            run_sim(tiny(Scheme::Rcast, 2.0, 600.0))
-                .expect("valid")
-                .energy
-                .sorted_joules()
-        })
+    h.bench("figures/table1_point/three_schemes", || {
+        Scheme::PAPER_FIGURES
+            .into_iter()
+            .map(|s| {
+                run_sim(tiny(s, 0.4, 600.0))
+                    .expect("valid")
+                    .energy
+                    .total_joules()
+            })
+            .sum::<f64>()
     });
-    g.finish();
-}
 
-fn bench_fig6_variance(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figures/fig6_variance_point");
-    g.sample_size(10);
-    g.bench_function("odpm_vs_rcast", |b| {
-        b.iter(|| {
-            let o = run_sim(tiny(Scheme::Odpm, 0.4, 600.0)).expect("valid");
-            let r = run_sim(tiny(Scheme::Rcast, 0.4, 600.0)).expect("valid");
-            o.energy.variance() / r.energy.variance().max(1e-9)
-        })
+    h.bench("figures/fig5_sorted_curve/rcast", || {
+        run_sim(tiny(Scheme::Rcast, 2.0, 600.0))
+            .expect("valid")
+            .energy
+            .sorted_joules()
     });
-    g.finish();
-}
 
-fn bench_fig7_metrics(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figures/fig7_energy_pdr_epb");
-    g.sample_size(10);
-    g.bench_function("rcast_point", |b| {
-        b.iter(|| {
-            let r = run_sim(tiny(Scheme::Rcast, 1.0, 600.0)).expect("valid");
-            (
-                r.energy.total_joules(),
-                r.delivery.delivery_ratio(),
-                r.energy_per_bit(512),
-            )
-        })
+    h.bench("figures/fig6_variance_point/odpm_vs_rcast", || {
+        let o = run_sim(tiny(Scheme::Odpm, 0.4, 600.0)).expect("valid");
+        let r = run_sim(tiny(Scheme::Rcast, 0.4, 600.0)).expect("valid");
+        o.energy.variance() / r.energy.variance().max(1e-9)
     });
-    g.finish();
-}
 
-fn bench_fig8_metrics(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figures/fig8_delay_overhead");
-    g.sample_size(10);
-    g.bench_function("rcast_point", |b| {
-        b.iter(|| {
-            let r = run_sim(tiny(Scheme::Rcast, 0.4, 600.0)).expect("valid");
-            (
-                r.delivery.mean_delay(),
-                r.delivery.normalized_routing_overhead(),
-            )
-        })
+    h.bench("figures/fig7_energy_pdr_epb/rcast_point", || {
+        let r = run_sim(tiny(Scheme::Rcast, 1.0, 600.0)).expect("valid");
+        (
+            r.energy.total_joules(),
+            r.delivery.delivery_ratio(),
+            r.energy_per_bit(512),
+        )
     });
-    g.finish();
-}
 
-fn bench_fig9_roles(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figures/fig9_role_numbers");
-    g.sample_size(10);
-    g.bench_function("rcast_point", |b| {
-        b.iter(|| {
-            let r = run_sim(tiny(Scheme::Rcast, 2.0, 600.0)).expect("valid");
-            RunningStats::from_slice(&r.roles.as_f64()).max()
-        })
+    h.bench("figures/fig8_delay_overhead/rcast_point", || {
+        let r = run_sim(tiny(Scheme::Rcast, 0.4, 600.0)).expect("valid");
+        (
+            r.delivery.mean_delay(),
+            r.delivery.normalized_routing_overhead(),
+        )
     });
-    g.finish();
-}
 
-criterion_group!(
-    benches,
-    bench_table1,
-    bench_fig5_curve,
-    bench_fig6_variance,
-    bench_fig7_metrics,
-    bench_fig8_metrics,
-    bench_fig9_roles
-);
-criterion_main!(benches);
+    h.bench("figures/fig9_role_numbers/rcast_point", || {
+        let r = run_sim(tiny(Scheme::Rcast, 2.0, 600.0)).expect("valid");
+        RunningStats::from_slice(&r.roles.as_f64()).max()
+    });
+}

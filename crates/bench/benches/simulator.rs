@@ -1,30 +1,30 @@
-//! Criterion performance benchmarks of the simulator's hot paths:
-//! the event queue, the neighbor index, beacon-interval resolution and
-//! a full simulated second per scheme.
+//! Performance benchmarks of the simulator's hot paths: the event
+//! queue, the neighbor index, and a full simulated minute per scheme.
+//! Runs on the in-tree std-only harness (`rcast_bench::timing`) so
+//! `cargo bench` works fully offline.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rcast_bench::timing::Harness;
 use rcast_core::{Scheme, SimConfig, Simulation};
 use rcast_engine::rng::StreamRng;
 use rcast_engine::{EventQueue, SimDuration, SimTime};
 use rcast_mobility::{Area, MobilityField, NeighborTable, WaypointConfig};
+use std::time::Duration;
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("engine/event_queue_push_pop_10k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..10_000u64 {
-                q.schedule(SimTime::from_micros((i * 7919) % 100_000), i);
-            }
-            let mut acc = 0u64;
-            while let Some((_, e)) = q.pop() {
-                acc = acc.wrapping_add(e);
-            }
-            acc
-        })
+fn bench_event_queue(h: &Harness) {
+    h.bench("engine/event_queue_push_pop_10k", || {
+        let mut q = EventQueue::new();
+        for i in 0..10_000u64 {
+            q.schedule(SimTime::from_micros((i * 7919) % 100_000), i);
+        }
+        let mut acc = 0u64;
+        while let Some((_, e)) = q.pop() {
+            acc = acc.wrapping_add(e);
+        }
+        acc
     });
 }
 
-fn bench_neighbor_table(c: &mut Criterion) {
+fn bench_neighbor_table(h: &Harness) {
     let mut field = MobilityField::random_waypoint(
         100,
         Area::paper_default(),
@@ -32,34 +32,49 @@ fn bench_neighbor_table(c: &mut Criterion) {
         StreamRng::from_seed(1),
     );
     let snap = field.snapshot(SimTime::from_secs(10));
-    c.bench_function("mobility/neighbor_table_100_nodes", |b| {
-        b.iter(|| NeighborTable::build(&snap, 250.0))
+    h.bench("mobility/neighbor_table_100_nodes", || {
+        NeighborTable::build(&snap, 250.0)
     });
 }
 
-fn bench_simulated_second(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim/one_simulated_minute");
-    group.sample_size(10);
+fn bench_simulated_minute(h: &Harness) {
+    // Long-running benches: a handful of iterations is plenty.
+    let slow = Harness {
+        max_iters: 10,
+        ..*h
+    };
     for scheme in [Scheme::Dot11, Scheme::Odpm, Scheme::Rcast] {
-        group.bench_function(scheme.label(), |b| {
-            b.iter_batched(
-                || {
-                    let mut cfg = SimConfig::paper(scheme, 1, 0.4, 600.0);
-                    cfg.duration = SimDuration::from_secs(60);
-                    Simulation::new(cfg).expect("valid config")
-                },
-                |sim| sim.run(),
-                BatchSize::PerIteration,
-            )
+        slow.bench(&format!("sim/one_simulated_minute/{}", scheme.label()), || {
+            let mut cfg = SimConfig::paper(scheme, 1, 0.4, 600.0);
+            cfg.duration = SimDuration::from_secs(60);
+            Simulation::new(cfg).expect("valid config").run()
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_event_queue,
-    bench_neighbor_table,
-    bench_simulated_second
-);
-criterion_main!(benches);
+fn bench_parallel_fanout(h: &Harness) {
+    // Serial vs parallel seed fan-out on a smoke-scale config.
+    let slow = Harness {
+        max_iters: 10,
+        budget: Duration::from_secs(4),
+        ..*h
+    };
+    let cfg = SimConfig::smoke(Scheme::Rcast, 0);
+    let seeds: Vec<u64> = (1..=4).collect();
+    let mut widths = vec![1usize, rcast_engine::pool::available_threads()];
+    widths.dedup();
+    for threads in widths {
+        slow.bench(&format!("sim/fanout_4_seeds/{threads}_threads"), || {
+            rcast_core::run_seeds_parallel(&cfg, seeds.iter().copied(), threads).expect("valid")
+        });
+    }
+}
+
+fn main() {
+    let h = Harness::from_args();
+    println!("simulator hot paths (std-only harness; pass --quick for a smoke run)\n");
+    bench_event_queue(&h);
+    bench_neighbor_table(&h);
+    bench_simulated_minute(&h);
+    bench_parallel_fanout(&h);
+}

@@ -5,7 +5,7 @@
 //! The receiving probability must stay conservative so route requests
 //! still propagate; this sweep shows the energy / reachability trade.
 
-use rcast_bench::{banner, config, Scale};
+use rcast_bench::{banner, config, run_reports, Scale};
 use rcast_core::{AggregateReport, Scheme};
 use rcast_metrics::{fmt_f64, TextTable};
 
@@ -26,7 +26,7 @@ fn main() {
             let mut cfg = config(Scheme::Rcast, rate, 600.0, scale);
             cfg.factors.broadcast_probability = p;
             let packet_bytes = cfg.traffic.packet_bytes;
-            let reports = rcast_core::run_seeds(&cfg, scale.seeds()).expect("valid config");
+            let reports = run_reports(&cfg, scale);
             let agg = AggregateReport::from_runs(&reports, packet_bytes);
             table.add_row(vec![
                 format!("{p}"),

@@ -6,7 +6,7 @@
 //! experiment sweeps capacity and adds the timeout eviction Hu & Johnson
 //! recommend against stale routes, under Rcast.
 
-use rcast_bench::{banner, config, Scale};
+use rcast_bench::{banner, config, run_reports, Scale};
 use rcast_core::{AggregateReport, Scheme};
 use rcast_dsr::CacheStrategy;
 use rcast_engine::SimDuration;
@@ -61,7 +61,7 @@ fn main() {
             cfg.dsr.cache.timeout = *timeout;
             cfg.dsr.cache.strategy = *strategy;
             let packet_bytes = cfg.traffic.packet_bytes;
-            let reports = rcast_core::run_seeds(&cfg, scale.seeds()).expect("valid config");
+            let reports = run_reports(&cfg, scale);
             let agg = AggregateReport::from_runs(&reports, packet_bytes);
             table.add_row(vec![
                 name.clone(),

@@ -6,7 +6,7 @@
 //! on the paper's mobile testbed and reports energy / PDR / overhead so
 //! the trade-offs the paper speculates about become measurable.
 
-use rcast_bench::{banner, config, Scale};
+use rcast_bench::{banner, config, run_reports, Scale};
 use rcast_core::{AggregateReport, OverhearFactors, Scheme};
 use rcast_metrics::{fmt_f64, TextTable};
 
@@ -65,7 +65,7 @@ fn main() {
                 cfg.battery_capacity_j = Some(1500.0);
             }
             let packet_bytes = cfg.traffic.packet_bytes;
-            let reports = rcast_core::run_seeds(&cfg, scale.seeds()).expect("valid config");
+            let reports = run_reports(&cfg, scale);
             let agg = AggregateReport::from_runs(&reports, packet_bytes);
             table.add_row(vec![
                 (*name).into(),

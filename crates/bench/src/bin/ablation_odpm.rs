@@ -7,7 +7,7 @@
 //! the suggested 5 s / 2 s and shows the energy–PDR trade moving under
 //! the same workload — evidence for the claim.
 
-use rcast_bench::{banner, config, Scale};
+use rcast_bench::{banner, config, run_reports, Scale};
 use rcast_core::{AggregateReport, Scheme};
 use rcast_engine::SimDuration;
 use rcast_metrics::{fmt_f64, TextTable};
@@ -38,7 +38,7 @@ fn main() {
             cfg.odpm.rrep_timeout = SimDuration::from_millis(*rrep_ms);
             cfg.odpm.data_timeout = SimDuration::from_millis(*data_ms);
             let packet_bytes = cfg.traffic.packet_bytes;
-            let reports = rcast_core::run_seeds(&cfg, scale.seeds()).expect("valid config");
+            let reports = run_reports(&cfg, scale);
             let agg = AggregateReport::from_runs(&reports, packet_bytes);
             table.add_row(vec![
                 name.clone(),

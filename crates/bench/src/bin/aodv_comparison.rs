@@ -8,7 +8,7 @@
 //! both claims on the same testbed: each routing protocol under the
 //! Rcast scheme (and 802.11 as the always-on control).
 
-use rcast_bench::{banner, config, Scale};
+use rcast_bench::{banner, config, run_reports, Scale};
 use rcast_core::{AggregateReport, RoutingKind, Scheme};
 use rcast_metrics::{fmt_f64, TextTable};
 
@@ -40,17 +40,14 @@ fn main() {
             let mut rreq_tx = 0u64;
             let mut ctrl_tx = 0u64;
             let mut hellos = 0u64;
-            let mut reports = Vec::new();
-            for seed in scale.seeds() {
-                cfg.seed = seed;
-                let r = rcast_core::run_sim(cfg.clone()).expect("valid config");
+            let reports = run_reports(&cfg, scale);
+            for r in &reports {
                 rreq_tx += r.dsr.rreq_originated
                     + r.dsr.rreq_forwarded
                     + r.aodv.rreq_originated
                     + r.aodv.rreq_forwarded;
                 ctrl_tx += r.delivery.control_transmissions();
                 hellos += r.aodv.hello_sent;
-                reports.push(r);
             }
             let agg = AggregateReport::from_runs(&reports, packet_bytes);
             let share = if ctrl_tx == 0 {

@@ -7,7 +7,7 @@
 //! missing measurement: give every node the same finite battery and
 //! report when the first node dies under each scheme.
 
-use rcast_bench::{banner, config, Scale};
+use rcast_bench::{banner, config, run_reports, Scale};
 use rcast_core::Scheme;
 use rcast_metrics::{fmt_f64, TextTable};
 
@@ -31,12 +31,10 @@ fn main() {
         for scheme in Scheme::PAPER_FIGURES {
             let mut cfg = config(scheme, rate, 600.0, scale);
             cfg.battery_capacity_j = Some(capacity);
-            let mut first_deaths = Vec::new();
-            for seed in scale.seeds() {
-                cfg.seed = seed;
-                let report = rcast_core::run_sim(cfg.clone()).expect("valid config");
-                first_deaths.push(report.first_depletion);
-            }
+            let first_deaths: Vec<_> = run_reports(&cfg, scale)
+                .into_iter()
+                .map(|report| report.first_depletion)
+                .collect();
             let deaths: Vec<f64> = first_deaths
                 .iter()
                 .filter_map(|d| d.map(|t| t.as_secs_f64()))

@@ -1,0 +1,79 @@
+//! Demonstrates the parallel seed runner: times the same 8-seed batch
+//! serially and at several widths, checks the reports are byte-identical
+//! at every width, and prints the speedup.
+//!
+//! ```text
+//! cargo run --release -p rcast-bench --bin speedup [--full] [--threads N]
+//! ```
+//!
+//! The speedup is bounded by the machine's core count (printed below);
+//! on a single-core host every width degenerates to ~1.0×, but the
+//! byte-identity check still exercises the determinism contract.
+
+use rcast_bench::{threads_from_args, timing::fmt_duration, Scale};
+use rcast_core::{run_seeds_parallel, Scheme, SimConfig};
+use rcast_engine::pool::available_threads;
+use rcast_engine::SimDuration;
+use std::time::Instant;
+
+fn main() {
+    let scale = Scale::from_args();
+    let seeds: Vec<u64> = (1..=8).collect();
+    let mut cfg = SimConfig::paper(Scheme::Rcast, 0, 0.4, 600.0);
+    cfg.duration = match scale {
+        Scale::Quick => SimDuration::from_secs(60),
+        Scale::Full => SimDuration::from_secs(375),
+    };
+
+    println!("=== parallel seed runner: speedup & determinism ===");
+    println!(
+        "machine cores: {}   seeds: {}   simulated: {} s ({:?} scale)",
+        available_threads(),
+        seeds.len(),
+        cfg.duration.as_secs_f64(),
+        scale
+    );
+    println!();
+
+    let t0 = Instant::now();
+    let serial = run_seeds_parallel(&cfg, seeds.iter().copied(), 1).expect("valid config");
+    let serial_time = t0.elapsed();
+    let baseline: Vec<String> = serial.iter().map(|r| format!("{r:?}")).collect();
+    println!(
+        "{:>2} thread(s): {:>10}   speedup 1.00x   reports byte-identical: baseline",
+        1,
+        fmt_duration(serial_time)
+    );
+
+    let mut widths = vec![2, 4, 8];
+    let requested = threads_from_args();
+    if !widths.contains(&requested) && requested > 1 {
+        widths.push(requested);
+        widths.sort_unstable();
+    }
+    for threads in widths {
+        let t0 = Instant::now();
+        let parallel = run_seeds_parallel(&cfg, seeds.iter().copied(), threads).expect("valid");
+        let elapsed = t0.elapsed();
+        let identical = parallel
+            .iter()
+            .zip(&baseline)
+            .all(|(r, b)| format!("{r:?}") == *b)
+            && parallel.len() == baseline.len();
+        println!(
+            "{:>2} thread(s): {:>10}   speedup {:.2}x   reports byte-identical: {}",
+            threads,
+            fmt_duration(elapsed),
+            serial_time.as_secs_f64() / elapsed.as_secs_f64(),
+            if identical { "yes" } else { "NO (BUG)" }
+        );
+        assert!(identical, "determinism contract violated at {threads} threads");
+    }
+
+    println!();
+    println!("every width produced byte-identical SimReports (Debug round-trip).");
+    if available_threads() == 1 {
+        println!("note: single-core machine — speedup is bounded at ~1.0x here;");
+        println!("on an N-core machine expect close to min(N, 8)x for 8 seeds.");
+    }
+}

@@ -20,10 +20,15 @@
 //!
 //! All binaries accept `--full` (paper-scale: 1125 s, 10 seeds, dense
 //! rate sweep) and default to a quick mode (375 s, 3 seeds, sparse
-//! sweep) so the whole suite finishes in minutes.
+//! sweep) so the whole suite finishes in minutes. Every binary fans its
+//! seeds across cores with [`rcast_core::run_seeds_parallel`]; pass
+//! `--threads N` to pin the worker count (results are byte-identical at
+//! any width — see the determinism contract in `rcast_engine::pool`).
 
-use rcast_core::{AggregateReport, Scheme, SimConfig};
+use rcast_core::{AggregateReport, Scheme, SimConfig, SimReport};
 use rcast_engine::SimDuration;
+
+pub mod timing;
 
 /// How big an experiment to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,16 +93,46 @@ pub fn config(scheme: Scheme, rate_pps: f64, pause_secs: f64, scale: Scale) -> S
     cfg
 }
 
-/// Runs one parameter point across the scale's seeds and aggregates.
+/// Worker threads for the parallel seed fan-out: `--threads N` (or
+/// `--threads=N`) from the process arguments, else the machine width.
+pub fn threads_from_args() -> usize {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                return n;
+            }
+        } else if let Some(n) = a
+            .strip_prefix("--threads=")
+            .and_then(|v| v.parse().ok())
+        {
+            return n;
+        }
+    }
+    rcast_engine::pool::available_threads()
+}
+
+/// Runs the scale's seeds for `cfg` in parallel; reports come back in
+/// seed order, byte-identical to a serial loop.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid (a bug in the harness).
+pub fn run_reports(cfg: &SimConfig, scale: Scale) -> Vec<SimReport> {
+    rcast_core::run_seeds_parallel(cfg, scale.seeds(), threads_from_args())
+        .expect("valid harness config")
+}
+
+/// Runs one parameter point across the scale's seeds (in parallel) and
+/// aggregates.
 ///
 /// # Panics
 ///
 /// Panics if the configuration is invalid (a bug in the harness).
 pub fn run_point(scheme: Scheme, rate_pps: f64, pause_secs: f64, scale: Scale) -> AggregateReport {
     let cfg = config(scheme, rate_pps, pause_secs, scale);
-    let packet_bytes = cfg.traffic.packet_bytes;
-    let reports = rcast_core::run_seeds(&cfg, scale.seeds()).expect("valid harness config");
-    AggregateReport::from_runs(&reports, packet_bytes)
+    AggregateReport::from_parallel(&cfg, &scale.seeds(), threads_from_args())
+        .expect("valid harness config")
 }
 
 /// Prints a standard experiment banner.
@@ -108,6 +143,10 @@ pub fn banner(what: &str, scale: Scale) {
         scale,
         scale.duration().as_secs_f64(),
         scale.seeds().len()
+    );
+    println!(
+        "threads: {} (pass --threads N to change; results are identical at any width)",
+        threads_from_args()
     );
     println!();
 }
@@ -139,9 +178,14 @@ mod tests {
     #[test]
     fn run_point_aggregates_seeds() {
         let cfg = SimConfig::smoke(Scheme::Rcast, 0);
-        let reports = rcast_core::run_seeds(&cfg, [1, 2]).unwrap();
+        let reports = rcast_core::run_seeds_parallel(&cfg, [1, 2], 2).unwrap();
         let agg = AggregateReport::from_runs(&reports, cfg.traffic.packet_bytes);
         assert_eq!(agg.runs, 2);
         assert!(agg.mean_total_energy_j > 0.0);
+    }
+
+    #[test]
+    fn threads_default_is_positive() {
+        assert!(threads_from_args() >= 1);
     }
 }

@@ -1,0 +1,111 @@
+//! A minimal std-only timing harness for the `cargo bench` targets.
+//!
+//! The workspace builds fully offline, so the bench targets cannot pull
+//! in an external statistics framework. This harness covers what the
+//! figure/simulator benches actually need: warm up, repeat a closure
+//! until a time budget is spent, and report mean/median/min wall time
+//! per iteration. Invoke with `cargo bench`; pass `--quick` through to
+//! shrink the per-bench budget during smoke runs.
+
+use std::time::{Duration, Instant};
+
+/// Per-bench measurement budget and iteration bounds.
+#[derive(Debug, Clone, Copy)]
+pub struct Harness {
+    /// Wall-clock budget spent measuring each bench.
+    pub budget: Duration,
+    /// Lower bound on measured iterations, whatever the budget.
+    pub min_iters: u32,
+    /// Upper bound on measured iterations (keeps fast benches bounded).
+    pub max_iters: u32,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Harness {
+            budget: Duration::from_secs(2),
+            min_iters: 5,
+            max_iters: 10_000,
+        }
+    }
+}
+
+impl Harness {
+    /// A harness honouring `--quick` in the process arguments
+    /// (quarter-second budget instead of two seconds).
+    pub fn from_args() -> Harness {
+        let mut h = Harness::default();
+        if std::env::args().any(|a| a == "--quick") {
+            h.budget = Duration::from_millis(250);
+        }
+        h
+    }
+
+    /// Measures `f` and prints one result line. The closure's output is
+    /// passed through [`std::hint::black_box`] so the work is not
+    /// optimised away.
+    pub fn bench<R>(&self, name: &str, mut f: impl FnMut() -> R) {
+        // One untimed warm-up iteration (page in code and data).
+        std::hint::black_box(f());
+        let mut samples: Vec<Duration> = Vec::new();
+        let started = Instant::now();
+        while (samples.len() as u32) < self.max_iters
+            && ((samples.len() as u32) < self.min_iters || started.elapsed() < self.budget)
+        {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            samples.push(t0.elapsed());
+        }
+        samples.sort_unstable();
+        let n = samples.len();
+        let mean = samples.iter().sum::<Duration>() / n as u32;
+        let median = samples[n / 2];
+        println!(
+            "{name:<44} {n:>6} iters   mean {:>10}   median {:>10}   min {:>10}",
+            fmt_duration(mean),
+            fmt_duration(median),
+            fmt_duration(samples[0]),
+        );
+    }
+}
+
+/// Formats a duration with an adaptive unit (ns / µs / ms / s).
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_at_least_min_iters() {
+        let h = Harness {
+            budget: Duration::from_millis(1),
+            min_iters: 5,
+            max_iters: 100,
+        };
+        let mut count = 0u32;
+        h.bench("counter", || count += 1);
+        // min_iters measured + 1 warm-up.
+        assert!(count >= 6);
+        assert!(count <= 101);
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(12)), "12.00 s");
+    }
+}

@@ -18,6 +18,10 @@
 //! * [`OdpmState`] — the On-Demand Power Management baseline.
 //! * [`Simulation`] / [`SimConfig`] / [`SimReport`] — the end-to-end
 //!   runner reproducing the testbed of Section 4.1.
+//! * [`run_seeds`] / [`run_seeds_parallel`] — the multi-seed experiment
+//!   runner (the paper repeats every scenario ten times). The parallel
+//!   variant fans seeds across cores and is **byte-identical** to the
+//!   serial one for any thread count.
 //!
 //! # Quickstart
 //!
@@ -51,4 +55,4 @@ pub use routing::{DataInfo, NetPacket, RouteAction, RouterNode, RoutingKind};
 pub use scenario::{parse_scenario, write_scenario};
 pub use trace::{PacketId, PacketTrace, TraceEvent, TraceRecord};
 pub use scheme::Scheme;
-pub use sim::{run_seeds, run_sim, Simulation};
+pub use sim::{run_seeds, run_seeds_parallel, run_sim, Simulation};

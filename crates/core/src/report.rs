@@ -6,7 +6,9 @@ use rcast_engine::{SimDuration, SimTime};
 use rcast_mac::MacCounters;
 use rcast_metrics::{DeliveryTracker, EnergyReport, RoleNumbers, TimeSeries};
 
+use crate::config::SimConfig;
 use crate::scheme::Scheme;
+use crate::sim::run_seeds_parallel;
 use crate::trace::PacketTrace;
 
 /// Everything measured over one simulation run.
@@ -139,6 +141,31 @@ impl AggregateReport {
             mean_per_node_energy_j: per_node,
             roles,
         }
+    }
+
+    /// Runs `cfg` under every seed — fanned out across up to `threads`
+    /// worker threads — and aggregates, exactly as
+    /// [`from_runs`](Self::from_runs) over
+    /// [`run_seeds`](crate::run_seeds) would: parallel execution merges
+    /// reports in seed order and each run is a pure function of
+    /// `(config, seed)`, so the aggregate is byte-identical to the
+    /// serial path for any thread count. This is the entry point the
+    /// figure/table binaries and the CLI sweep use.
+    ///
+    /// # Errors
+    ///
+    /// Returns the configuration error, if any, or a message when
+    /// `seeds` is empty.
+    pub fn from_parallel(
+        cfg: &SimConfig,
+        seeds: &[u64],
+        threads: usize,
+    ) -> Result<Self, String> {
+        if seeds.is_empty() {
+            return Err("no seeds to aggregate".to_string());
+        }
+        let reports = run_seeds_parallel(cfg, seeds.iter().copied(), threads)?;
+        Ok(Self::from_runs(&reports, cfg.traffic.packet_bytes))
     }
 
     /// Per-node mean energy sorted ascending — Fig. 5's curve.

@@ -1,36 +1,50 @@
-//! Property-based tests for DSR's route cache and source routes.
+//! Property-based tests for DSR's route cache and source routes, on the
+//! in-tree `rcast-testkit` harness (hermetic: no proptest).
 
-use proptest::prelude::*;
-use rcast_engine::{NodeId, SimTime};
 use rcast_dsr::{CacheConfig, RouteCache, SourceRoute};
+use rcast_engine::{NodeId, SimTime};
+use rcast_testkit::{prop_assert, prop_assert_eq, Check, Gen};
 
-/// Strategy: a loop-free route of 2..=8 nodes drawn from ids 0..20.
-fn route_strategy() -> impl Strategy<Value = SourceRoute> {
-    prop::collection::vec(0u32..20, 2..8)
-        .prop_filter_map("needs >=2 distinct loop-free nodes", |ids| {
-            let mut seen = std::collections::HashSet::new();
-            let nodes: Vec<NodeId> = ids
-                .into_iter()
-                .filter(|&i| seen.insert(i))
-                .map(NodeId::new)
-                .collect();
-            SourceRoute::new(nodes)
-        })
+/// Generator: a loop-free route of 2..=8 nodes drawn from ids 0..20.
+/// Returns `None` when the draw collapses below two distinct nodes.
+fn route(g: &mut Gen) -> Option<SourceRoute> {
+    let ids = g.vec(2, 8, |g| g.u32_range(0, 20));
+    let mut seen = std::collections::HashSet::new();
+    let nodes: Vec<NodeId> = ids
+        .into_iter()
+        .filter(|&i| seen.insert(i))
+        .map(NodeId::new)
+        .collect();
+    SourceRoute::new(nodes)
 }
 
-proptest! {
-    /// Reversal is an involution and preserves hop count.
-    #[test]
-    fn reverse_involution(r in route_strategy()) {
+/// Generator: keeps drawing until a valid route appears.
+fn some_route(g: &mut Gen) -> SourceRoute {
+    loop {
+        if let Some(r) = route(g) {
+            return r;
+        }
+    }
+}
+
+/// Reversal is an involution and preserves hop count.
+#[test]
+fn reverse_involution() {
+    Check::new("reverse_involution").run(|g| {
+        let r = some_route(g);
         prop_assert_eq!(r.reversed().reversed(), r.clone());
         prop_assert_eq!(r.reversed().hop_count(), r.hop_count());
         prop_assert_eq!(r.reversed().origin(), r.destination());
-    }
+        Ok(())
+    });
+}
 
-    /// Every node on the route except the destination has a next hop,
-    /// and following next hops walks the whole route.
-    #[test]
-    fn next_hops_walk_the_route(r in route_strategy()) {
+/// Every node on the route except the destination has a next hop,
+/// and following next hops walks the whole route.
+#[test]
+fn next_hops_walk_the_route() {
+    Check::new("next_hops_walk_the_route").run(|g| {
+        let r = some_route(g);
         let mut cur = r.origin();
         let mut walked = vec![cur];
         while let Some(next) = r.next_hop_after(cur) {
@@ -39,29 +53,38 @@ proptest! {
         }
         prop_assert_eq!(&walked[..], r.nodes());
         prop_assert_eq!(cur, r.destination());
-    }
+        Ok(())
+    });
+}
 
-    /// Splicing prefix_to(x) with suffix_from(x) reconstructs the route.
-    #[test]
-    fn prefix_suffix_splice_identity(r in route_strategy()) {
+/// Splicing prefix_to(x) with suffix_from(x) reconstructs the route.
+#[test]
+fn prefix_suffix_splice_identity() {
+    Check::new("prefix_suffix_splice_identity").run(|g| {
+        let r = some_route(g);
         for &x in r.intermediates() {
             let prefix = r.prefix_to(x).expect("intermediate has a prefix");
             let suffix = r.suffix_from(x).expect("intermediate has a suffix");
             prop_assert_eq!(prefix.spliced_with(&suffix), Some(r.clone()));
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Whatever is inserted, every cached path starts at the owner and
-    /// the cache never exceeds its capacity.
-    #[test]
-    fn cache_invariants(
-        routes in prop::collection::vec(route_strategy(), 1..40),
-        capacity in 1usize..16,
-    ) {
+/// Whatever is inserted, every cached path starts at the owner and
+/// the cache never exceeds its capacity.
+#[test]
+fn cache_invariants() {
+    Check::new("cache_invariants").run(|g| {
+        let routes = g.vec(1, 40, some_route);
+        let capacity = g.usize_range(1, 16);
         let owner = NodeId::new(0);
         let mut cache = RouteCache::new(
             owner,
-            CacheConfig { capacity, ..CacheConfig::default() },
+            CacheConfig {
+                capacity,
+                ..CacheConfig::default()
+            },
         );
         for (i, r) in routes.iter().enumerate() {
             cache.insert(r.clone(), SimTime::from_secs(i as u64));
@@ -70,42 +93,53 @@ proptest! {
         for path in cache.paths() {
             prop_assert_eq!(path.origin(), owner);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// `find_route` returns a route from the owner to the destination,
-    /// and never one using a removed link.
-    #[test]
-    fn find_route_is_correct_and_respects_removals(
-        routes in prop::collection::vec(route_strategy(), 1..30),
-        dst in 1u32..20,
-        link in (0u32..20, 0u32..20),
-    ) {
+/// `find_route` returns a route from the owner to the destination,
+/// and never one using a removed link.
+#[test]
+fn find_route_is_correct_and_respects_removals() {
+    Check::new("find_route_is_correct_and_respects_removals").run(|g| {
+        let routes = g.vec(1, 30, some_route);
+        let dst = NodeId::new(g.u32_range(1, 20));
+        let link = (
+            NodeId::new(g.u32_range(0, 20)),
+            NodeId::new(g.u32_range(0, 20)),
+        );
         let owner = NodeId::new(0);
         let mut cache = RouteCache::new(owner, CacheConfig::default());
         for r in &routes {
             cache.insert(r.clone(), SimTime::ZERO);
         }
-        let dst = NodeId::new(dst);
         if let Some(found) = cache.find_route(dst, SimTime::from_secs(1)) {
             prop_assert_eq!(found.origin(), owner);
             prop_assert_eq!(found.destination(), dst);
         }
-        let (a, b) = (NodeId::new(link.0), NodeId::new(link.1));
+        let (a, b) = link;
         cache.remove_link(a, b);
         if let Some(found) = cache.find_route(dst, SimTime::from_secs(2)) {
             prop_assert!(!found.uses_link(a, b), "returned a route over a dead link");
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Shortest-route preference: with a direct 1-hop route cached, the
-    /// cache never prefers a longer alternative.
-    #[test]
-    fn shortest_route_preferred(routes in prop::collection::vec(route_strategy(), 0..20), dst in 1u32..20) {
+/// Shortest-route preference: with a direct 1-hop route cached, the
+/// cache never prefers a longer alternative.
+#[test]
+fn shortest_route_preferred() {
+    Check::new("shortest_route_preferred").run(|g| {
+        let routes = g.vec(0, 20, some_route);
+        let dst = NodeId::new(g.u32_range(1, 20));
         let owner = NodeId::new(0);
-        let dst = NodeId::new(dst);
         let mut cache = RouteCache::new(
             owner,
-            CacheConfig { capacity: 64, ..CacheConfig::default() },
+            CacheConfig {
+                capacity: 64,
+                ..CacheConfig::default()
+            },
         );
         for r in &routes {
             cache.insert(r.clone(), SimTime::ZERO);
@@ -114,7 +148,10 @@ proptest! {
             SourceRoute::new(vec![owner, dst]).expect("direct route"),
             SimTime::from_secs(1),
         );
-        let found = cache.find_route(dst, SimTime::from_secs(2)).expect("direct route cached");
+        let found = cache
+            .find_route(dst, SimTime::from_secs(2))
+            .expect("direct route cached");
         prop_assert_eq!(found.hop_count(), 1);
-    }
+        Ok(())
+    });
 }

@@ -7,7 +7,10 @@
 //! * [`EventQueue`] — a deterministic priority queue of timestamped
 //!   events with FIFO tie-breaking,
 //! * [`rng`] — seedable, splittable random-number streams so that each
-//!   simulation component draws from an independent, reproducible stream.
+//!   simulation component draws from an independent, reproducible stream,
+//! * [`pool`] — a deterministic scoped-thread pool that fans independent
+//!   work (e.g. one simulation per seed) across cores while returning
+//!   results in input order, byte-identical to a serial loop.
 //!
 //! The engine is intentionally minimal: it owns no protocol knowledge.
 //! Upper layers (`rcast-mac`, `rcast-dsr`, `rcast-core`) define their own
@@ -34,6 +37,7 @@
 #![warn(missing_docs)]
 
 mod ids;
+pub mod pool;
 mod queue;
 pub mod rng;
 mod time;

@@ -1,0 +1,223 @@
+//! A deterministic scoped-thread worker pool (std-only).
+//!
+//! The experiment runner fans independent simulation runs out across
+//! cores. The pool here is intentionally *work-stealing-free*: workers
+//! claim items from a shared atomic cursor in index order and write each
+//! result into the slot reserved for its item, so the output of
+//! [`ScopedPool::map`] is **always in input order**, independent of
+//! thread count, scheduling, or which worker computed what. Combined
+//! with pure `Fn(item) -> output` closures (every simulation run is a
+//! pure function of its config), this yields byte-identical results to a
+//! serial loop — the determinism contract `run_seeds_parallel` exposes.
+//!
+//! Design notes:
+//!
+//! * `std::thread::scope` keeps everything borrow-checked with no
+//!   `'static` bounds and no channels; worker panics propagate to the
+//!   caller on scope exit.
+//! * Items are claimed one at a time (no chunking). Simulation runs are
+//!   long (milliseconds to minutes), so cursor contention is noise and
+//!   the schedule stays balanced even when run times differ wildly
+//!   across seeds or schemes.
+//! * Thread count is clamped to `[1, items]`; one thread short-circuits
+//!   to a plain serial loop on the caller's thread.
+//!
+//! # Example
+//!
+//! ```
+//! use rcast_engine::pool::ScopedPool;
+//!
+//! let squares = ScopedPool::new(4).map((0..8u64).collect(), |_, x| x * x);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A fixed-width scoped worker pool. See the [module docs](self).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScopedPool {
+    threads: usize,
+}
+
+impl ScopedPool {
+    /// Creates a pool that uses up to `threads` worker threads.
+    /// A requested width of zero is clamped to one.
+    pub fn new(threads: usize) -> Self {
+        ScopedPool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Creates a pool as wide as the machine's available parallelism.
+    pub fn machine_wide() -> Self {
+        ScopedPool::new(available_threads())
+    }
+
+    /// The configured worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Applies `f` to every item, in parallel, returning outputs **in
+    /// input order** regardless of thread count. `f` receives the item's
+    /// index alongside the item.
+    ///
+    /// Determinism: for a pure `f`, `map` returns the same `Vec` as the
+    /// serial `items.into_iter().enumerate().map(|(i, x)| f(i, x))`.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a panic from `f` when the scope joins.
+    pub fn map<T, U, F>(&self, items: Vec<T>, f: F) -> Vec<U>
+    where
+        T: Send,
+        U: Send,
+        F: Fn(usize, T) -> U + Sync,
+    {
+        let n = items.len();
+        let width = self.threads.min(n);
+        if width <= 1 {
+            return items
+                .into_iter()
+                .enumerate()
+                .map(|(i, x)| f(i, x))
+                .collect();
+        }
+
+        // Each input slot is `take`n exactly once by the worker that
+        // claims its index; each output slot is written exactly once.
+        let inputs: Vec<Mutex<Option<T>>> =
+            items.into_iter().map(|x| Mutex::new(Some(x))).collect();
+        let outputs: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..width)
+                .map(|_| {
+                    scope.spawn(|| loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let item = inputs[i]
+                            .lock()
+                            .expect("input slot poisoned")
+                            .take()
+                            .expect("each index is claimed once");
+                        let out = f(i, item);
+                        *outputs[i].lock().expect("output slot poisoned") = Some(out);
+                    })
+                })
+                .collect();
+            // Join explicitly so a worker's panic payload reaches the
+            // caller verbatim (scope's implicit join would replace it).
+            for w in workers {
+                if let Err(payload) = w.join() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        });
+
+        outputs
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("output slot poisoned")
+                    .expect("every slot filled")
+            })
+            .collect()
+    }
+}
+
+/// The machine's available parallelism, defaulting to 1 when unknown.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn map_preserves_input_order() {
+        for threads in [1, 2, 3, 8, 64] {
+            let out = ScopedPool::new(threads).map((0..100u64).collect(), |i, x| {
+                assert_eq!(i as u64, x);
+                x * 3
+            });
+            assert_eq!(out, (0..100u64).map(|x| x * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn parallel_equals_serial_under_skewed_work() {
+        // Uneven per-item cost must not perturb output order.
+        let work = |_, x: u64| {
+            if x % 7 == 0 {
+                std::thread::yield_now();
+            }
+            x.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        };
+        let serial = ScopedPool::new(1).map((0..64).collect(), work);
+        let parallel = ScopedPool::new(8).map((0..64).collect(), work);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = ScopedPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        assert_eq!(pool.map(vec![5, 6], |_, x| x + 1), vec![6, 7]);
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let out = ScopedPool::new(32).map(vec![1u8, 2, 3], |_, x| x);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u8> = ScopedPool::new(4).map(Vec::<u8>::new(), |_, x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn every_item_is_processed_exactly_once() {
+        let calls = AtomicU32::new(0);
+        let out = ScopedPool::new(4).map((0..50u32).collect(), |_, x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(out.len(), 50);
+        assert_eq!(calls.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn non_copy_items_move_through() {
+        let items: Vec<String> = (0..12).map(|i| format!("seed-{i}")).collect();
+        let out = ScopedPool::new(3).map(items, |_, s| s.len());
+        assert_eq!(out, vec![6, 6, 6, 6, 6, 6, 6, 6, 6, 6, 7, 7]);
+    }
+
+    #[test]
+    fn machine_wide_is_at_least_one() {
+        assert!(ScopedPool::machine_wide().threads() >= 1);
+        assert!(available_threads() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate() {
+        let _ = ScopedPool::new(2).map(vec![0u8, 1], |_, x| {
+            if x == 1 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}

@@ -1,38 +1,40 @@
 //! Deterministic, splittable random-number streams.
 //!
-//! Simulation results must be a pure function of `(config, seed)`. The
-//! `rand` crate's `StdRng` does not guarantee a stable algorithm across
-//! versions, so this module ships its own small generator:
+//! Simulation results must be a pure function of `(config, seed)`.
+//! External RNG crates do not guarantee a stable algorithm across
+//! versions (and would break the hermetic, registry-free build), so this
+//! module ships its own small generator with zero dependencies:
 //!
 //! * [`SplitMix64`] — the well-known 64-bit mixer (Steele et al., 2014).
 //!   Fast, passes BigCrush when used as a stream, and trivially
 //!   *splittable*: deriving a child stream from a parent seed plus a
 //!   label gives statistically independent streams.
-//! * [`StreamRng`] — a labelled stream built on `SplitMix64` implementing
-//!   [`rand::RngCore`], so all of `rand`'s distributions work on top.
+//! * [`StreamRng`] — a labelled stream built on `SplitMix64` with the
+//!   draw primitives the simulator needs (uniform, Bernoulli, ranges,
+//!   exponential, shuffling, raw bits).
 //!
 //! Each simulation component (mobility, traffic, MAC, Rcast decisions)
 //! owns its own [`StreamRng`] derived from the run seed. This way adding
 //! a draw in one component cannot perturb another component's sequence —
-//! a property several regression tests rely on.
+//! a property several regression tests rely on. The same discipline is
+//! what makes [`run_seeds_parallel`-style fan-out](crate::pool) safe:
+//! every seed's streams are derived independently, so runs can execute
+//! on any thread in any order and still replay bit-identically.
 //!
 //! # Example
 //!
 //! ```
 //! use rcast_engine::rng::StreamRng;
-//! use rand::Rng;
 //!
 //! let mut mobility = StreamRng::from_seed_and_label(42, "mobility");
 //! let mut traffic = StreamRng::from_seed_and_label(42, "traffic");
-//! let a: f64 = mobility.gen_range(0.0..1.0);
-//! let b: f64 = traffic.gen_range(0.0..1.0);
+//! let a = mobility.range_f64(0.0, 1.0);
+//! let b = traffic.range_f64(0.0, 1.0);
 //! assert_ne!(a, b); // independent streams
 //! // Identical construction replays the identical sequence.
 //! let mut again = StreamRng::from_seed_and_label(42, "mobility");
-//! assert_eq!(a, again.gen_range(0.0..1.0));
+//! assert_eq!(a, again.range_f64(0.0, 1.0));
 //! ```
-
-use rand::{Error, RngCore};
 
 /// The SplitMix64 pseudo-random generator.
 ///
@@ -89,7 +91,7 @@ pub fn label_hash(label: &str) -> u64 {
     h
 }
 
-/// A named deterministic random stream implementing [`rand::RngCore`].
+/// A named deterministic random stream.
 ///
 /// See the [module docs](self) for the splitting discipline.
 #[derive(Debug, Clone)]
@@ -194,18 +196,19 @@ impl StreamRng {
             items.swap(i, j);
         }
     }
-}
 
-impl RngCore for StreamRng {
-    fn next_u32(&mut self) -> u32 {
+    /// The next 32 random bits (the high half of a 64-bit draw).
+    pub fn next_u32(&mut self) -> u32 {
         (self.inner.next() >> 32) as u32
     }
 
-    fn next_u64(&mut self) -> u64 {
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
         self.inner.next()
     }
 
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
+    /// Fills `dest` with random bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
         let mut chunks = dest.chunks_exact_mut(8);
         for chunk in &mut chunks {
             chunk.copy_from_slice(&self.inner.next().to_le_bytes());
@@ -215,11 +218,6 @@ impl RngCore for StreamRng {
             let bytes = self.inner.next().to_le_bytes();
             rem.copy_from_slice(&bytes[..rem.len()]);
         }
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
-        self.fill_bytes(dest);
-        Ok(())
     }
 }
 

@@ -1,14 +1,16 @@
-//! Property-based tests for the event queue and RNG streams.
+//! Property-based tests for the event queue and RNG streams, on the
+//! in-tree `rcast-testkit` harness (hermetic: no proptest).
 
-use proptest::prelude::*;
 use rcast_engine::rng::{SplitMix64, StreamRng};
 use rcast_engine::{EventQueue, SimTime};
+use rcast_testkit::{prop_assert, prop_assert_eq, prop_assert_ne, Check, Gen};
 
-proptest! {
-    /// Events always pop in nondecreasing time order, with FIFO order
-    /// among equal timestamps, for arbitrary schedules.
-    #[test]
-    fn queue_pops_sorted_and_stable(times in prop::collection::vec(0u64..1_000, 1..200)) {
+/// Events always pop in nondecreasing time order, with FIFO order
+/// among equal timestamps, for arbitrary schedules.
+#[test]
+fn queue_pops_sorted_and_stable() {
+    Check::new("queue_pops_sorted_and_stable").run(|g| {
+        let times = g.vec(1, 200, |g| g.u64_range(0, 1_000));
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule(SimTime::from_micros(t), (t, i));
@@ -25,11 +27,15 @@ proptest! {
                 prop_assert!(i1 < i2, "FIFO order violated among ties");
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// The clock never runs backwards, whatever the interleaving.
-    #[test]
-    fn clock_is_monotone(ops in prop::collection::vec((0u64..1_000, prop::bool::ANY), 1..100)) {
+/// The clock never runs backwards, whatever the interleaving.
+#[test]
+fn clock_is_monotone() {
+    Check::new("clock_is_monotone").run(|g| {
+        let ops = g.vec(1, 100, |g| (g.u64_range(0, 1_000), g.bool()));
         let mut q = EventQueue::new();
         let mut last = SimTime::ZERO;
         for (t, do_pop) in ops {
@@ -41,28 +47,42 @@ proptest! {
                 }
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Uniform draws stay in range for arbitrary bounds.
-    #[test]
-    fn range_draws_in_bounds(seed in any::<u64>(), lo in -1e9f64..1e9, span in 0.0f64..1e9) {
+/// Uniform draws stay in range for arbitrary bounds.
+#[test]
+fn range_draws_in_bounds() {
+    Check::new("range_draws_in_bounds").run(|g| {
+        let seed = g.u64();
+        let lo = g.f64_range(-1e9, 1e9);
+        let span = g.f64_range(0.0, 1e9);
         let mut rng = StreamRng::from_seed(seed);
         let hi = lo + span;
         let x = rng.range_f64(lo, hi);
         prop_assert!(x >= lo && (x < hi || span == 0.0));
-    }
+        Ok(())
+    });
+}
 
-    /// `below(n)` respects its bound for any n and seed.
-    #[test]
-    fn below_in_bounds(seed in any::<u64>(), n in 1u64..u64::MAX) {
+/// `below(n)` respects its bound for any n and seed.
+#[test]
+fn below_in_bounds() {
+    Check::new("below_in_bounds").run(|g| {
+        let seed = g.u64();
+        let n = g.u64_range(1, u64::MAX);
         let mut rng = StreamRng::from_seed(seed);
         prop_assert!(rng.below(n) < n);
-    }
+        Ok(())
+    });
+}
 
-    /// Differently-labelled child streams never replay each other.
-    #[test]
-    fn sibling_streams_differ(seed in any::<u64>()) {
-        let root = StreamRng::from_seed(seed);
+/// Differently-labelled child streams never replay each other.
+#[test]
+fn sibling_streams_differ() {
+    Check::new("sibling_streams_differ").run(|g| {
+        let root = StreamRng::from_seed(g.u64());
         let a: Vec<u64> = {
             let mut s = root.child("alpha");
             (0..8).map(|_| s.next_u64()).collect()
@@ -72,28 +92,53 @@ proptest! {
             (0..8).map(|_| s.next_u64()).collect()
         };
         prop_assert_ne!(a, b);
-    }
+        Ok(())
+    });
+}
 
-    /// SplitMix64 has no trivially short cycles from arbitrary seeds.
-    #[test]
-    fn splitmix_no_short_cycle(seed in any::<u64>()) {
-        let mut g = SplitMix64::new(seed);
-        let first = g.next();
+/// SplitMix64 has no trivially short cycles from arbitrary seeds.
+#[test]
+fn splitmix_no_short_cycle() {
+    Check::new("splitmix_no_short_cycle").run(|g| {
+        let mut gen = SplitMix64::new(g.u64());
+        let first = gen.next();
         for _ in 0..64 {
-            prop_assert_ne!(g.next(), first);
+            prop_assert_ne!(gen.next(), first);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Shuffling preserves the multiset.
-    #[test]
-    fn shuffle_is_permutation(seed in any::<u64>(), mut v in prop::collection::vec(any::<u32>(), 0..50)) {
+/// Shuffling preserves the multiset.
+#[test]
+fn shuffle_is_permutation() {
+    Check::new("shuffle_is_permutation").run(|g| {
+        let mut v = g.vec(0, 50, Gen::u64);
+        let seed = g.u64();
         let mut rng = StreamRng::from_seed(seed);
         let mut expected = v.clone();
         rng.shuffle(&mut v);
         expected.sort_unstable();
         v.sort_unstable();
         prop_assert_eq!(v, expected);
-    }
+        Ok(())
+    });
 }
 
-use rand::RngCore;
+/// The pool's parallel map equals its serial map for any thread count
+/// and any (pure) workload — the engine-level determinism contract.
+#[test]
+fn pool_map_is_schedule_independent() {
+    Check::new("pool_map_is_schedule_independent").run(|g| {
+        let items = g.vec(0, 64, Gen::u64);
+        let threads = g.usize_range(1, 16);
+        let work = |i: usize, x: u64| {
+            let mut s = StreamRng::from_seed(x ^ i as u64);
+            s.next_u64()
+        };
+        let serial = rcast_engine::pool::ScopedPool::new(1).map(items.clone(), work);
+        let parallel = rcast_engine::pool::ScopedPool::new(threads).map(items, work);
+        prop_assert_eq!(serial, parallel);
+        Ok(())
+    });
+}

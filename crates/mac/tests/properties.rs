@@ -1,8 +1,7 @@
 //! Property-based tests for the MAC: airtime budgets never oversubscribe
 //! any node's channel, queues keep FIFO order, and the interval resolver
-//! conserves frames.
+//! conserves frames. On the in-tree `rcast-testkit` harness.
 
-use proptest::prelude::*;
 use rcast_engine::rng::StreamRng;
 use rcast_engine::{NodeId, SimDuration, SimTime};
 use rcast_mac::{
@@ -10,18 +9,20 @@ use rcast_mac::{
 };
 use rcast_mobility::{Area, NeighborTable, Snapshot, Vec2};
 use rcast_radio::Phy;
+use rcast_testkit::{prop_assert, prop_assert_eq, Check};
 
-proptest! {
-    /// No node's charged airtime ever exceeds the window, for arbitrary
-    /// reservation sequences.
-    #[test]
-    fn budget_never_oversubscribes(
-        limit_ms in 1u64..50,
-        reservations in prop::collection::vec(
-            (prop::collection::vec(0u32..20, 1..6), 1u64..20_000),
-            1..60,
-        ),
-    ) {
+/// No node's charged airtime ever exceeds the window, for arbitrary
+/// reservation sequences.
+#[test]
+fn budget_never_oversubscribes() {
+    Check::new("budget_never_oversubscribes").run(|g| {
+        let limit_ms = g.u64_range(1, 50);
+        let reservations = g.vec(1, 60, |g| {
+            (
+                g.vec(1, 6, |g| g.u32_range(0, 20)),
+                g.u64_range(1, 20_000),
+            )
+        });
         let limit = SimDuration::from_millis(limit_ms);
         let mut budget = AirtimeBudget::new(20, limit);
         for (nodes, micros) in reservations {
@@ -31,17 +32,21 @@ proptest! {
         for i in 0..20u32 {
             prop_assert!(budget.used(NodeId::new(i)) <= limit);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Accepted reservations end within the window (offset + duration
-    /// never spills past the limit).
-    #[test]
-    fn accepted_reservations_fit(
-        reservations in prop::collection::vec(
-            (prop::collection::vec(0u32..10, 1..4), 1u64..30_000),
-            1..40,
-        ),
-    ) {
+/// Accepted reservations end within the window (offset + duration
+/// never spills past the limit).
+#[test]
+fn accepted_reservations_fit() {
+    Check::new("accepted_reservations_fit").run(|g| {
+        let reservations = g.vec(1, 40, |g| {
+            (
+                g.vec(1, 4, |g| g.u32_range(0, 10)),
+                g.u64_range(1, 30_000),
+            )
+        });
         let limit = SimDuration::from_millis(20);
         let mut budget = AirtimeBudget::new(10, limit);
         for (nodes, micros) in reservations {
@@ -51,12 +56,16 @@ proptest! {
                 prop_assert!(offset + dur <= limit);
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// TxQueue preserves FIFO order per destination under arbitrary
-    /// push/remove interleavings.
-    #[test]
-    fn queue_fifo_per_destination(ops in prop::collection::vec((0u32..4, 0u64..100), 1..60)) {
+/// TxQueue preserves FIFO order per destination under arbitrary
+/// push/remove interleavings.
+#[test]
+fn queue_fifo_per_destination() {
+    Check::new("queue_fifo_per_destination").run(|g| {
+        let ops = g.vec(1, 60, |g| (g.u32_range(0, 4), g.u64_range(0, 100)));
         let mut q: TxQueue<u64> = TxQueue::new(1_000);
         let mut expected: std::collections::HashMap<u32, Vec<u64>> = Default::default();
         for (dest, tag) in ops {
@@ -75,21 +84,27 @@ proptest! {
             }
             prop_assert_eq!(got, tags);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Frame conservation: over enough intervals on a connected clique,
-    /// every enqueued unicast frame is either delivered or still queued —
-    /// none vanish. (No failures possible: everyone is in range.)
-    #[test]
-    fn interval_resolver_conserves_frames(
-        sends in prop::collection::vec((0u32..6, 0u32..6), 1..25),
-        seed in any::<u64>(),
-    ) {
+/// Frame conservation: over enough intervals on a connected clique,
+/// every enqueued unicast frame is either delivered or still queued —
+/// none vanish. (No failures possible: everyone is in range.)
+#[test]
+fn interval_resolver_conserves_frames() {
+    Check::new("interval_resolver_conserves_frames").run(|g| {
+        let sends = g.vec(1, 25, |g| (g.u32_range(0, 6), g.u32_range(0, 6)));
+        let seed = g.u64();
         let positions: Vec<Vec2> = (0..6).map(|i| Vec2::new(10.0 * i as f64, 0.0)).collect();
         let snap = Snapshot::from_positions(positions, Area::new(100.0, 10.0), SimTime::ZERO);
         let nt = NeighborTable::build(&snap, 250.0);
-        let mut mac: MacLayer<usize> =
-            MacLayer::new(6, MacConfig::default(), Phy::default(), StreamRng::from_seed(seed));
+        let mut mac: MacLayer<usize> = MacLayer::new(
+            6,
+            MacConfig::default(),
+            Phy::default(),
+            StreamRng::from_seed(seed),
+        );
         let mut enqueued = 0usize;
         for (i, &(from, to)) in sends.iter().enumerate() {
             if from == to {
@@ -104,7 +119,9 @@ proptest! {
             enqueued += 1;
         }
         let mut delivered = 0usize;
-        let mut policy = AllPowerSave { overhear_randomized: false };
+        let mut policy = AllPowerSave {
+            overhear_randomized: false,
+        };
         for k in 0..20u64 {
             let out = mac.run_interval(SimTime::from_millis(250 * k), &nt, &mut policy);
             prop_assert!(out.failures.is_empty(), "clique cannot break links");
@@ -112,15 +129,17 @@ proptest! {
         }
         let still_queued: usize = (0..6).map(|i| mac.queue_len(NodeId::new(i))).sum();
         prop_assert_eq!(delivered + still_queued, enqueued);
-    }
+        Ok(())
+    });
+}
 
-    /// The committed-awake duration is always within
-    /// [ATIM window, beacon interval].
-    #[test]
-    fn committed_awake_bounds(
-        sends in prop::collection::vec((0u32..5, 0u32..5), 0..15),
-        seed in any::<u64>(),
-    ) {
+/// The committed-awake duration is always within
+/// [ATIM window, beacon interval].
+#[test]
+fn committed_awake_bounds() {
+    Check::new("committed_awake_bounds").run(|g| {
+        let sends = g.vec(0, 15, |g| (g.u32_range(0, 5), g.u32_range(0, 5)));
+        let seed = g.u64();
         let positions: Vec<Vec2> = (0..5).map(|i| Vec2::new(40.0 * i as f64, 0.0)).collect();
         let snap = Snapshot::from_positions(positions, Area::new(400.0, 10.0), SimTime::ZERO);
         let nt = NeighborTable::build(&snap, 250.0);
@@ -137,7 +156,9 @@ proptest! {
                 SimTime::ZERO,
             );
         }
-        let mut policy = AllPowerSave { overhear_randomized: true };
+        let mut policy = AllPowerSave {
+            overhear_randomized: true,
+        };
         let out = mac.run_interval(SimTime::ZERO, &nt, &mut policy);
         for (i, &dur) in out.committed_awake.iter().enumerate() {
             prop_assert!(dur >= cfg.atim_window, "node {i}: {dur}");
@@ -146,5 +167,6 @@ proptest! {
                 prop_assert_eq!(dur, cfg.atim_window);
             }
         }
-    }
+        Ok(())
+    });
 }

@@ -1,8 +1,9 @@
 //! Property-based tests: streaming statistics agree with naive
-//! formulas, and merging agrees with concatenation.
+//! formulas, and merging agrees with concatenation. On the in-tree
+//! `rcast-testkit` harness.
 
-use proptest::prelude::*;
 use rcast_metrics::{population_variance, RunningStats};
+use rcast_testkit::{prop_assert, prop_assert_eq, Check, Gen};
 
 fn naive_mean(v: &[f64]) -> f64 {
     if v.is_empty() {
@@ -20,10 +21,11 @@ fn naive_var(v: &[f64]) -> f64 {
     v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64
 }
 
-proptest! {
-    /// Welford matches the two-pass textbook formulas.
-    #[test]
-    fn welford_matches_naive(v in prop::collection::vec(-1e6f64..1e6, 0..300)) {
+/// Welford matches the two-pass textbook formulas.
+#[test]
+fn welford_matches_naive() {
+    Check::new("welford_matches_naive").run(|g| {
+        let v = g.vec(0, 300, |g: &mut Gen| g.f64_range(-1e6, 1e6));
         let s = RunningStats::from_slice(&v);
         prop_assert!((s.mean() - naive_mean(&v)).abs() < 1e-6 * (1.0 + naive_mean(&v).abs()));
         let nv = naive_var(&v);
@@ -33,14 +35,16 @@ proptest! {
             prop_assert_eq!(s.min(), v.iter().cloned().fold(f64::INFINITY, f64::min));
             prop_assert_eq!(s.max(), v.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
         }
-    }
+        Ok(())
+    });
+}
 
-    /// merge(A, B) == stats(A ++ B) for arbitrary splits.
-    #[test]
-    fn merge_equals_concat(
-        a in prop::collection::vec(-1e4f64..1e4, 0..150),
-        b in prop::collection::vec(-1e4f64..1e4, 0..150),
-    ) {
+/// merge(A, B) == stats(A ++ B) for arbitrary splits.
+#[test]
+fn merge_equals_concat() {
+    Check::new("merge_equals_concat").run(|g| {
+        let a = g.vec(0, 150, |g: &mut Gen| g.f64_range(-1e4, 1e4));
+        let b = g.vec(0, 150, |g: &mut Gen| g.f64_range(-1e4, 1e4));
         let mut merged = RunningStats::from_slice(&a);
         merged.merge(&RunningStats::from_slice(&b));
         let concat: Vec<f64> = a.iter().chain(&b).copied().collect();
@@ -51,15 +55,17 @@ proptest! {
             (merged.population_variance() - direct.population_variance()).abs()
                 < 1e-4 * (1.0 + direct.population_variance().abs())
         );
-    }
+        Ok(())
+    });
+}
 
-    /// Variance is translation-invariant and scales quadratically.
-    #[test]
-    fn variance_affine_laws(
-        v in prop::collection::vec(-1e3f64..1e3, 2..100),
-        shift in -1e3f64..1e3,
-        scale in -10.0f64..10.0,
-    ) {
+/// Variance is translation-invariant and scales quadratically.
+#[test]
+fn variance_affine_laws() {
+    Check::new("variance_affine_laws").run(|g| {
+        let v = g.vec(2, 100, |g: &mut Gen| g.f64_range(-1e3, 1e3));
+        let shift = g.f64_range(-1e3, 1e3);
+        let scale = g.f64_range(-10.0, 10.0);
         let base = population_variance(&v);
         let shifted: Vec<f64> = v.iter().map(|x| x + shift).collect();
         prop_assert!((population_variance(&shifted) - base).abs() < 1e-5 * (1.0 + base));
@@ -68,5 +74,6 @@ proptest! {
         prop_assert!(
             (population_variance(&scaled) - expect).abs() < 1e-5 * (1.0 + expect.abs())
         );
-    }
+        Ok(())
+    });
 }

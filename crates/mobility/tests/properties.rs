@@ -1,21 +1,21 @@
 //! Property-based tests for mobility: trajectories stay in bounds,
 //! speeds respect limits, and the spatial grid agrees with brute force.
+//! On the in-tree `rcast-testkit` harness.
 
-use proptest::prelude::*;
 use rcast_engine::rng::StreamRng;
 use rcast_engine::{NodeId, SimTime};
 use rcast_mobility::{Area, NeighborTable, RandomWaypoint, Snapshot, Vec2, WaypointConfig};
+use rcast_testkit::{prop_assert, prop_assert_eq, Check, Gen};
 
-proptest! {
-    /// A trajectory never leaves its field, for arbitrary seeds,
-    /// speeds, pause times and query patterns.
-    #[test]
-    fn trajectory_stays_in_area(
-        seed in any::<u64>(),
-        max_speed in 1.0f64..50.0,
-        pause in 0.0f64..100.0,
-        steps in prop::collection::vec(1u64..5_000, 1..50),
-    ) {
+/// A trajectory never leaves its field, for arbitrary seeds, speeds,
+/// pause times and query patterns.
+#[test]
+fn trajectory_stays_in_area() {
+    Check::new("trajectory_stays_in_area").run(|g| {
+        let seed = g.u64();
+        let max_speed = g.f64_range(1.0, 50.0);
+        let pause = g.f64_range(0.0, 100.0);
+        let steps = g.vec(1, 50, |g| g.u64_range(1, 5_000));
         let area = Area::new(1_500.0, 300.0);
         let cfg = WaypointConfig {
             min_speed_mps: 0.1,
@@ -29,11 +29,16 @@ proptest! {
             let p = rw.position_at(SimTime::from_millis(t));
             prop_assert!(area.contains(p), "escaped to {p:?} at {t} ms");
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Observed speed between samples never exceeds the configured max.
-    #[test]
-    fn observed_speed_bounded(seed in any::<u64>(), max_speed in 1.0f64..40.0) {
+/// Observed speed between samples never exceeds the configured max.
+#[test]
+fn observed_speed_bounded() {
+    Check::new("observed_speed_bounded").run(|g| {
+        let seed = g.u64();
+        let max_speed = g.f64_range(1.0, 40.0);
         let area = Area::new(1_000.0, 200.0);
         let cfg = WaypointConfig {
             min_speed_mps: 0.1,
@@ -49,17 +54,22 @@ proptest! {
             prop_assert!(v <= max_speed + 1e-6, "speed {v} > {max_speed}");
             prev = cur;
         }
-    }
+        Ok(())
+    });
+}
 
-    /// The grid-backed neighbor query equals the O(n^2) answer for
-    /// arbitrary point sets and ranges.
-    #[test]
-    fn grid_matches_brute_force(
-        points in prop::collection::vec((0.0f64..2_000.0, 0.0f64..400.0), 1..80),
-        range in 50.0f64..400.0,
-    ) {
+/// The grid-backed neighbor query equals the O(n^2) answer for
+/// arbitrary point sets and ranges.
+#[test]
+fn grid_matches_brute_force() {
+    Check::new("grid_matches_brute_force").run(|g| {
+        let points = g.vec(1, 80, |g| {
+            (g.f64_range(0.0, 2_000.0), g.f64_range(0.0, 400.0))
+        });
+        let range = g.f64_range(50.0, 400.0);
         let positions: Vec<Vec2> = points.iter().map(|&(x, y)| Vec2::new(x, y)).collect();
-        let snap = Snapshot::from_positions(positions.clone(), Area::new(2_000.0, 400.0), SimTime::ZERO);
+        let snap =
+            Snapshot::from_positions(positions.clone(), Area::new(2_000.0, 400.0), SimTime::ZERO);
         let table = NeighborTable::build(&snap, range);
         for i in 0..positions.len() {
             let id = NodeId::new(i as u32);
@@ -70,13 +80,17 @@ proptest! {
             brute.sort_unstable();
             prop_assert_eq!(table.neighbors(id), &brute[..]);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Neighbor relations are symmetric for arbitrary topologies.
-    #[test]
-    fn neighbor_symmetry(
-        points in prop::collection::vec((0.0f64..1_000.0, 0.0f64..1_000.0), 2..40),
-    ) {
+/// Neighbor relations are symmetric for arbitrary topologies.
+#[test]
+fn neighbor_symmetry() {
+    Check::new("neighbor_symmetry").run(|g| {
+        let points = g.vec(2, 40, |g| {
+            (g.f64_range(0.0, 1_000.0), g.f64_range(0.0, 1_000.0))
+        });
         let positions: Vec<Vec2> = points.iter().map(|&(x, y)| Vec2::new(x, y)).collect();
         let count = positions.len();
         let snap = Snapshot::from_positions(positions, Area::new(1_000.0, 1_000.0), SimTime::ZERO);
@@ -89,15 +103,21 @@ proptest! {
                 );
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Link-change counting is zero against itself and symmetric in
-    /// total count between two arbitrary snapshots.
-    #[test]
-    fn link_changes_consistency(
-        before in prop::collection::vec((0.0f64..800.0, 0.0f64..200.0), 3..30),
-        jitter in prop::collection::vec((-300.0f64..300.0, -100.0f64..100.0), 3..30),
-    ) {
+/// Link-change counting is zero against itself and symmetric in
+/// total count between two arbitrary snapshots.
+#[test]
+fn link_changes_consistency() {
+    Check::new("link_changes_consistency").run(|g| {
+        let before = g.vec(3, 30, |g: &mut Gen| {
+            (g.f64_range(0.0, 800.0), g.f64_range(0.0, 200.0))
+        });
+        let jitter = g.vec(3, 30, |g: &mut Gen| {
+            (g.f64_range(-300.0, 300.0), g.f64_range(-100.0, 100.0))
+        });
         let n = before.len().min(jitter.len());
         let area = Area::new(2_000.0, 600.0);
         let p1: Vec<Vec2> = before[..n].iter().map(|&(x, y)| Vec2::new(x, y)).collect();
@@ -114,10 +134,8 @@ proptest! {
             let id = NodeId::new(i as u32);
             prop_assert_eq!(t1.link_changes_since(&t1, id), 0);
             // Symmetric difference is direction-independent.
-            prop_assert_eq!(
-                t2.link_changes_since(&t1, id),
-                t1.link_changes_since(&t2, id)
-            );
+            prop_assert_eq!(t2.link_changes_since(&t1, id), t1.link_changes_since(&t2, id));
         }
-    }
+        Ok(())
+    });
 }

@@ -1,0 +1,354 @@
+//! A minimal, hermetic property-testing harness.
+//!
+//! The workspace builds with **no registry dependencies**, so `proptest`
+//! is out. This crate provides the slice of it the simulator's test
+//! suites actually use, in ~200 lines:
+//!
+//! * [`Gen`] — a seeded generator handle built on
+//!   [`rcast_engine::rng::StreamRng`] with a **size dial**: collection
+//!   lengths scale with the current size, so early cases are small and
+//!   later cases stress harder.
+//! * [`Check`] — the case runner. It ramps the size from small to
+//!   [`MAX_SIZE`] across cases, and on failure **shrinks by binary
+//!   search over the size dial**: the same case seed is replayed at
+//!   smaller sizes until the smallest still-failing size is found.
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`] —
+//!   drop-in assertion macros returning `Err(String)` so a shrink can
+//!   re-run the property without unwinding.
+//!
+//! Every failure report prints the `(seed, size)` pair that reproduces
+//! it; replay with [`Gen::new`] in a unit test to debug.
+//!
+//! # Example
+//!
+//! ```
+//! use rcast_testkit::{Check, Gen};
+//!
+//! Check::new("reverse_is_involutive").cases(64).run(|g: &mut Gen| {
+//!     let v = g.vec(0, 50, |g| g.u64());
+//!     let mut w = v.clone();
+//!     w.reverse();
+//!     w.reverse();
+//!     rcast_testkit::prop_assert_eq!(v, w);
+//!     Ok(())
+//! });
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rcast_engine::rng::{label_hash, StreamRng};
+
+/// The largest size the runner ramps up to.
+pub const MAX_SIZE: u32 = 100;
+
+/// What a property returns: `Ok(())` or a failure message.
+pub type PropResult = Result<(), String>;
+
+/// A seeded draw handle with a size dial. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct Gen {
+    rng: StreamRng,
+    size: u32,
+}
+
+impl Gen {
+    /// A generator for `(seed, size)` — the pair every failure report
+    /// prints, so any case can be replayed exactly.
+    pub fn new(seed: u64, size: u32) -> Self {
+        Gen {
+            rng: StreamRng::from_seed(seed),
+            size: size.min(MAX_SIZE),
+        }
+    }
+
+    /// The current size in `0..=MAX_SIZE`.
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// A uniformly random `u64`.
+    pub fn u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// A uniform draw in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn u64_range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.rng.below(hi - lo)
+    }
+
+    /// A uniform draw in `[lo, hi)` as `u32`.
+    pub fn u32_range(&mut self, lo: u32, hi: u32) -> u32 {
+        self.u64_range(lo as u64, hi as u64) as u32
+    }
+
+    /// A uniform draw in `[lo, hi)` as `usize`.
+    pub fn usize_range(&mut self, lo: usize, hi: usize) -> usize {
+        self.u64_range(lo as u64, hi as u64) as usize
+    }
+
+    /// A uniform draw in `[lo, hi)`.
+    pub fn f64_range(&mut self, lo: f64, hi: f64) -> f64 {
+        self.rng.range_f64(lo, hi)
+    }
+
+    /// A fair coin flip.
+    pub fn bool(&mut self) -> bool {
+        self.rng.chance(0.5)
+    }
+
+    /// A size-scaled length in `[min, max)`: at small sizes the
+    /// effective maximum shrinks toward `min`, which is what makes
+    /// binary-search shrinking produce small counterexamples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min >= max`.
+    pub fn len(&mut self, min: usize, max: usize) -> usize {
+        assert!(min < max, "empty length range {min}..{max}");
+        let span = (max - 1 - min) as u64 * self.size as u64 / MAX_SIZE as u64;
+        self.usize_range(min, min + span as usize + 1)
+    }
+
+    /// A vector with a size-scaled length in `[min, max)`, each element
+    /// drawn by `f`.
+    pub fn vec<T>(&mut self, min: usize, max: usize, mut f: impl FnMut(&mut Gen) -> T) -> Vec<T> {
+        let n = self.len(min, max);
+        (0..n).map(|_| f(self)).collect()
+    }
+}
+
+/// A property-check runner. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct Check {
+    name: String,
+    cases: u32,
+    seed: u64,
+}
+
+impl Check {
+    /// A runner for the named property. The base seed is derived from
+    /// the name (so sibling properties explore independent cases) and
+    /// can be overridden with `RCAST_TESTKIT_SEED`; case count with
+    /// `RCAST_TESTKIT_CASES`.
+    pub fn new(name: &str) -> Self {
+        fn env<T: std::str::FromStr>(k: &str) -> Option<T> {
+            std::env::var(k).ok().and_then(|v| v.parse().ok())
+        }
+        Check {
+            name: name.to_string(),
+            cases: env("RCAST_TESTKIT_CASES").unwrap_or(64),
+            seed: env("RCAST_TESTKIT_SEED").unwrap_or_else(|| label_hash(name)),
+        }
+    }
+
+    /// Overrides the number of cases to run.
+    pub fn cases(mut self, n: u32) -> Self {
+        self.cases = n.max(1);
+        self
+    }
+
+    /// Runs the property across all cases, ramping the size from 1 to
+    /// [`MAX_SIZE`]. On failure, shrinks and panics with a replayable
+    /// `(seed, size)` report.
+    ///
+    /// # Panics
+    ///
+    /// Panics (failing the enclosing `#[test]`) when the property fails.
+    pub fn run(self, prop: impl Fn(&mut Gen) -> PropResult) {
+        let root = StreamRng::from_seed(self.seed);
+        for case in 0..self.cases {
+            // Ramp: early cases tiny, the last case at full size.
+            let size = 1 + case * (MAX_SIZE - 1) / self.cases.max(2).saturating_sub(1);
+            let case_seed = root.child_indexed("case", case as u64).next_u64();
+            if let Err(err) = prop(&mut Gen::new(case_seed, size)) {
+                let (small, small_err) = shrink(&prop, case_seed, size, err);
+                panic!(
+                    "property '{}' failed (case {case}/{}):\n  {}\n  replay: \
+                     Gen::new({case_seed:#018x}, {small}) [first failed at size {size}]",
+                    self.name, self.cases, small_err
+                );
+            }
+        }
+    }
+}
+
+/// Binary-searches the smallest size (for the same seed) at which the
+/// property still fails, returning that size and its failure message.
+fn shrink(
+    prop: &impl Fn(&mut Gen) -> PropResult,
+    seed: u64,
+    size: u32,
+    err: String,
+) -> (u32, String) {
+    let (mut lo, mut hi) = (0u32, size);
+    let mut best = (size, err);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        match prop(&mut Gen::new(seed, mid)) {
+            Err(e) => {
+                best = (mid, e);
+                hi = mid;
+            }
+            Ok(()) => lo = mid + 1,
+        }
+    }
+    best
+}
+
+/// Asserts a condition inside a property, returning `Err` (not
+/// panicking) so the shrinker can replay. Usage mirrors `assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({})", stringify!($cond), format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` for properties; returns `Err` with both values.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if a != b {
+            return Err(format!(
+                "assertion failed: {} == {}\n    left: {a:?}\n   right: {b:?}",
+                stringify!($a), stringify!($b)
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if a != b {
+            return Err(format!(
+                "assertion failed: {} == {} ({})\n    left: {a:?}\n   right: {b:?}",
+                stringify!($a), stringify!($b), format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+/// `assert_ne!` for properties; returns `Err` with the shared value.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if a == b {
+            return Err(format!(
+                "assertion failed: {} != {}\n    both: {a:?}",
+                stringify!($a), stringify!($b)
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        let draw = |seed, size| {
+            let mut g = Gen::new(seed, size);
+            (g.u64(), g.f64_range(0.0, 1.0), g.vec(0, 20, |g| g.bool()))
+        };
+        assert_eq!(draw(7, 50), draw(7, 50));
+        assert_ne!(draw(7, 50).0, draw(8, 50).0);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut g = Gen::new(3, MAX_SIZE);
+        for _ in 0..1_000 {
+            let x = g.u64_range(10, 20);
+            assert!((10..20).contains(&x));
+            let f = g.f64_range(-2.0, 2.0);
+            assert!((-2.0..2.0).contains(&f));
+            let l = g.len(1, 6);
+            assert!((1..6).contains(&l));
+        }
+    }
+
+    #[test]
+    fn lengths_scale_with_size() {
+        // At size 0, length collapses to the minimum.
+        let mut tiny = Gen::new(1, 0);
+        for _ in 0..100 {
+            assert_eq!(tiny.len(2, 50), 2);
+        }
+        // At full size the whole range is reachable.
+        let mut full = Gen::new(1, MAX_SIZE);
+        let seen: std::collections::HashSet<usize> =
+            (0..2_000).map(|_| full.len(2, 6)).collect();
+        assert_eq!(seen.len(), 4, "{seen:?}");
+    }
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let count = std::cell::Cell::new(0u32);
+        Check::new("always_passes").cases(25).run(|g| {
+            count.set(count.get() + 1);
+            prop_assert!(g.vec(0, 10, Gen::u64).len() < 10);
+            Ok(())
+        });
+        assert_eq!(count.get(), 25);
+    }
+
+    #[test]
+    fn shrinking_finds_a_small_failing_size() {
+        // Fails whenever the generated vector has >= 3 elements. The
+        // shrinker must walk the size down until the vector is small.
+        let prop = |g: &mut Gen| {
+            let v = g.vec(0, 80, Gen::u64);
+            prop_assert!(v.len() < 3, "len {}", v.len());
+            Ok(())
+        };
+        // Find a failing case the way the runner would.
+        let mut failing = None;
+        for seed in 0..50u64 {
+            if prop(&mut Gen::new(seed, MAX_SIZE)).is_err() {
+                failing = Some(seed);
+                break;
+            }
+        }
+        let seed = failing.expect("a big vector must appear");
+        let err = prop(&mut Gen::new(seed, MAX_SIZE)).unwrap_err();
+        let (small, _) = shrink(&prop, seed, MAX_SIZE, err);
+        assert!(small < MAX_SIZE, "shrank from {MAX_SIZE} to {small}");
+        // The shrunken size still fails (the report is reproducible).
+        assert!(prop(&mut Gen::new(seed, small)).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "replay: Gen::new(")]
+    fn failing_property_panics_with_replay_line() {
+        Check::new("always_fails").cases(5).run(|_| Err("nope".into()));
+    }
+
+    #[test]
+    fn assertion_macros_produce_errors() {
+        fn p(ok: bool) -> PropResult {
+            prop_assert!(ok, "flag was {ok}");
+            prop_assert_eq!(1 + 1, 2);
+            prop_assert_ne!(1, 2);
+            Ok(())
+        }
+        assert!(p(true).is_ok());
+        let msg = p(false).unwrap_err();
+        assert!(msg.contains("flag was false"), "{msg}");
+    }
+}

@@ -79,6 +79,9 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Ok(Command::Compare(cmp)) => {
+            let threads = cmp
+                .threads
+                .unwrap_or_else(randomcast::engine::pool::available_threads);
             let mut table = TextTable::new(vec![
                 "scheme".into(),
                 "rate".into(),
@@ -93,14 +96,13 @@ fn main() -> ExitCode {
                     let mut cfg = cmp.base.clone();
                     cfg.scheme = scheme;
                     cfg.traffic.rate_pps = rate;
-                    let reports = match randomcast::run_seeds(&cfg, cmp.seeds.iter().copied()) {
-                        Ok(r) => r,
+                    let agg = match AggregateReport::from_parallel(&cfg, &cmp.seeds, threads) {
+                        Ok(a) => a,
                         Err(e) => {
                             eprintln!("error: {e}");
                             return ExitCode::FAILURE;
                         }
                     };
-                    let agg = AggregateReport::from_runs(&reports, cfg.traffic.packet_bytes);
                     table.add_row(vec![
                         scheme.label().into(),
                         format!("{rate}"),

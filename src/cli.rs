@@ -53,6 +53,9 @@ pub struct CompareArgs {
     pub rates: Vec<f64>,
     /// Seeds to average.
     pub seeds: Vec<u64>,
+    /// Worker threads for the per-cell seed fan-out (`None` = machine
+    /// width). Results are identical at any width.
+    pub threads: Option<usize>,
 }
 
 /// A CLI parsing failure, with a user-facing message.
@@ -139,6 +142,8 @@ compare-ONLY:
     --schemes <list>  comma list of schemes      [802.11,odpm,rcast]
     --rates <list>    comma list of rates        [0.2,0.4,1.0,2.0]
     --seeds <list>    comma list of seeds        [1,2,3]
+    --threads <n>     worker threads per cell    [machine width]
+                      (results are identical at any thread count)
 ";
 
 /// Parses a full argument vector (without the binary name).
@@ -187,6 +192,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseCliError> {
             let mut schemes = vec![Scheme::Dot11, Scheme::Odpm, Scheme::Rcast];
             let mut rates = vec![0.2, 0.4, 1.0, 2.0];
             let mut seeds = vec![1, 2, 3];
+            let mut threads = None;
             let mut passthrough = Vec::new();
             let mut it = rest.iter();
             while let Some(flag) = it.next() {
@@ -212,6 +218,14 @@ pub fn parse(args: &[String]) -> Result<Command, ParseCliError> {
                             .map(|s| parse_u64("--seeds", s))
                             .collect::<Result<_, _>>()?;
                     }
+                    "--threads" => {
+                        let v = it.next().ok_or_else(|| err("--threads needs a value"))?;
+                        let n = parse_u64("--threads", v)? as usize;
+                        if n == 0 {
+                            return Err(err("--threads must be at least 1"));
+                        }
+                        threads = Some(n);
+                    }
                     other => {
                         passthrough.push(other.to_string());
                         if let Some(v) = it.next() {
@@ -232,6 +246,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseCliError> {
                 schemes,
                 rates,
                 seeds,
+                threads,
             }))
         }
         other => Err(err(format!(
@@ -431,6 +446,17 @@ mod tests {
         assert_eq!(c.rates, vec![0.2, 2.0]);
         assert_eq!(c.seeds, vec![5, 6]);
         assert_eq!(c.base.nodes, 30);
+        assert_eq!(c.threads, None);
+    }
+
+    #[test]
+    fn compare_threads_parse() {
+        let cmd = parse(&args("compare --threads 4")).unwrap();
+        let Command::Compare(c) = cmd else { panic!() };
+        assert_eq!(c.threads, Some(4));
+        assert!(parse(&args("compare --threads 0")).is_err());
+        assert!(parse(&args("compare --threads many")).is_err());
+        assert!(parse(&args("compare --threads")).is_err());
     }
 
     #[test]

@@ -1,0 +1,94 @@
+//! Golden determinism tests: for **every** scheme, the parallel seed
+//! runner produces byte-identical `SimReport`s to the serial path at
+//! widths 1, 2 and 8.
+//!
+//! Identity is checked on the `Debug` rendering of the full report.
+//! Rust's `Debug` for `f64` prints the shortest string that round-trips
+//! to the exact bits, so string equality here is bit equality for every
+//! float in the report, and exact equality for everything else.
+
+use randomcast::{run_seeds, run_seeds_parallel, Scheme, SimConfig, SimDuration};
+
+const SEEDS: [u64; 3] = [7, 19, 101];
+const WIDTHS: [usize; 3] = [1, 2, 8];
+
+fn smoke(scheme: Scheme) -> SimConfig {
+    let mut cfg = SimConfig::smoke(scheme, 0);
+    cfg.duration = SimDuration::from_secs(60);
+    cfg
+}
+
+fn assert_parallel_matches_serial(scheme: Scheme) {
+    let cfg = smoke(scheme);
+    let serial: Vec<String> = run_seeds(&cfg, SEEDS)
+        .expect("valid config")
+        .iter()
+        .map(|r| format!("{r:?}"))
+        .collect();
+    for threads in WIDTHS {
+        let parallel: Vec<String> = run_seeds_parallel(&cfg, SEEDS, threads)
+            .expect("valid config")
+            .iter()
+            .map(|r| format!("{r:?}"))
+            .collect();
+        assert_eq!(
+            serial, parallel,
+            "{scheme}: parallel ({threads} threads) diverged from serial"
+        );
+    }
+}
+
+#[test]
+fn dot11_parallel_is_byte_identical() {
+    assert_parallel_matches_serial(Scheme::Dot11);
+}
+
+#[test]
+fn psm_parallel_is_byte_identical() {
+    assert_parallel_matches_serial(Scheme::Psm);
+}
+
+#[test]
+fn psm_no_overhear_parallel_is_byte_identical() {
+    assert_parallel_matches_serial(Scheme::PsmNoOverhear);
+}
+
+#[test]
+fn odpm_parallel_is_byte_identical() {
+    assert_parallel_matches_serial(Scheme::Odpm);
+}
+
+#[test]
+fn rcast_parallel_is_byte_identical() {
+    assert_parallel_matches_serial(Scheme::Rcast);
+}
+
+/// Seed order in the output is the seed order of the input, not
+/// completion order — even with more workers than seeds.
+#[test]
+fn report_order_follows_seed_order() {
+    let cfg = smoke(Scheme::Rcast);
+    let reports = run_seeds_parallel(&cfg, [42, 5, 23], 8).expect("valid config");
+    let got: Vec<u64> = reports.iter().map(|r| r.seed).collect();
+    assert_eq!(got, vec![42, 5, 23]);
+}
+
+/// The aggregate built by the parallel helper equals the serial
+/// aggregate exactly.
+#[test]
+fn aggregate_from_parallel_matches_from_runs() {
+    let cfg = smoke(Scheme::Rcast);
+    let serial = randomcast::AggregateReport::from_runs(
+        &run_seeds(&cfg, SEEDS).expect("valid config"),
+        cfg.traffic.packet_bytes,
+    );
+    for threads in WIDTHS {
+        let parallel = randomcast::AggregateReport::from_parallel(&cfg, &SEEDS, threads)
+            .expect("valid config");
+        assert_eq!(
+            format!("{serial:?}"),
+            format!("{parallel:?}"),
+            "aggregate diverged at {threads} threads"
+        );
+    }
+}

@@ -2,7 +2,7 @@
 //! on a scaled-down testbed, averaged over seeds so single-run noise
 //! cannot flip an ordering.
 
-use randomcast::{run_seeds, AggregateReport, Scheme, SimConfig, SimDuration};
+use randomcast::{AggregateReport, Scheme, SimConfig, SimDuration};
 
 const SEEDS: [u64; 3] = [11, 22, 33];
 
@@ -12,8 +12,14 @@ fn aggregate(scheme: Scheme, rate: f64, pause: f64) -> AggregateReport {
     cfg.area = randomcast::mobility::Area::new(1100.0, 300.0);
     cfg.duration = SimDuration::from_secs(180);
     cfg.traffic.flows = 12;
-    let reports = run_seeds(&cfg, SEEDS).expect("valid config");
-    AggregateReport::from_runs(&reports, cfg.traffic.packet_bytes)
+    // The parallel runner is byte-identical to the serial path (see
+    // tests/determinism.rs), so shape tests can use it for speed.
+    AggregateReport::from_parallel(
+        &cfg,
+        &SEEDS,
+        randomcast::engine::pool::available_threads(),
+    )
+    .expect("valid config")
 }
 
 /// Abstract: Rcast is "highly energy-efficient compared to the original
@@ -147,4 +153,71 @@ fn mobility_drives_routing_overhead() {
         mobile.mean_overhead,
         static_.mean_overhead
     );
+}
+
+/// Section 3.3: Rcast's randomized overhearing pays less energy per
+/// delivered bit than PSM's unconditional overhearing, at both traffic
+/// corners.
+#[test]
+fn rcast_energy_per_bit_below_unconditional_psm() {
+    for rate in [0.4, 2.0] {
+        let psm = aggregate(Scheme::Psm, rate, 600.0);
+        let rcast = aggregate(Scheme::Rcast, rate, 600.0);
+        assert!(
+            rcast.mean_epb < psm.mean_epb,
+            "rate {rate}: Rcast EPB {} !< PSM EPB {}",
+            rcast.mean_epb,
+            psm.mean_epb
+        );
+    }
+}
+
+/// Section 3.3 / Fig. 7(b): dropping overhearing must not cost
+/// delivery — Rcast's PDR stays within a few points of always-on
+/// 802.11 at the paper's nominal rate.
+#[test]
+fn rcast_delivery_tracks_802_11() {
+    let dot11 = aggregate(Scheme::Dot11, 0.4, 600.0);
+    let rcast = aggregate(Scheme::Rcast, 0.4, 600.0);
+    assert!(
+        rcast.mean_pdr > dot11.mean_pdr - 0.05,
+        "Rcast PDR {:.1} % vs 802.11 {:.1} %",
+        rcast.mean_pdr * 100.0,
+        dot11.mean_pdr * 100.0
+    );
+}
+
+/// Section 3.3: "RERR messages are always overheard unconditionally"
+/// under Rcast — stale routes must be purged from every cache fast —
+/// while RREP and data are randomized.
+#[test]
+fn rcast_rerr_always_unconditional() {
+    use randomcast::dsr::{DsrPacket, Rerr, SourceRoute};
+    use randomcast::mac::OverhearingLevel;
+    use randomcast::NodeId;
+
+    let route = |ids: &[u32]| {
+        SourceRoute::new(ids.iter().copied().map(NodeId::new).collect()).expect("valid route")
+    };
+    // Whatever the broken link or return path, RERR is unconditional.
+    for (from, to, path) in [
+        (1u32, 2u32, vec![1u32, 0]),
+        (5, 9, vec![5, 3, 2, 0]),
+        (7, 4, vec![7, 6, 0]),
+    ] {
+        let rerr = DsrPacket::Rerr(Rerr {
+            detector: NodeId::new(from),
+            broken_from: NodeId::new(from),
+            broken_to: NodeId::new(to),
+            path: route(&path),
+        });
+        assert_eq!(
+            Scheme::Rcast.level_for(&rerr),
+            OverhearingLevel::Unconditional,
+            "RERR from {from}->{to} must be unconditional"
+        );
+        // PSM overhears everything unconditionally; this is the
+        // baseline Rcast's randomization is measured against.
+        assert_eq!(Scheme::Psm.level_for(&rerr), OverhearingLevel::Unconditional);
+    }
 }

@@ -1,8 +1,9 @@
 //! Property-based invariants of the full simulation: whatever the
 //! (small) configuration and seed, physical conservation laws hold.
+//! On the in-tree `rcast-testkit` harness.
 
-use proptest::prelude::*;
 use randomcast::{run_sim, Scheme, SimConfig, SimDuration};
+use rcast_testkit::{prop_assert, prop_assert_eq, Check, Gen};
 
 fn small_config(
     scheme_idx: usize,
@@ -21,22 +22,23 @@ fn small_config(
     cfg
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+fn draw_config(g: &mut Gen) -> SimConfig {
+    let scheme_idx = g.usize_range(0, 5);
+    let seed = g.u64_range(0, 1_000);
+    let nodes = g.u32_range(10, 40);
+    let rate = g.f64_range(0.2, 2.0);
+    let pause = g.f64_range(0.0, 200.0);
+    let flows = g.u32_range(1, 8);
+    small_config(scheme_idx, seed, nodes, rate, pause, flows)
+}
 
-    /// Energy bounds: every node consumes at least the all-sleep floor
-    /// and at most the always-awake ceiling; delivered <= originated;
-    /// PDR in [0,1]; delays non-negative.
-    #[test]
-    fn physical_invariants(
-        scheme_idx in 0usize..5,
-        seed in 0u64..1_000,
-        nodes in 10u32..40,
-        rate in 0.2f64..2.0,
-        pause in 0.0f64..200.0,
-        flows in 1u32..8,
-    ) {
-        let cfg = small_config(scheme_idx, seed, nodes, rate, pause, flows);
+/// Energy bounds: every node consumes at least the all-sleep floor
+/// and at most the always-awake ceiling; delivered <= originated;
+/// PDR in [0,1]; delays non-negative.
+#[test]
+fn physical_invariants() {
+    Check::new("physical_invariants").cases(12).run(|g| {
+        let cfg = draw_config(g);
         let duration_s = cfg.duration.as_secs_f64();
         let report = run_sim(cfg).expect("valid config");
 
@@ -55,16 +57,18 @@ proptest! {
         prop_assert!((0.0..=1.0).contains(&pdr));
         prop_assert!(report.delivery.mean_delay() >= randomcast::SimDuration::ZERO);
         prop_assert!(report.delivery.normalized_routing_overhead() >= 0.0);
-    }
+        Ok(())
+    });
+}
 
-    /// Determinism: the same configuration and seed produce bit-identical
-    /// reports, whatever the parameters.
-    #[test]
-    fn determinism_across_parameters(
-        scheme_idx in 0usize..5,
-        seed in 0u64..1_000,
-        rate in 0.2f64..2.0,
-    ) {
+/// Determinism: the same configuration and seed produce bit-identical
+/// reports, whatever the parameters.
+#[test]
+fn determinism_across_parameters() {
+    Check::new("determinism_across_parameters").cases(12).run(|g| {
+        let scheme_idx = g.usize_range(0, 5);
+        let seed = g.u64_range(0, 1_000);
+        let rate = g.f64_range(0.2, 2.0);
         let cfg = small_config(scheme_idx, seed, 20, rate, 50.0, 4);
         let a = run_sim(cfg.clone()).expect("valid");
         let b = run_sim(cfg).expect("valid");
@@ -74,14 +78,20 @@ proptest! {
         prop_assert_eq!(a.roles.all(), b.roles.all());
         prop_assert_eq!(a.mac, b.mac);
         prop_assert_eq!(a.dsr, b.dsr);
-    }
+        Ok(())
+    });
+}
 
-    /// The 802.11 scheme's per-node energy is always exactly flat.
-    #[test]
-    fn dot11_flatness(seed in 0u64..1_000, nodes in 5u32..30) {
+/// The 802.11 scheme's per-node energy is always exactly flat.
+#[test]
+fn dot11_flatness() {
+    Check::new("dot11_flatness").cases(12).run(|g| {
+        let seed = g.u64_range(0, 1_000);
+        let nodes = g.u32_range(5, 30);
         let cfg = small_config(0, seed, nodes, 0.4, 50.0, 3);
         prop_assert_eq!(cfg.scheme, Scheme::Dot11);
         let report = run_sim(cfg).expect("valid");
         prop_assert_eq!(report.energy.variance(), 0.0);
-    }
+        Ok(())
+    });
 }
