@@ -18,4 +18,13 @@ cargo test -q --offline --workspace
 echo "==> cargo test --offline --doc (doctests, explicitly)"
 cargo test -q --offline --workspace --doc
 
+echo "==> chaos smoke: fault-injected run per scheme (offline, release)"
+cargo test -q --offline --test chaos
+for scheme in 802.11 psm psm-none odpm rcast; do
+    ./target/release/rcast run --scheme "$scheme" \
+        --nodes 25 --area 700x300 --duration 30 --flows 4 --seed 7 \
+        --faults crash=0.3,downtime=10,blackouts=2,bursts=1,corrupt=0.5 \
+        > /dev/null
+done
+
 echo "CI gate passed."

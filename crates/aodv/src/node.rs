@@ -190,6 +190,28 @@ impl AodvNode {
         self.discoveries.contains_key(&target)
     }
 
+    /// Wipes all volatile protocol state — what a crash does to a node.
+    ///
+    /// Routing table, buffered packets, duplicate suppression, neighbor
+    /// liveness and timers are lost. The sequence number is incremented
+    /// rather than reset (RFC 3561 §6.1: a rebooting node must not reuse
+    /// stale sequence numbers), the RREQ id stays monotone, and the
+    /// cumulative counters survive. Returns the `(flow, seq)` ids of
+    /// the buffered data packets that died with the node.
+    pub fn reboot(&mut self, now: SimTime) -> Vec<(u32, u64)> {
+        let lost = self.buffer.iter().map(|b| (b.flow, b.seq)).collect();
+        self.table = RoutingTable::new(self.cfg.active_route_timeout);
+        self.seq += 1;
+        self.seen_rreq.clear();
+        self.buffer.clear();
+        self.discoveries.clear();
+        self.last_heard.clear();
+        self.last_activity = None;
+        self.next_hello_at = now;
+        self.rerr_window = (now, 0);
+        lost
+    }
+
     fn note_activity(&mut self, now: SimTime) {
         self.last_activity = Some(now);
     }

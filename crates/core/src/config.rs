@@ -6,6 +6,7 @@ use rcast_mobility::{Area, WaypointConfig};
 use rcast_radio::EnergyModel;
 use rcast_traffic::TrafficConfig;
 
+use crate::faults::FaultsConfig;
 use crate::odpm::OdpmConfig;
 use crate::overhearing::OverhearFactors;
 use crate::routing::RoutingKind;
@@ -62,6 +63,9 @@ pub struct SimConfig {
     /// When `true`, journal every data packet's lifecycle into the
     /// report's [`crate::PacketTrace`] (costs memory on long runs).
     pub trace: bool,
+    /// Fault injection (crashes, blackouts, corruption bursts); the
+    /// default injects nothing.
+    pub faults: FaultsConfig,
 }
 
 impl SimConfig {
@@ -94,6 +98,7 @@ impl SimConfig {
             battery_capacity_j: None,
             energy_sampling: None,
             trace: false,
+            faults: FaultsConfig::default(),
         }
     }
 
@@ -156,6 +161,9 @@ impl SimConfig {
         self.factors
             .validate()
             .map_err(|e| format!("factors: {e}"))?;
+        self.faults
+            .validate(self.nodes)
+            .map_err(|e| format!("faults: {e}"))?;
         if self.traffic.flows > 0 && self.nodes < 2 {
             return Err("traffic requires at least two nodes".into());
         }

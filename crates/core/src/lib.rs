@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 mod config;
+mod faults;
 mod odpm;
 mod overhearing;
 mod report;
@@ -48,6 +49,7 @@ mod sim;
 mod trace;
 
 pub use config::SimConfig;
+pub use faults::{FaultCounters, FaultEvent, FaultPlan, FaultsConfig};
 pub use odpm::{OdpmConfig, OdpmState};
 pub use overhearing::{OverhearFactors, RcastDecider};
 pub use report::{AggregateReport, SimReport};

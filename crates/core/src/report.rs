@@ -7,6 +7,7 @@ use rcast_mac::MacCounters;
 use rcast_metrics::{DeliveryTracker, EnergyReport, RoleNumbers, TimeSeries};
 
 use crate::config::SimConfig;
+use crate::faults::FaultCounters;
 use crate::scheme::Scheme;
 use crate::sim::run_seeds_parallel;
 use crate::trace::PacketTrace;
@@ -32,6 +33,9 @@ pub struct SimReport {
     pub dsr: DsrCounters,
     /// Network-wide AODV counters (summed over nodes; zero under DSR).
     pub aodv: AodvCounters,
+    /// Injected-fault bookkeeping (all zero when no faults were
+    /// configured).
+    pub faults: FaultCounters,
     /// First battery depletion, if batteries were finite and one died.
     pub first_depletion: Option<SimTime>,
     /// Per-node cumulative energy over time, when
@@ -203,6 +207,7 @@ mod tests {
             mac: MacCounters::default(),
             dsr: DsrCounters::default(),
             aodv: AodvCounters::default(),
+            faults: FaultCounters::default(),
             first_depletion: None,
             energy_series: None,
             trace: None,

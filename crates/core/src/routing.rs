@@ -272,6 +272,17 @@ impl RouterNode {
         }
     }
 
+    /// Crash recovery: wipes volatile protocol state (route cache or
+    /// table, buffers, duplicate suppression, timers), preserving the
+    /// cumulative counters. Returns the `(flow, seq)` ids of buffered
+    /// data packets lost with the node.
+    pub fn reboot(&mut self, now: SimTime) -> Vec<(u32, u64)> {
+        match self {
+            RouterNode::Dsr(n) => n.reboot(),
+            RouterNode::Aodv(n) => n.reboot(now),
+        }
+    }
+
     /// Timer tick.
     pub fn tick(&mut self, now: SimTime) -> Vec<RouteAction> {
         match self {

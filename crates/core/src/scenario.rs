@@ -76,6 +76,14 @@ pub fn write_scenario(cfg: &SimConfig) -> String {
     if let Some(b) = cfg.battery_capacity_j {
         line("battery", b.to_string());
     }
+    if !cfg.faults.is_none() {
+        if let Some(spec) = cfg.faults.spec_string() {
+            line("faults", spec);
+        }
+        // Scripted faults have no spec syntax and are deliberately not
+        // serialized: scenario files capture sweepable experiments, not
+        // hand-placed test fixtures.
+    }
     out
 }
 
@@ -151,6 +159,10 @@ pub fn parse_scenario(text: &str) -> Result<SimConfig, String> {
             "max_speed" => cfg.waypoint.max_speed_mps = parse_f(one()?)?,
             "broadcast_p" => cfg.factors.broadcast_probability = parse_f(one()?)?,
             "battery" => cfg.battery_capacity_j = Some(parse_f(one()?)?),
+            "faults" => {
+                cfg.faults = crate::faults::FaultsConfig::parse_spec(one()?)
+                    .map_err(|e| format!("line {}: {e}", lineno + 1))?
+            }
             other => return Err(format!("line {}: unknown key '{other}'", lineno + 1)),
         }
     }
@@ -172,6 +184,22 @@ mod tests {
         let text = write_scenario(&cfg);
         let parsed = parse_scenario(&text).expect("round trip");
         assert_eq!(parsed, cfg);
+    }
+
+    #[test]
+    fn faults_spec_round_trips_through_scenario_text() {
+        let mut cfg = SimConfig::paper(Scheme::Rcast, 3, 0.4, 600.0);
+        cfg.faults.crash_prob = 0.3;
+        cfg.faults.downtime_s = 45.0;
+        cfg.faults.link_blackouts = 2;
+        cfg.faults.corruption_bursts = 1;
+        let text = write_scenario(&cfg);
+        assert!(text.contains("faults crash=0.3"), "{text}");
+        let parsed = parse_scenario(&text).expect("round trip");
+        assert_eq!(parsed, cfg);
+        // A clean config emits no faults line at all.
+        let clean = write_scenario(&SimConfig::paper(Scheme::Rcast, 3, 0.4, 600.0));
+        assert!(!clean.contains("faults"), "{clean}");
     }
 
     #[test]

@@ -34,6 +34,7 @@ use rcast_metrics::{DeliveryTracker, EnergyReport, RoleNumbers, TimeSeries};
 use rcast_traffic::FlowSchedule;
 
 use crate::config::SimConfig;
+use crate::faults::{FaultCounters, FaultPlan};
 use crate::odpm::OdpmState;
 use crate::routing::{NetPacket, RouteAction, RouterNode};
 use crate::trace::{PacketTrace, TraceEvent};
@@ -118,6 +119,12 @@ pub struct Simulation {
     first_depletion: Option<SimTime>,
     energy_series: Option<TimeSeries>,
     trace: Option<PacketTrace>,
+    faults: FaultPlan,
+    /// `false` for a clean run: every fault hook short-circuits and the
+    /// run is bit-identical to one built before faults existed.
+    faults_active: bool,
+    down: Vec<bool>,
+    fault_counters: FaultCounters,
 }
 
 impl Simulation {
@@ -139,6 +146,8 @@ impl Simulation {
         let flows = cfg.traffic.generate(cfg.nodes, root.child("traffic"));
         let horizon = SimTime::ZERO + cfg.duration;
         let phy = Phy::new(cfg.data_rate_bps);
+        let faults = FaultPlan::build(&cfg);
+        let faults_active = !faults.is_empty();
         Ok(Simulation {
             mobility,
             mac: MacLayer::new(n, cfg.mac, phy, root.child("mac")),
@@ -160,6 +169,10 @@ impl Simulation {
                 .energy_sampling
                 .map(|p| TimeSeries::new(n, p)),
             trace: cfg.trace.then(PacketTrace::new),
+            faults,
+            faults_active,
+            down: vec![false; n],
+            fault_counters: FaultCounters::default(),
             cfg,
         })
     }
@@ -181,7 +194,10 @@ impl Simulation {
         for k in 0..intervals {
             let t = SimTime::ZERO + bi * k;
             let snap = self.mobility.snapshot(t);
-            let nt = NeighborTable::build(&snap, self.cfg.range_m);
+            let mut nt = NeighborTable::build(&snap, self.cfg.range_m);
+            if self.faults_active {
+                self.apply_faults(t, &mut nt);
+            }
             if let Some(prev) = &prev_nt {
                 for i in 0..n {
                     let id = NodeId::new(i as u32);
@@ -190,8 +206,11 @@ impl Simulation {
                 }
             }
 
-            // 1. Routing timers.
+            // 1. Routing timers (crashed nodes hold no timers).
             for i in 0..n {
+                if self.down[i] {
+                    continue;
+                }
                 let id = NodeId::new(i as u32);
                 for a in self.routers[i].tick(t) {
                     work.push_back((id, t, a));
@@ -216,6 +235,12 @@ impl Simulation {
                     self.process_delivery(d, &mut work);
                 }
                 for f in outcome.failures {
+                    if self.faults_active
+                        && (self.down[f.receiver.index()]
+                            || self.faults.link_cut(f.sender, f.receiver, t))
+                    {
+                        self.fault_counters.rerrs_triggered += 1;
+                    }
                     let actions = self.routers[f.sender.index()].link_failure(
                         f.receiver,
                         f.frame.payload,
@@ -248,6 +273,17 @@ impl Simulation {
                             dst: a.dst,
                         },
                     );
+                }
+                if self.down[a.src.index()] {
+                    // A crashed source generates nothing on the air; the
+                    // packet is lost at birth.
+                    self.tracker.record_fault_drop();
+                    self.fault_counters.packets_lost_to_faults += 1;
+                    if let Some(trace) = &mut self.trace {
+                        trace.record(a.at, (a.flow, a.seq), TraceEvent::Dropped);
+                    }
+                    next_arrival = self.schedule.next();
+                    continue;
                 }
                 if self.cfg.scheme == Scheme::Odpm {
                     // A generating source is an endpoint event.
@@ -305,6 +341,64 @@ impl Simulation {
         self.into_report()
     }
 
+    /// Applies the fault plan at the interval boundary `t`: resolves
+    /// node up/down transitions (a crash purges the node's MAC queue
+    /// and wipes its volatile routing state), masks crashed nodes and
+    /// blacked-out links out of the neighbor table — neighbors then
+    /// discover the loss through missing ATIM-ACKs, which feeds DSR a
+    /// link error — and sets the interval's frame-corruption
+    /// probability.
+    fn apply_faults(&mut self, t: SimTime, nt: &mut NeighborTable) {
+        self.fault_counters.link_blackouts += self.faults.activate_blackouts(t);
+        self.fault_counters.corruption_bursts += self.faults.activate_bursts(t);
+        let n = self.cfg.nodes as usize;
+        for i in 0..n {
+            let id = NodeId::new(i as u32);
+            let is_down = self.faults.is_down(id, t);
+            if is_down && !self.down[i] {
+                if self.faults.crash_scheduled(id, t) {
+                    self.fault_counters.crashes += 1;
+                }
+                // Volatile state dies with the node: queued frames and
+                // route-pending buffered packets are lost for good.
+                for q in self.mac.purge_node(id) {
+                    if q.frame.payload.is_control() {
+                        continue;
+                    }
+                    self.tracker.record_fault_drop();
+                    self.fault_counters.packets_lost_to_faults += 1;
+                    if let (Some(trace), Some(pid)) =
+                        (&mut self.trace, q.frame.payload.data_id())
+                    {
+                        trace.record(t, pid, TraceEvent::Dropped);
+                    }
+                }
+                for pid in self.routers[i].reboot(t) {
+                    self.tracker.record_fault_drop();
+                    self.fault_counters.packets_lost_to_faults += 1;
+                    if let Some(trace) = &mut self.trace {
+                        trace.record(t, pid, TraceEvent::Dropped);
+                    }
+                }
+            } else if !is_down && self.down[i] {
+                self.fault_counters.rejoins += 1;
+            }
+            self.down[i] = is_down;
+            if is_down {
+                nt.isolate(id);
+            }
+        }
+        for (a, b) in self.faults.cut_links_at(t) {
+            nt.cut_link(a, b);
+        }
+        let p = self
+            .faults
+            .corruption_prob(t)
+            .max(self.cfg.mac.frame_loss_prob);
+        self.mac.set_frame_loss_prob(p);
+        self.channel.set_frame_loss_prob(p);
+    }
+
     /// Charges every node's meter for the interval starting at `t`.
     fn account_energy(
         &mut self,
@@ -317,6 +411,12 @@ impl Simulation {
         let n = self.cfg.nodes as usize;
         for i in 0..n {
             let id = NodeId::new(i as u32);
+            if self.down[i] {
+                // A crashed node's radio is off for the whole interval:
+                // the wall clock still advances but nothing drains.
+                self.meters[i].accumulate(PowerState::Off, bi);
+                continue;
+            }
             let awake_dur = match self.cfg.scheme {
                 Scheme::Dot11 => bi,
                 // PS schemes: the MAC already integrated commitment time
@@ -340,6 +440,9 @@ impl Simulation {
                 if let Some(died) = batteries[i].drain(joules, t + bi) {
                     if self.first_depletion.is_none() {
                         self.first_depletion = Some(died);
+                    }
+                    if self.faults.note_battery_death(id, died) {
+                        self.fault_counters.battery_deaths += 1;
                     }
                 }
                 self.rcast.note_battery(id, batteries[i].remaining_fraction());
@@ -412,6 +515,12 @@ impl Simulation {
             match result {
                 ImmediateResult::Delivered(d) => self.process_delivery(d, work),
                 ImmediateResult::Failed(f) => {
+                    if self.faults_active
+                        && (self.down[f.receiver.index()]
+                            || self.faults.link_cut(f.sender, f.receiver, f.at))
+                    {
+                        self.fault_counters.rerrs_triggered += 1;
+                    }
                     let actions = self.routers[f.sender.index()].link_failure(
                         f.receiver,
                         f.frame.payload,
@@ -640,6 +749,7 @@ impl Simulation {
             mac: self.mac.counters(),
             dsr: dsr_total,
             aodv: aodv_total,
+            faults: self.fault_counters,
             first_depletion: self.first_depletion,
             energy_series: self.energy_series,
             trace: self.trace,
@@ -933,6 +1043,30 @@ mod tests {
             r.delivery.delivered() + r.delivery.dropped() + unresolved,
             "origination ledger must balance"
         );
+    }
+
+    #[test]
+    fn scripted_crashes_activate_rejoin_and_save_energy() {
+        use crate::faults::FaultEvent;
+        let mut cfg = SimConfig::smoke(Scheme::Rcast, 7);
+        cfg.faults.script.push(FaultEvent::Crash {
+            node: 3,
+            at_s: 30.0,
+            down_s: 20.0,
+        });
+        cfg.faults.script.push(FaultEvent::Crash {
+            node: 9,
+            at_s: 60.0,
+            down_s: 0.0, // never rejoins
+        });
+        let r = run_sim(cfg).unwrap();
+        assert_eq!(r.faults.crashes, 2);
+        assert_eq!(r.faults.rejoins, 1);
+        // Node 9 is off for the second half of the run; its meter keeps
+        // ticking at 0 W, so it burns well under the network mean.
+        let per_node = r.energy.per_node_joules();
+        let mean = per_node.iter().sum::<f64>() / per_node.len() as f64;
+        assert!(per_node[9] < 0.7 * mean, "{} vs mean {mean}", per_node[9]);
     }
 
     #[test]

@@ -206,6 +206,25 @@ impl DsrNode {
         self.discoveries.contains_key(&target)
     }
 
+    /// Wipes all volatile protocol state — what a crash does to a node.
+    ///
+    /// The route cache, send buffer, duplicate-suppression sets and
+    /// outstanding discoveries are lost. Cumulative counters and the
+    /// RREQ id sequence survive: ids stay monotone so neighbors that
+    /// remember pre-crash `(origin, id)` pairs never mistake a fresh
+    /// discovery for a duplicate. Returns the `(flow, seq)` ids of the
+    /// buffered data packets that died with the node.
+    pub fn reboot(&mut self) -> Vec<(u32, u64)> {
+        let lost = self.send_buffer.iter().map(|b| (b.flow, b.seq)).collect();
+        self.cache = RouteCache::new(self.id, self.cfg.cache);
+        self.send_buffer.clear();
+        self.seen_rreq.clear();
+        self.replies_sent.clear();
+        self.recent_rerrs.clear();
+        self.discoveries.clear();
+        lost
+    }
+
     // ------------------------------------------------------------------
     // Cache plumbing
     // ------------------------------------------------------------------

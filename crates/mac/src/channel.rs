@@ -74,6 +74,20 @@ impl Channel {
         self.busy_until[node.index()]
     }
 
+    /// Replaces the injected frame-loss probability (see
+    /// [`MacLayer::set_frame_loss_prob`](crate::MacLayer::set_frame_loss_prob)).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p` is a probability.
+    pub fn set_frame_loss_prob(&mut self, p: f64) {
+        assert!(
+            p.is_finite() && (0.0..=1.0).contains(&p),
+            "invalid loss probability {p}"
+        );
+        self.cfg.frame_loss_prob = p;
+    }
+
     fn backoff(&mut self) -> SimDuration {
         self.phy.timings.slot * self.rng.below(CW_MIN_SLOTS + 1)
     }

@@ -209,6 +209,28 @@ impl<P> MacLayer<P> {
         self.queues[node.index()].len()
     }
 
+    /// Replaces the injected frame-loss probability. Fault injection
+    /// raises this during corruption bursts and restores the configured
+    /// baseline afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p` is a probability.
+    pub fn set_frame_loss_prob(&mut self, p: f64) {
+        assert!(
+            p.is_finite() && (0.0..=1.0).contains(&p),
+            "invalid loss probability {p}"
+        );
+        self.cfg.frame_loss_prob = p;
+    }
+
+    /// Empties a node's transmit queue, returning the abandoned frames —
+    /// what a crash does to buffered traffic. The frames are not counted
+    /// as queue-full drops; the caller owns their accounting.
+    pub fn purge_node(&mut self, node: NodeId) -> Vec<crate::queue::Queued<P>> {
+        self.queues[node.index()].drain_all()
+    }
+
     /// Hands a frame to the MAC for transmission via the PSM path.
     /// Returns the frame when the queue is full.
     pub fn enqueue(
@@ -837,6 +859,39 @@ mod tests {
         assert!(out.deliveries.is_empty());
         assert_eq!(m.queue_len(NodeId::new(0)), 1);
         assert_eq!(m.counters().data_lost, 1);
+    }
+
+    #[test]
+    fn loss_prob_override_and_purge() {
+        let nt = line_topology(&[0.0, 100.0]);
+        let mut m = mac(2);
+        m.enqueue(
+            NodeId::new(0),
+            MacFrame::unicast(NodeId::new(1), OverhearingLevel::None, 512, "d"),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        // A full-loss burst keeps the frame queued…
+        m.set_frame_loss_prob(1.0);
+        let out = m.run_interval(SimTime::ZERO, &nt, &mut ps(false));
+        assert!(out.deliveries.is_empty());
+        assert_eq!(m.queue_len(NodeId::new(0)), 1);
+        // …then a crash purges it without touching drop counters.
+        let purged = m.purge_node(NodeId::new(0));
+        assert_eq!(purged.len(), 1);
+        assert_eq!(purged[0].frame.payload, "d");
+        assert_eq!(m.queue_len(NodeId::new(0)), 0);
+        assert_eq!(m.counters().queue_drops, 0);
+        // Restoring the baseline lets traffic flow again.
+        m.set_frame_loss_prob(0.0);
+        m.enqueue(
+            NodeId::new(0),
+            MacFrame::unicast(NodeId::new(1), OverhearingLevel::None, 512, "e"),
+            SimTime::from_millis(250),
+        )
+        .unwrap();
+        let out = m.run_interval(SimTime::from_millis(250), &nt, &mut ps(false));
+        assert_eq!(out.deliveries.len(), 1);
     }
 
     #[test]

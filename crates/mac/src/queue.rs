@@ -135,6 +135,12 @@ impl<P> TxQueue<P> {
         out
     }
 
+    /// Removes and returns every queued frame, preserving FIFO order —
+    /// what happens to a node's queue when it crashes.
+    pub fn drain_all(&mut self) -> Vec<Queued<P>> {
+        self.items.drain(..).collect()
+    }
+
     /// Increments the ATIM attempt counter on every frame bound for
     /// `dest`; returns the new maximum.
     pub fn bump_attempts_for(&mut self, dest: Destination) -> u32 {
@@ -243,6 +249,20 @@ mod tests {
         );
         assert_eq!(q.len(), 1);
         assert_eq!(q.get(0).unwrap().frame.payload, "b");
+    }
+
+    #[test]
+    fn drain_all_empties_in_fifo_order() {
+        let mut q = TxQueue::new(10);
+        q.push(uni(1, OverhearingLevel::None, "a"), SimTime::ZERO).unwrap();
+        q.push(uni(2, OverhearingLevel::None, "b"), SimTime::ZERO).unwrap();
+        let drained = q.drain_all();
+        assert_eq!(
+            drained.iter().map(|d| d.frame.payload).collect::<Vec<_>>(),
+            vec!["a", "b"]
+        );
+        assert!(q.is_empty());
+        assert_eq!(q.drop_count(), 0, "draining is not a queue-full drop");
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub struct DeliveryTracker {
     originated: u64,
     delivered: u64,
     dropped: u64,
+    fault_drops: u64,
     delay: RunningStats,
     delay_hist: Histogram,
     hop_counts: RunningStats,
@@ -50,6 +51,7 @@ impl DeliveryTracker {
             originated: 0,
             delivered: 0,
             dropped: 0,
+            fault_drops: 0,
             delay: RunningStats::new(),
             delay_hist: Histogram::new(60.0, 60_000),
             hop_counts: RunningStats::new(),
@@ -81,6 +83,14 @@ impl DeliveryTracker {
         self.dropped += 1;
     }
 
+    /// A data packet was destroyed by an injected fault (a crashed
+    /// relay's queue, a dead source). Counts as a drop *and* is tallied
+    /// separately so chaos runs can attribute losses.
+    pub fn record_fault_drop(&mut self) {
+        self.dropped += 1;
+        self.fault_drops += 1;
+    }
+
     /// One on-air transmission of a routing-control packet
     /// (RREQ/RREP/RERR, counted per hop — the paper's overhead numerator).
     pub fn record_control_transmission(&mut self) {
@@ -105,6 +115,11 @@ impl DeliveryTracker {
     /// Packets recorded as dropped.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// The subset of drops caused by injected faults.
+    pub fn fault_drops(&self) -> u64 {
+        self.fault_drops
     }
 
     /// Control-packet transmissions (per hop).
@@ -165,6 +180,7 @@ impl DeliveryTracker {
         self.originated += other.originated;
         self.delivered += other.delivered;
         self.dropped += other.dropped;
+        self.fault_drops += other.fault_drops;
         self.delay.merge(&other.delay);
         self.delay_hist.merge(&other.delay_hist);
         self.hop_counts.merge(&other.hop_counts);
@@ -219,6 +235,21 @@ mod tests {
         // Mean of 100..900 ms = 500 ms.
         assert!((t.mean_delay().as_millis_f64() - 500.0).abs() < 1e-9);
         assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn fault_drops_count_as_drops_and_separately() {
+        let mut t = DeliveryTracker::new();
+        t.record_originated();
+        t.record_dropped();
+        t.record_fault_drop();
+        assert_eq!(t.dropped(), 2);
+        assert_eq!(t.fault_drops(), 1);
+        let mut other = DeliveryTracker::new();
+        other.record_fault_drop();
+        t.merge(&other);
+        assert_eq!(t.dropped(), 3);
+        assert_eq!(t.fault_drops(), 2);
     }
 
     #[test]

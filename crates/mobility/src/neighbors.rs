@@ -80,6 +80,31 @@ impl NeighborTable {
         self.lists.iter().map(|l| l.len()).sum::<usize>() as f64 / self.lists.len() as f64
     }
 
+    /// Removes `node` from every neighbor list and empties its own —
+    /// radio silence, as if the node left the field. Used by fault
+    /// injection for crashed nodes. Removal preserves sort order, so
+    /// [`are_neighbors`](Self::are_neighbors) stays valid.
+    pub fn isolate(&mut self, node: NodeId) {
+        for list in &mut self.lists {
+            if let Ok(pos) = list.binary_search(&node) {
+                list.remove(pos);
+            }
+        }
+        self.lists[node.index()].clear();
+    }
+
+    /// Removes the (symmetric) link between `a` and `b`, leaving both
+    /// nodes otherwise connected. Used by fault injection for link
+    /// blackouts.
+    pub fn cut_link(&mut self, a: NodeId, b: NodeId) {
+        if let Ok(pos) = self.lists[a.index()].binary_search(&b) {
+            self.lists[a.index()].remove(pos);
+        }
+        if let Ok(pos) = self.lists[b.index()].binary_search(&a) {
+            self.lists[b.index()].remove(pos);
+        }
+    }
+
     /// Number of neighbor-set changes for `id` between `prev` and `self`
     /// (symmetric difference size). The Rcast mobility factor uses this
     /// as a local mobility estimate.
@@ -181,6 +206,38 @@ mod tests {
         assert_eq!(after.link_changes_since(&before, NodeId::new(2)), 0);
         // No movement → no changes.
         assert_eq!(before.link_changes_since(&before, NodeId::new(0)), 0);
+    }
+
+    #[test]
+    fn isolate_silences_a_node_both_ways() {
+        let mut t = table(vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(100.0, 0.0),
+            Vec2::new(200.0, 0.0),
+        ]);
+        t.isolate(NodeId::new(1));
+        assert_eq!(t.degree(NodeId::new(1)), 0);
+        assert!(!t.are_neighbors(NodeId::new(0), NodeId::new(1)));
+        assert!(!t.are_neighbors(NodeId::new(1), NodeId::new(0)));
+        // Unrelated links survive.
+        assert!(t.are_neighbors(NodeId::new(0), NodeId::new(2)));
+    }
+
+    #[test]
+    fn cut_link_is_symmetric_and_local() {
+        // Chain: 0 -- 1 -- 2, with 0 and 2 out of mutual range.
+        let mut t = table(vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(200.0, 0.0),
+            Vec2::new(400.0, 0.0),
+        ]);
+        t.cut_link(NodeId::new(0), NodeId::new(1));
+        assert!(!t.are_neighbors(NodeId::new(0), NodeId::new(1)));
+        assert!(!t.are_neighbors(NodeId::new(1), NodeId::new(0)));
+        assert!(t.are_neighbors(NodeId::new(1), NodeId::new(2)));
+        // Cutting an absent link is a no-op.
+        t.cut_link(NodeId::new(0), NodeId::new(2));
+        assert!(t.are_neighbors(NodeId::new(1), NodeId::new(2)));
     }
 
     #[test]

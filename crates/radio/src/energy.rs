@@ -19,6 +19,9 @@ pub enum PowerState {
     Receive,
     /// Low-power doze.
     Sleep,
+    /// Radio powered off entirely (crashed or battery-dead node); draws
+    /// nothing, regardless of the model.
+    Off,
 }
 
 /// Power draw per state, watts.
@@ -74,6 +77,7 @@ impl EnergyModel {
             PowerState::Transmit => self.tx_w,
             PowerState::Receive => self.rx_w,
             PowerState::Sleep => self.sleep_w,
+            PowerState::Off => 0.0,
         }
     }
 
@@ -120,8 +124,8 @@ impl Default for EnergyModel {
 #[derive(Debug, Clone)]
 pub struct EnergyMeter {
     model: EnergyModel,
-    /// Seconds spent per state: [awake, tx, rx, sleep].
-    secs: [f64; 4],
+    /// Seconds spent per state: [awake, tx, rx, sleep, off].
+    secs: [f64; 5],
 }
 
 impl EnergyMeter {
@@ -129,7 +133,7 @@ impl EnergyMeter {
     pub fn new(model: EnergyModel) -> Self {
         EnergyMeter {
             model,
-            secs: [0.0; 4],
+            secs: [0.0; 5],
         }
     }
 
@@ -139,6 +143,7 @@ impl EnergyMeter {
             PowerState::Transmit => 1,
             PowerState::Receive => 2,
             PowerState::Sleep => 3,
+            PowerState::Off => 4,
         }
     }
 
@@ -325,6 +330,17 @@ mod tests {
         assert_eq!(meter.seconds_in(PowerState::Awake), 0.0);
         assert_eq!(meter.total_seconds(), 2.0);
         assert!((meter.sleep_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn off_state_accounts_time_but_no_energy() {
+        let mut meter = EnergyMeter::new(EnergyModel::wavelan_ii());
+        meter.accumulate(PowerState::Off, SimDuration::from_secs(100));
+        meter.accumulate(PowerState::Awake, SimDuration::from_secs(10));
+        assert_eq!(meter.seconds_in(PowerState::Off), 100.0);
+        assert_eq!(meter.total_seconds(), 110.0);
+        assert!((meter.total_joules() - 11.5).abs() < 1e-12);
+        assert_eq!(EnergyModel::wavelan_ii().power_w(PowerState::Off), 0.0);
     }
 
     #[test]

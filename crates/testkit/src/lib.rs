@@ -340,6 +340,73 @@ mod tests {
     }
 
     #[test]
+    fn shrink_reaches_size_zero_when_everything_fails() {
+        let prop = |_: &mut Gen| -> PropResult { Err("always".into()) };
+        let (small, err) = shrink(&prop, 9, MAX_SIZE, "always".into());
+        assert_eq!(small, 0);
+        assert_eq!(err, "always");
+    }
+
+    #[test]
+    fn shrink_keeps_the_original_size_when_nothing_smaller_fails() {
+        let prop = |g: &mut Gen| -> PropResult {
+            if g.size() == MAX_SIZE {
+                Err("edge".into())
+            } else {
+                Ok(())
+            }
+        };
+        let (small, err) = shrink(&prop, 9, MAX_SIZE, "seen at max".into());
+        assert_eq!(small, MAX_SIZE);
+        assert_eq!(err, "seen at max", "original error kept when nothing smaller fails");
+    }
+
+    #[test]
+    fn shrink_from_size_zero_or_one_terminates() {
+        // Degenerate starting sizes must not loop or underflow.
+        let always = |_: &mut Gen| -> PropResult { Err("tiny".into()) };
+        assert_eq!(shrink(&always, 1, 0, "tiny".into()).0, 0);
+        assert_eq!(shrink(&always, 1, 1, "tiny".into()).0, 0);
+        let only_nonzero = |g: &mut Gen| -> PropResult {
+            if g.size() >= 1 {
+                Err("one".into())
+            } else {
+                Ok(())
+            }
+        };
+        assert_eq!(shrink(&only_nonzero, 1, 1, "one".into()).0, 1);
+    }
+
+    #[test]
+    fn replay_line_round_trips_to_the_same_failure() {
+        // The failure report prints `Gen::new(<seed>, <size>)`; parsing
+        // that back must reproduce the exact failing case.
+        let prop = |g: &mut Gen| -> PropResult {
+            let v = g.vec(0, 40, Gen::u64);
+            prop_assert!(v.len() < 2, "len {}", v.len());
+            Ok(())
+        };
+        let payload = std::panic::catch_unwind(|| {
+            Check::new("replay_round_trip").cases(30).run(prop);
+        })
+        .expect_err("property must fail within the ramp");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("panic carries a String");
+        let start = msg.find("Gen::new(").expect("replay line present") + "Gen::new(".len();
+        let args = &msg[start..start + msg[start..].find(')').expect("closing paren")];
+        let mut parts = args.split(", ");
+        let seed = u64::from_str_radix(
+            parts.next().unwrap().trim_start_matches("0x"),
+            16,
+        )
+        .expect("hex seed");
+        let size: u32 = parts.next().unwrap().parse().expect("decimal size");
+        let err = prop(&mut Gen::new(seed, size)).expect_err("replay must fail");
+        assert!(err.contains("len "), "{err}");
+    }
+
+    #[test]
     fn assertion_macros_produce_errors() {
         fn p(ok: bool) -> PropResult {
             prop_assert!(ok, "flag was {ok}");

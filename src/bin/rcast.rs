@@ -36,6 +36,20 @@ fn main() -> ExitCode {
                     if let Some(t) = report.first_depletion {
                         println!("  first battery depletion at {t}");
                     }
+                    if !run.config.faults.is_none() {
+                        let f = &report.faults;
+                        println!(
+                            "  faults: {} crashes | {} rejoins | {} battery deaths | \
+{} blackouts | {} bursts | {} fault link errors | {} packets lost",
+                            f.crashes,
+                            f.rejoins,
+                            f.battery_deaths,
+                            f.link_blackouts,
+                            f.corruption_bursts,
+                            f.rerrs_triggered,
+                            f.packets_lost_to_faults,
+                        );
+                    }
                 }
                 ExitCode::SUCCESS
             }
@@ -65,6 +79,20 @@ fn main() -> ExitCode {
                         println!("{}", cli::csv_row(&report, &config));
                     } else {
                         println!("{}", report.summary());
+                        if !config.faults.is_none() {
+                            let f = &report.faults;
+                            println!(
+                                "  faults: {} crashes | {} rejoins | {} battery deaths | \
+{} blackouts | {} bursts | {} fault link errors | {} packets lost",
+                                f.crashes,
+                                f.rejoins,
+                                f.battery_deaths,
+                                f.link_blackouts,
+                                f.corruption_bursts,
+                                f.rerrs_triggered,
+                                f.packets_lost_to_faults,
+                            );
+                        }
                     }
                     ExitCode::SUCCESS
                 }

@@ -131,6 +131,9 @@ COMMON OPTIONS (both subcommands):
     --duration <s>    simulated seconds                        [1125]
     --seed <n>        run seed                                 [1]
     --battery <J>     finite battery per node (enables lifetime)
+    --faults <spec>   fault injection, comma list of key=value:
+                      crash=<p> downtime=<s> blackouts=<n> blackout=<s>
+                      bursts=<n> burst=<s> corrupt=<p> battery=<bool>
     --broadcast-p <p> Rcast randomized-broadcast receive probability
     --factors <list>  comma list of rcast factors:
                       neighbors,sender-id,mobility,battery
@@ -291,6 +294,10 @@ fn parse_config(args: &[String]) -> Result<(SimConfig, Vec<String>), ParseCliErr
                 cfg.battery_capacity_j =
                     Some(parse_f64("--battery", value("--battery")?)?)
             }
+            "--faults" => {
+                cfg.faults = crate::core::FaultsConfig::parse_spec(value("--faults")?)
+                    .map_err(err)?
+            }
             "--broadcast-p" => {
                 cfg.factors.broadcast_probability =
                     parse_f64("--broadcast-p", value("--broadcast-p")?)?
@@ -412,6 +419,19 @@ mod tests {
         assert!(r.config.factors.battery);
         assert!(!r.config.factors.mobility);
         assert!(parse(&args("run --factors psychic")).is_err());
+    }
+
+    #[test]
+    fn faults_spec_parses_and_rejects_junk() {
+        let cmd = parse(&args("run --faults crash=0.3,downtime=20,blackouts=2")).unwrap();
+        let Command::Run(r) = cmd else { panic!() };
+        assert_eq!(r.config.faults.crash_prob, 0.3);
+        assert_eq!(r.config.faults.downtime_s, 20.0);
+        assert_eq!(r.config.faults.link_blackouts, 2);
+        assert!(!r.config.faults.is_none());
+        assert!(parse(&args("run --faults crash=2.0")).is_err(), "validation runs");
+        assert!(parse(&args("run --faults wat=1")).is_err());
+        assert!(parse(&args("run --faults")).is_err());
     }
 
     #[test]

@@ -102,7 +102,7 @@ pub mod core {
 
 pub use rcast_core::{
     parse_scenario, run_seeds, run_seeds_parallel, run_sim, write_scenario, AggregateReport,
-    OdpmConfig, OverhearFactors, PacketTrace, RcastDecider, RoutingKind, Scheme, SimConfig,
-    SimReport, Simulation, TraceEvent,
+    FaultCounters, FaultEvent, FaultPlan, FaultsConfig, OdpmConfig, OverhearFactors, PacketTrace,
+    RcastDecider, RoutingKind, Scheme, SimConfig, SimReport, Simulation, TraceEvent,
 };
 pub use rcast_engine::{NodeId, SimDuration, SimTime};

@@ -7,7 +7,7 @@
 //! to the exact bits, so string equality here is bit equality for every
 //! float in the report, and exact equality for everything else.
 
-use randomcast::{run_seeds, run_seeds_parallel, Scheme, SimConfig, SimDuration};
+use randomcast::{run_seeds, run_seeds_parallel, FaultsConfig, Scheme, SimConfig, SimDuration};
 
 const SEEDS: [u64; 3] = [7, 19, 101];
 const WIDTHS: [usize; 3] = [1, 2, 8];
@@ -61,6 +61,47 @@ fn odpm_parallel_is_byte_identical() {
 #[test]
 fn rcast_parallel_is_byte_identical() {
     assert_parallel_matches_serial(Scheme::Rcast);
+}
+
+/// Fault-injected runs obey the same contract: the fault plan draws
+/// from its own RNG stream, so crashes, blackouts and corruption
+/// bursts land identically at every thread width, for every scheme.
+#[test]
+fn fault_matrix_parallel_is_byte_identical() {
+    for scheme in Scheme::ALL {
+        let mut cfg = smoke(scheme);
+        cfg.faults = FaultsConfig {
+            crash_prob: 0.3,
+            downtime_s: 10.0,
+            link_blackouts: 3,
+            blackout_s: 8.0,
+            corruption_bursts: 2,
+            burst_s: 8.0,
+            corruption_prob: 0.5,
+            ..FaultsConfig::default()
+        };
+        let serial: Vec<String> = run_seeds(&cfg, SEEDS)
+            .expect("valid config")
+            .iter()
+            .map(|r| format!("{r:?}"))
+            .collect();
+        // Faults must actually fire, or this golden pins nothing.
+        assert!(
+            serial.iter().any(|s| s.contains("crashes: ") && !s.contains("crashes: 0,")),
+            "{scheme}: no crash activated in any seed"
+        );
+        for threads in WIDTHS {
+            let parallel: Vec<String> = run_seeds_parallel(&cfg, SEEDS, threads)
+                .expect("valid config")
+                .iter()
+                .map(|r| format!("{r:?}"))
+                .collect();
+            assert_eq!(
+                serial, parallel,
+                "{scheme}: faulted parallel ({threads} threads) diverged from serial"
+            );
+        }
+    }
 }
 
 /// Seed order in the output is the seed order of the input, not
