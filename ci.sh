@@ -9,6 +9,17 @@ set -eu
 
 cd "$(dirname "$0")"
 
+echo "==> rcast lint (determinism & hygiene static analysis)"
+# Runs before any build/test step so determinism regressions fail fast.
+cargo run -q --offline -p rcast-lint
+
+echo "==> cargo clippy --offline --workspace -- -D warnings"
+if cargo clippy --version >/dev/null 2>&1; then
+    cargo clippy -q --offline --workspace --all-targets -- -D warnings
+else
+    echo "NOTICE: clippy component unavailable; skipping clippy gate"
+fi
+
 echo "==> cargo build --release --offline"
 cargo build --release --offline --workspace
 

@@ -109,33 +109,39 @@ mod tests {
 
     #[test]
     fn invalid_configs_rejected() {
-        let mut c = AodvConfig::default();
-        c.active_route_timeout = SimDuration::ZERO;
+        let c = AodvConfig {
+            active_route_timeout: SimDuration::ZERO,
+            ..AodvConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = AodvConfig::default();
-        c.hello_interval = Some(SimDuration::ZERO);
+        let c = AodvConfig {
+            hello_interval: Some(SimDuration::ZERO),
+            ..AodvConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = AodvConfig::default();
-        c.allowed_hello_loss = 0;
+        let c = AodvConfig { allowed_hello_loss: 0, ..AodvConfig::default() };
         assert!(c.validate().is_err());
 
-        let mut c = AodvConfig::default();
-        c.ttl_start = 20;
-        c.net_diameter = 16;
+        let c = AodvConfig {
+            ttl_start: 20,
+            net_diameter: 16,
+            ..AodvConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = AodvConfig::default();
-        c.buffer_capacity = 0;
+        let c = AodvConfig { buffer_capacity: 0, ..AodvConfig::default() };
         assert!(c.validate().is_err());
     }
 
     #[test]
     fn hello_can_be_disabled() {
-        let mut c = AodvConfig::default();
-        c.hello_interval = None;
-        c.allowed_hello_loss = 0; // irrelevant without hellos
+        let c = AodvConfig {
+            hello_interval: None,
+            allowed_hello_loss: 0, // irrelevant without hellos
+            ..AodvConfig::default()
+        };
         assert!(c.validate().is_ok());
     }
 }

@@ -29,7 +29,7 @@
 //! repair, multicast (MAODV), and RREP-ACKs.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod config;
 mod node;

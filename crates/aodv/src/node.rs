@@ -7,7 +7,7 @@
 //! alive by timeouts and hello beacons — so route information decays
 //! unless refreshed by *more flooding*.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use rcast_engine::{NodeId, SimTime};
 
@@ -125,11 +125,13 @@ pub struct AodvNode {
     table: RoutingTable,
     seq: u32,
     next_rreq_id: u32,
-    seen_rreq: HashSet<(NodeId, u32)>,
+    // BTree collections throughout: protocol state iteration must be
+    // ordered so results never depend on hasher state (rcast-lint D002).
+    seen_rreq: BTreeSet<(NodeId, u32)>,
     buffer: Vec<Buffered>,
-    discoveries: HashMap<NodeId, Discovery>,
+    discoveries: BTreeMap<NodeId, Discovery>,
     /// Last time each neighbor was heard (hello liveness).
-    last_heard: HashMap<NodeId, SimTime>,
+    last_heard: BTreeMap<NodeId, SimTime>,
     /// Last time this node sent or relayed anything (hello gating).
     last_activity: Option<SimTime>,
     next_hello_at: SimTime,
@@ -154,10 +156,10 @@ impl AodvNode {
             table: RoutingTable::new(cfg.active_route_timeout),
             seq: 0,
             next_rreq_id: 0,
-            seen_rreq: HashSet::new(),
+            seen_rreq: BTreeSet::new(),
             buffer: Vec::new(),
-            discoveries: HashMap::new(),
-            last_heard: HashMap::new(),
+            discoveries: BTreeMap::new(),
+            last_heard: BTreeMap::new(),
             last_activity: None,
             next_hello_at: SimTime::ZERO,
             rerr_window: (SimTime::ZERO, 0),
@@ -350,18 +352,17 @@ impl AodvNode {
         }
 
         // Cancel discoveries with nothing waiting.
-        let live: HashSet<NodeId> = self.buffer.iter().map(|b| b.dst).collect();
+        let live: BTreeSet<NodeId> = self.buffer.iter().map(|b| b.dst).collect();
         self.discoveries.retain(|t, _| live.contains(t));
 
-        // Ring-search escalation / abandonment (sorted: HashMap
-        // iteration order must not leak into the simulation).
-        let mut due: Vec<NodeId> = self
+        // Ring-search escalation / abandonment. The BTreeMap iterates
+        // in NodeId order, so event order never depends on hasher state.
+        let due: Vec<NodeId> = self
             .discoveries
             .iter()
             .filter(|(_, d)| d.deadline <= now)
             .map(|(&t, _)| t)
             .collect();
-        due.sort_unstable();
         for target in due {
             let d = self.discoveries[&target].clone();
             let at_network_ttl = d.ttl >= self.cfg.net_diameter;
@@ -417,15 +418,12 @@ impl AodvNode {
             // Hello-based liveness, evaluated continuously: next hops
             // silent for allowed_hello_loss intervals are gone.
             let deadline = interval * u64::from(self.cfg.allowed_hello_loss);
-            let mut silent: Vec<NodeId> = self
+            let silent: Vec<NodeId> = self
                 .last_heard
                 .iter()
                 .filter(|(_, &t)| now.saturating_since(t) > deadline)
                 .map(|(&n, _)| n)
                 .collect();
-            // Sorted: HashMap iteration order must not leak into the
-            // simulation's event order.
-            silent.sort_unstable();
             for neighbor in silent {
                 self.last_heard.remove(&neighbor);
                 out.extend(self.break_link(neighbor, now));
@@ -737,8 +735,10 @@ mod tests {
     }
 
     fn no_hello(i: u32) -> AodvNode {
-        let mut cfg = AodvConfig::default();
-        cfg.hello_interval = None;
+        let cfg = AodvConfig {
+            hello_interval: None,
+            ..AodvConfig::default()
+        };
         AodvNode::new(n(i), cfg)
     }
 

@@ -1,6 +1,6 @@
 //! The AODV routing table: sequence-numbered, soft-state, hop-by-hop.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rcast_engine::{NodeId, SimDuration, SimTime};
 
@@ -36,7 +36,9 @@ pub struct Route {
 #[derive(Debug, Clone, Default)]
 pub struct RoutingTable {
     lifetime: SimDuration,
-    routes: HashMap<NodeId, Route>,
+    // Ordered map: `invalidate_via` iterates this, and the RERR batch
+    // it builds must not depend on hasher state (rcast-lint D002).
+    routes: BTreeMap<NodeId, Route>,
 }
 
 impl RoutingTable {
@@ -45,7 +47,7 @@ impl RoutingTable {
     pub fn new(lifetime: SimDuration) -> Self {
         RoutingTable {
             lifetime,
-            routes: HashMap::new(),
+            routes: BTreeMap::new(),
         }
     }
 
@@ -159,6 +161,8 @@ impl RoutingTable {
         now: SimTime,
     ) -> Vec<(NodeId, u32, Vec<NodeId>)> {
         let mut broken = Vec::new();
+        // Key-ordered iteration keeps the RERR batch sorted by
+        // destination without an explicit sort.
         for (&dst, r) in self.routes.iter_mut() {
             if r.next_hop == neighbor && r.expires > now {
                 r.expires = now; // invalid from now on
@@ -167,7 +171,6 @@ impl RoutingTable {
                 r.precursors.clear();
             }
         }
-        broken.sort_by_key(|(d, _, _)| *d);
         broken
     }
 

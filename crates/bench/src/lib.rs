@@ -25,6 +25,9 @@
 //! `--threads N` to pin the worker count (results are byte-identical at
 //! any width — see the determinism contract in `rcast_engine::pool`).
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 use rcast_core::{AggregateReport, Scheme, SimConfig, SimReport};
 use rcast_engine::SimDuration;
 

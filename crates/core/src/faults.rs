@@ -543,13 +543,15 @@ mod tests {
 
     #[test]
     fn spec_round_trips() {
-        let mut fc = FaultsConfig::default();
-        fc.crash_prob = 0.25;
-        fc.downtime_s = 15.0;
-        fc.link_blackouts = 3;
-        fc.corruption_bursts = 2;
-        fc.corruption_prob = 0.4;
-        fc.battery_exhaustion = true;
+        let fc = FaultsConfig {
+            crash_prob: 0.25,
+            downtime_s: 15.0,
+            link_blackouts: 3,
+            corruption_bursts: 2,
+            corruption_prob: 0.4,
+            battery_exhaustion: true,
+            ..FaultsConfig::default()
+        };
         let spec = fc.spec_string().expect("no script");
         assert_eq!(FaultsConfig::parse_spec(&spec), Ok(fc));
     }
@@ -565,12 +567,10 @@ mod tests {
     #[test]
     fn validation_catches_bad_values() {
         let nodes = 10;
-        let mut fc = FaultsConfig::default();
-        fc.crash_prob = 1.5;
+        let fc = FaultsConfig { crash_prob: 1.5, ..FaultsConfig::default() };
         assert!(fc.validate(nodes).is_err());
 
-        let mut fc = FaultsConfig::default();
-        fc.burst_s = f64::NAN;
+        let fc = FaultsConfig { burst_s: f64::NAN, ..FaultsConfig::default() };
         assert!(fc.validate(nodes).is_err());
 
         let mut fc = FaultsConfig::default();
@@ -593,8 +593,7 @@ mod tests {
 
     #[test]
     fn higher_crash_prob_is_a_superset_with_identical_times() {
-        let mut low = FaultsConfig::default();
-        low.crash_prob = 0.2;
+        let low = FaultsConfig { crash_prob: 0.2, ..FaultsConfig::default() };
         let mut high = low.clone();
         high.crash_prob = 0.6;
         let lo = FaultPlan::build(&cfg_with(low));
@@ -697,10 +696,12 @@ mod tests {
 
     #[test]
     fn plan_is_reproducible_from_the_config() {
-        let mut fc = FaultsConfig::default();
-        fc.crash_prob = 0.4;
-        fc.link_blackouts = 5;
-        fc.corruption_bursts = 2;
+        let fc = FaultsConfig {
+            crash_prob: 0.4,
+            link_blackouts: 5,
+            corruption_bursts: 2,
+            ..FaultsConfig::default()
+        };
         let cfg = cfg_with(fc);
         let a = FaultPlan::build(&cfg);
         let b = FaultPlan::build(&cfg);

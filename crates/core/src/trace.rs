@@ -7,7 +7,7 @@
 //! for debugging protocol behaviour and for per-flow analysis beyond
 //! the paper's aggregate metrics.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rcast_engine::{NodeId, SimDuration, SimTime};
 
@@ -112,7 +112,7 @@ impl PacketTrace {
 
     /// The end-to-end latency of every delivered packet.
     pub fn delivery_latencies(&self) -> Vec<(PacketId, SimDuration)> {
-        let mut origin: HashMap<PacketId, SimTime> = HashMap::new();
+        let mut origin: BTreeMap<PacketId, SimTime> = BTreeMap::new();
         let mut out = Vec::new();
         for r in &self.records {
             match r.event {
@@ -132,7 +132,7 @@ impl PacketTrace {
 
     /// Hop counts of delivered packets (on-air transmissions observed).
     pub fn delivered_hop_counts(&self) -> Vec<(PacketId, usize)> {
-        let mut hops: HashMap<PacketId, usize> = HashMap::new();
+        let mut hops: BTreeMap<PacketId, usize> = BTreeMap::new();
         let mut delivered: Vec<PacketId> = Vec::new();
         for r in &self.records {
             match r.event {
@@ -150,7 +150,7 @@ impl PacketTrace {
     /// Identities of packets that were originated but neither delivered
     /// nor dropped by the end of the run (still in flight / queued).
     pub fn unresolved(&self) -> Vec<PacketId> {
-        let mut state: HashMap<PacketId, bool> = HashMap::new(); // resolved?
+        let mut state: BTreeMap<PacketId, bool> = BTreeMap::new(); // resolved?
         for r in &self.records {
             match r.event {
                 TraceEvent::Originated { .. } => {
@@ -162,13 +162,13 @@ impl PacketTrace {
                 _ => {}
             }
         }
-        let mut out: Vec<PacketId> = state
+        // BTreeMap iteration is key-ordered, so the result comes out
+        // sorted by packet id without an explicit sort.
+        state
             .into_iter()
             .filter(|&(_, resolved)| !resolved)
             .map(|(p, _)| p)
-            .collect();
-        out.sort_unstable();
-        out
+            .collect()
     }
 
     /// Renders one packet's journey as human-readable lines.

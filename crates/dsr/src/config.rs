@@ -104,24 +104,22 @@ mod tests {
 
     #[test]
     fn invalid_configs_rejected() {
-        let mut c = DsrConfig::default();
-        c.network_ttl = 0;
+        let c = DsrConfig { network_ttl: 0, ..DsrConfig::default() };
         assert!(c.validate().is_err());
 
-        let mut c = DsrConfig::default();
-        c.send_buffer_capacity = 0;
+        let c = DsrConfig { send_buffer_capacity: 0, ..DsrConfig::default() };
         assert!(c.validate().is_err());
 
-        let mut c = DsrConfig::default();
-        c.max_discovery_retries = 0;
+        let c = DsrConfig { max_discovery_retries: 0, ..DsrConfig::default() };
         assert!(c.validate().is_err());
 
-        let mut c = DsrConfig::default();
-        c.nonprop_timeout = SimDuration::ZERO;
+        let c = DsrConfig {
+            nonprop_timeout: SimDuration::ZERO,
+            ..DsrConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = DsrConfig::default();
-        c.max_replies_per_request = 0;
+        let c = DsrConfig { max_replies_per_request: 0, ..DsrConfig::default() };
         assert!(c.validate().is_err());
     }
 }

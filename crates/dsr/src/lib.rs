@@ -23,7 +23,7 @@
 //! the paper).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod cache;
 mod config;

@@ -8,7 +8,7 @@
 //! DSR's stale-route behaviour; the `ablation_cache` experiment measures
 //! it under Rcast.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use rcast_engine::{NodeId, SimDuration, SimTime};
 
@@ -46,7 +46,10 @@ pub struct LinkCache {
     owner: NodeId,
     capacity: usize,
     timeout: Option<SimDuration>,
-    links: HashMap<(NodeId, NodeId), LinkEntry>,
+    // Ordered map: eviction scans and BFS adjacency building iterate
+    // this, and iteration order must never depend on hasher state
+    // (rcast-lint D002).
+    links: BTreeMap<(NodeId, NodeId), LinkEntry>,
 }
 
 impl LinkCache {
@@ -62,7 +65,7 @@ impl LinkCache {
             owner,
             capacity,
             timeout,
-            links: HashMap::new(),
+            links: BTreeMap::new(),
         }
     }
 
@@ -83,8 +86,8 @@ impl LinkCache {
 
     fn evict_to_capacity(&mut self) {
         while self.links.len() > self.capacity {
-            // Tie-break by key so eviction never depends on HashMap
-            // iteration order (determinism across runs).
+            // Tie-break by key: among equally-old links the smallest
+            // key goes, so eviction is a pure function of the contents.
             let (&key, _) = self
                 .links
                 .iter()
@@ -132,17 +135,15 @@ impl LinkCache {
 
     /// Breadth-first shortest-path tree from the owner over stored
     /// links; returns each reachable node's predecessor.
-    fn bfs_tree(&self) -> HashMap<NodeId, NodeId> {
-        let mut pred: HashMap<NodeId, NodeId> = HashMap::new();
-        let mut seen: HashSet<NodeId> = HashSet::from([self.owner]);
+    fn bfs_tree(&self) -> BTreeMap<NodeId, NodeId> {
+        let mut pred: BTreeMap<NodeId, NodeId> = BTreeMap::new();
+        let mut seen: BTreeSet<NodeId> = BTreeSet::from([self.owner]);
         let mut queue = VecDeque::from([self.owner]);
-        // Deterministic iteration: collect and sort adjacency on the fly.
-        let mut adjacency: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        // `links` iterates in key order, so each adjacency list comes
+        // out sorted and the BFS visits ties deterministically.
+        let mut adjacency: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
         for &(a, b) in self.links.keys() {
             adjacency.entry(a).or_default().push(b);
-        }
-        for list in adjacency.values_mut() {
-            list.sort_unstable();
         }
         while let Some(u) = queue.pop_front() {
             if let Some(neighbors) = adjacency.get(&u) {
@@ -157,7 +158,7 @@ impl LinkCache {
         pred
     }
 
-    fn path_to(&self, dst: NodeId, pred: &HashMap<NodeId, NodeId>) -> Option<SourceRoute> {
+    fn path_to(&self, dst: NodeId, pred: &BTreeMap<NodeId, NodeId>) -> Option<SourceRoute> {
         if dst == self.owner || !pred.contains_key(&dst) {
             return None;
         }
@@ -210,8 +211,7 @@ impl LinkCache {
     /// the role-number metric.
     pub fn paths(&self) -> Vec<SourceRoute> {
         let pred = self.bfs_tree();
-        let mut dsts: Vec<NodeId> = pred.keys().copied().collect();
-        dsts.sort_unstable();
+        let dsts: Vec<NodeId> = pred.keys().copied().collect();
         dsts.into_iter()
             .filter_map(|d| self.path_to(d, &pred))
             .collect()

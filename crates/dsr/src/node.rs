@@ -7,7 +7,7 @@
 //! queue — the simulation core wires it to the MAC — which makes every
 //! protocol rule unit-testable in isolation.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use rcast_engine::{NodeId, SimTime};
 
@@ -148,11 +148,13 @@ pub struct DsrNode {
     cfg: DsrConfig,
     cache: RouteCache,
     send_buffer: Vec<Buffered>,
-    seen_rreq: HashSet<(NodeId, u32)>,
-    replies_sent: HashMap<(NodeId, u32), u32>,
+    // BTree collections throughout: protocol state iteration must be
+    // ordered so results never depend on hasher state (rcast-lint D002).
+    seen_rreq: BTreeSet<(NodeId, u32)>,
+    replies_sent: BTreeMap<(NodeId, u32), u32>,
     /// Last time a RERR for (broken_to, source) was sent, for suppression.
-    recent_rerrs: HashMap<(NodeId, NodeId), SimTime>,
-    discoveries: HashMap<NodeId, Discovery>,
+    recent_rerrs: BTreeMap<(NodeId, NodeId), SimTime>,
+    discoveries: BTreeMap<NodeId, Discovery>,
     next_rreq_id: u32,
     counters: DsrCounters,
 }
@@ -172,10 +174,10 @@ impl DsrNode {
             cfg,
             cache: RouteCache::new(id, cfg.cache),
             send_buffer: Vec::new(),
-            seen_rreq: HashSet::new(),
-            replies_sent: HashMap::new(),
-            recent_rerrs: HashMap::new(),
-            discoveries: HashMap::new(),
+            seen_rreq: BTreeSet::new(),
+            replies_sent: BTreeMap::new(),
+            recent_rerrs: BTreeMap::new(),
+            discoveries: BTreeMap::new(),
             next_rreq_id: 0,
             counters: DsrCounters::default(),
         }
@@ -447,18 +449,17 @@ impl DsrNode {
         }
 
         // Cancel discoveries with nothing left to send.
-        let live_targets: HashSet<NodeId> = self.send_buffer.iter().map(|b| b.dst).collect();
+        let live_targets: BTreeSet<NodeId> = self.send_buffer.iter().map(|b| b.dst).collect();
         self.discoveries.retain(|t, _| live_targets.contains(t));
 
-        // Retry or abandon due discoveries (sorted: HashMap iteration
-        // order must not leak into the simulation).
-        let mut due: Vec<NodeId> = self
+        // Retry or abandon due discoveries. The BTreeMap iterates in
+        // NodeId order, so event order never depends on hasher state.
+        let due: Vec<NodeId> = self
             .discoveries
             .iter()
             .filter(|(_, d)| d.deadline <= now)
             .map(|(&t, _)| t)
             .collect();
-        due.sort_unstable();
         for target in due {
             let round = self.discoveries[&target].round;
             if round >= self.cfg.max_discovery_retries {

@@ -157,7 +157,7 @@ mod tests {
     fn parallel_equals_serial_under_skewed_work() {
         // Uneven per-item cost must not perturb output order.
         let work = |_, x: u64| {
-            if x % 7 == 0 {
+            if x.is_multiple_of(7) {
                 std::thread::yield_now();
             }
             x.wrapping_mul(0x9E37_79B9_7F4A_7C15)

@@ -1,0 +1,423 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! The analyzer needs exactly one guarantee from its front end: an
+//! identifier reported at `line:col` really is *code*, never text
+//! inside a string literal or a comment. A full parser would be
+//! overkill (and would drag in a dependency, breaking the hermetic
+//! build), so this module tokenizes Rust source with the handful of
+//! lexical rules that matter for that guarantee:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments
+//!   (`/* /* */ */`) — kept as [`TokenKind::Comment`] tokens because the
+//!   `// det: ordered — …` pragma lives in them;
+//! * string, byte-string, C-string and **raw** string literals
+//!   (`r#"…"#` with any number of hashes), with escape handling;
+//! * character literals vs. lifetimes (`'a'` vs. `'a`);
+//! * raw identifiers (`r#match`), marked so `r#unsafe` is not mistaken
+//!   for the `unsafe` keyword;
+//! * identifiers, numbers and single-character punctuation.
+//!
+//! Everything else (operator gluing, keyword classification) is left to
+//! the rules, which work on identifier/punctuation sequences.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`foo`, `unsafe`, `HashMap`).
+    Ident,
+    /// A raw identifier (`r#match`); never treated as a keyword.
+    RawIdent,
+    /// A lifetime (`'a`, `'static`), without the leading quote.
+    Lifetime,
+    /// A numeric literal, including suffix (`42`, `1.5e3`, `0xFFu32`).
+    Number,
+    /// A string literal of any flavor; text is the *content only*.
+    Str,
+    /// A character literal (`'x'`, `'\n'`); text is the content.
+    Char,
+    /// One punctuation character (`#`, `!`, `.`, `(`, …).
+    Punct,
+    /// A comment; text is the content after `//` / inside `/* */`.
+    Comment,
+}
+
+/// One lexed token with its source position (1-based line and column).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// Token text (see [`TokenKind`] for what exactly is stored).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// `true` for a non-raw identifier equal to `word` — the correct
+    /// way to match keywords (`r#unsafe` is *not* the keyword).
+    pub fn is_word(&self, word: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == word
+    }
+
+    /// `true` for a punctuation token equal to `ch`.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == ch.len_utf8() && self.text.starts_with(ch)
+    }
+}
+
+struct Cursor<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            chars: src.chars().peekable(),
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into tokens. Never fails: unterminated literals simply
+/// run to end of input (the rules only care about well-formed files,
+/// which the compiler has already accepted by the time CI lints them).
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(src);
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        if c == '/' {
+            cur.bump();
+            match cur.peek() {
+                Some('/') => {
+                    cur.bump();
+                    let mut text = String::new();
+                    while let Some(ch) = cur.peek() {
+                        if ch == '\n' {
+                            break;
+                        }
+                        text.push(ch);
+                        cur.bump();
+                    }
+                    out.push(Token { kind: TokenKind::Comment, text, line, col });
+                }
+                Some('*') => {
+                    cur.bump();
+                    let mut depth = 1u32;
+                    let mut text = String::new();
+                    while depth > 0 {
+                        match cur.bump() {
+                            Some('*') if cur.peek() == Some('/') => {
+                                cur.bump();
+                                depth -= 1;
+                                if depth > 0 {
+                                    text.push_str("*/");
+                                }
+                            }
+                            Some('/') if cur.peek() == Some('*') => {
+                                cur.bump();
+                                depth += 1;
+                                text.push_str("/*");
+                            }
+                            Some(ch) => text.push(ch),
+                            None => break,
+                        }
+                    }
+                    out.push(Token { kind: TokenKind::Comment, text, line, col });
+                }
+                _ => out.push(Token { kind: TokenKind::Punct, text: "/".into(), line, col }),
+            }
+            continue;
+        }
+        if c == '"' {
+            cur.bump();
+            let text = lex_string_body(&mut cur);
+            out.push(Token { kind: TokenKind::Str, text, line, col });
+            continue;
+        }
+        if c == '\'' {
+            cur.bump();
+            lex_quote(&mut cur, &mut out, line, col);
+            continue;
+        }
+        if is_ident_start(c) {
+            let mut word = String::new();
+            while let Some(ch) = cur.peek() {
+                if !is_ident_continue(ch) {
+                    break;
+                }
+                word.push(ch);
+                cur.bump();
+            }
+            // String prefixes and raw identifiers.
+            match (word.as_str(), cur.peek()) {
+                ("b" | "c", Some('"')) => {
+                    cur.bump();
+                    let text = lex_string_body(&mut cur);
+                    out.push(Token { kind: TokenKind::Str, text, line, col });
+                }
+                ("b", Some('\'')) => {
+                    cur.bump();
+                    lex_quote(&mut cur, &mut out, line, col);
+                }
+                ("r" | "br" | "cr", Some('"' | '#')) => {
+                    if !lex_raw(&mut cur, &word, &mut out, line, col) {
+                        out.push(Token { kind: TokenKind::Ident, text: word, line, col });
+                    }
+                }
+                _ => out.push(Token { kind: TokenKind::Ident, text: word, line, col }),
+            }
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let mut text = String::new();
+            while let Some(ch) = cur.peek() {
+                if is_ident_continue(ch) {
+                    text.push(ch);
+                    cur.bump();
+                    continue;
+                }
+                // A fraction digit (but not `..`) continues the number,
+                // as does an exponent sign right after `e`/`E`.
+                let in_fraction = ch == '.' && {
+                    let mut ahead = cur.chars.clone();
+                    ahead.next();
+                    ahead.next().is_some_and(|d| d.is_ascii_digit())
+                };
+                let in_exponent = (ch == '+' || ch == '-') && text.ends_with(['e', 'E']);
+                if in_fraction || in_exponent {
+                    text.push(ch);
+                    cur.bump();
+                    continue;
+                }
+                break;
+            }
+            out.push(Token { kind: TokenKind::Number, text, line, col });
+            continue;
+        }
+        cur.bump();
+        out.push(Token { kind: TokenKind::Punct, text: c.to_string(), line, col });
+    }
+    out
+}
+
+/// Consumes a (non-raw) string body after the opening `"`, handling
+/// escapes; returns the content.
+fn lex_string_body(cur: &mut Cursor<'_>) -> String {
+    let mut text = String::new();
+    while let Some(ch) = cur.bump() {
+        match ch {
+            '"' => break,
+            '\\' => {
+                text.push('\\');
+                if let Some(esc) = cur.bump() {
+                    text.push(esc);
+                }
+            }
+            _ => text.push(ch),
+        }
+    }
+    text
+}
+
+/// After a `'`: either a lifetime (`'a`) or a char literal (`'a'`).
+fn lex_quote(cur: &mut Cursor<'_>, out: &mut Vec<Token>, line: u32, col: u32) {
+    // Lifetime: ident-start followed by anything but a closing quote.
+    if cur.peek().is_some_and(is_ident_start) {
+        let mut ahead = cur.chars.clone();
+        ahead.next();
+        if ahead.next() != Some('\'') {
+            let mut name = String::new();
+            while let Some(ch) = cur.peek() {
+                if !is_ident_continue(ch) {
+                    break;
+                }
+                name.push(ch);
+                cur.bump();
+            }
+            out.push(Token { kind: TokenKind::Lifetime, text: name, line, col });
+            return;
+        }
+    }
+    // Char literal, with escapes.
+    let mut text = String::new();
+    while let Some(ch) = cur.bump() {
+        match ch {
+            '\'' => break,
+            '\\' => {
+                text.push('\\');
+                if let Some(esc) = cur.bump() {
+                    text.push(esc);
+                }
+            }
+            _ => text.push(ch),
+        }
+    }
+    out.push(Token { kind: TokenKind::Char, text, line, col });
+}
+
+/// After lexing a `r`/`br`/`cr` prefix whose next char is `"` or `#`:
+/// tries a raw string (`r#"…"#`) or raw identifier (`r#ident`). Returns
+/// `false` when it is neither (the caller emits the plain identifier).
+fn lex_raw(cur: &mut Cursor<'_>, prefix: &str, out: &mut Vec<Token>, line: u32, col: u32) -> bool {
+    let mut hashes = 0usize;
+    while cur.peek() == Some('#') {
+        hashes += 1;
+        cur.bump();
+    }
+    if cur.peek() == Some('"') {
+        cur.bump();
+        let closer: String = std::iter::once('"').chain(std::iter::repeat_n('#', hashes)).collect();
+        let mut text = String::new();
+        while let Some(ch) = cur.bump() {
+            text.push(ch);
+            if text.ends_with(&closer) {
+                text.truncate(text.len() - closer.len());
+                break;
+            }
+        }
+        out.push(Token { kind: TokenKind::Str, text, line, col });
+        return true;
+    }
+    if prefix == "r" && hashes == 1 && cur.peek().is_some_and(is_ident_start) {
+        let mut name = String::new();
+        while let Some(ch) = cur.peek() {
+            if !is_ident_continue(ch) {
+                break;
+            }
+            name.push(ch);
+            cur.bump();
+        }
+        out.push(Token { kind: TokenKind::RawIdent, text: name, line, col });
+        return true;
+    }
+    // `r # =` or similar: emit the hashes we consumed as punctuation so
+    // positions stay roughly honest, and let the caller emit `r`.
+    for i in 0..hashes {
+        out.push(Token {
+            kind: TokenKind::Punct,
+            text: "#".into(),
+            line,
+            col: col + prefix.len() as u32 + i as u32,
+        });
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_identifiers() {
+        let src = r##"
+            let a = "unsafe HashMap"; // unsafe in a comment
+            /* unsafe /* nested unsafe */ still comment */
+            let b = r#"raw "quoted" unsafe"#;
+            let c = 'u';
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unsafe".to_string()), "{ids:?}");
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert_eq!(ids, ["let", "a", "let", "b", "let", "c"]);
+    }
+
+    #[test]
+    fn raw_identifier_is_not_a_keyword() {
+        let toks = lex("fn r#unsafe() {}");
+        let raw: Vec<_> = toks.iter().filter(|t| t.kind == TokenKind::RawIdent).collect();
+        assert_eq!(raw.len(), 1);
+        assert_eq!(raw[0].text, "unsafe");
+        assert!(!toks.iter().any(|t| t.is_word("unsafe")));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'a' }");
+        let lifetimes = toks.iter().filter(|t| t.kind == TokenKind::Lifetime).count();
+        let chars: Vec<_> = toks.iter().filter(|t| t.kind == TokenKind::Char).collect();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars.len(), 1);
+        assert_eq!(chars[0].text, "a");
+    }
+
+    #[test]
+    fn escaped_quote_in_char_and_string() {
+        let toks = lex(r#"let q = '\''; let s = "a\"b";"#);
+        let s: Vec<_> = toks.iter().filter(|t| t.kind == TokenKind::Str).collect();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].text, r#"a\"b"#);
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let toks = lex("a\n  bb");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        let toks = lex("for i in 0..10 { let x = 1.5e-3f64; }");
+        let nums: Vec<String> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Number)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(nums, ["0", "10", "1.5e-3f64"]);
+    }
+
+    #[test]
+    fn byte_and_c_strings_are_strings() {
+        let toks = lex(r##"let a = b"bytes"; let b = c"cstr"; let c = br#"raw"#;"##);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Str).count(), 3);
+    }
+
+    #[test]
+    fn pragma_comment_text_is_preserved() {
+        let toks = lex("x(); // det: ordered — BFS over sorted keys\n");
+        let c: Vec<_> = toks.iter().filter(|t| t.kind == TokenKind::Comment).collect();
+        assert_eq!(c.len(), 1);
+        assert!(c[0].text.contains("det: ordered"));
+    }
+}

@@ -1,0 +1,141 @@
+//! `rcast-lint`: the RandomCast workspace's determinism & hygiene
+//! static analyzer.
+//!
+//! The simulator's headline property — byte-identical results for a
+//! given `(config, seed)` at any `--threads` width, even under fault
+//! injection — is easy to break silently: one `HashMap` iteration, one
+//! wall-clock read, one environment-seeded hasher, and every figure
+//! reproduced from the paper is invalid without any test necessarily
+//! noticing. This crate enforces those invariants mechanically instead
+//! of by code review. It is std-only and offline, lexing every `.rs`
+//! file in the workspace with a small hand-rolled tokenizer (no parser
+//! dependencies) and applying the project ruleset described in
+//! [`rules`] (D001–D005, H001–H002) and DESIGN.md §9.
+//!
+//! Two entry points ship: the standalone binary
+//! (`cargo run -p rcast-lint`) and the `rcast lint` CLI subcommand; CI
+//! runs the gate before any test step.
+//!
+//! # Example
+//!
+//! ```
+//! use rcast_lint::{check_file, FileClass, FileKind};
+//!
+//! let class = FileClass {
+//!     crate_name: "dsr".into(),
+//!     kind: FileKind::Lib,
+//!     is_crate_root: false,
+//! };
+//! let bad = "fn f(m: &std::collections::HashMap<u32, u32>) -> Vec<u32> {
+//!     m.keys().copied().collect()
+//! }";
+//! let findings = rcast_lint::check_file("demo.rs", bad, &class);
+//! assert_eq!(findings.len(), 1);
+//! assert_eq!(findings[0].rule, "D002");
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod lexer;
+pub mod project;
+pub mod rules;
+
+use std::io;
+use std::path::Path;
+
+pub use project::{classify, collect_rust_files, find_workspace_root, FileClass, FileKind};
+pub use rules::{check_file, sort_findings, Finding, RULES};
+
+/// Lints every `.rs` file under `root` (a workspace root) and returns
+/// the findings in stable report order (path, line, column, rule).
+///
+/// # Errors
+///
+/// Propagates I/O failures from walking or reading the tree.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let files = collect_rust_files(root)?;
+    let mut findings = Vec::new();
+    for rel in files {
+        let source = std::fs::read_to_string(root.join(&rel))?;
+        let class = classify(&rel);
+        findings.extend(check_file(&rel, &source, &class));
+    }
+    sort_findings(&mut findings);
+    Ok(findings)
+}
+
+/// Renders findings as `file:line:col [RULE] message` lines, one per
+/// finding, matching compiler-style diagnostics.
+pub fn render_text(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&format!(
+            "{}:{}:{} [{}] {}\n",
+            f.path, f.line, f.col, f.rule, f.message
+        ));
+    }
+    out
+}
+
+/// Renders findings as a JSON document with stable field and element
+/// order, suitable for machine consumption and golden tests.
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\n  \"version\": 1,\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"path\": {}, \"line\": {}, \"col\": {}, \"rule\": {}, \"message\": {}}}",
+            json_string(&f.path),
+            f.line,
+            f.col,
+            json_string(f.rule),
+            json_string(&f.message),
+        ));
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!("],\n  \"count\": {}\n}}\n", findings.len()));
+    out
+}
+
+/// Escapes `s` as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping_is_sound() {
+        assert_eq!(json_string("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn empty_report_renders_cleanly() {
+        assert_eq!(render_text(&[]), "");
+        let json = render_json(&[]);
+        assert!(json.contains("\"findings\": []"));
+        assert!(json.contains("\"count\": 0"));
+    }
+}

@@ -1,0 +1,103 @@
+//! The standalone `rcast-lint` binary.
+//!
+//! ```sh
+//! cargo run -p rcast-lint              # lint the enclosing workspace
+//! cargo run -p rcast-lint -- --json    # machine-readable report
+//! cargo run -p rcast-lint -- --root /path/to/workspace
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings, `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rcast_lint::{find_workspace_root, lint_workspace, render_json, render_text, RULES};
+
+const USAGE: &str = "\
+rcast-lint — determinism & hygiene static analyzer for the RandomCast workspace
+
+USAGE:
+    rcast-lint [--root <dir>] [--json]
+    rcast-lint --rules
+    rcast-lint --help
+
+OPTIONS:
+    --root <dir>   workspace root to lint [nearest [workspace] Cargo.toml]
+    --json         machine-readable report (stable ordering)
+    --rules        list the rule ids and what they protect
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("error: --root needs a directory\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--rules" => {
+                for (id, what) in RULES {
+                    println!("{id}  {what}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown option '{other}'\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("error: cannot determine current directory: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("error: no workspace Cargo.toml above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    match lint_workspace(&root) {
+        Ok(findings) => {
+            if json {
+                print!("{}", render_json(&findings));
+            } else {
+                print!("{}", render_text(&findings));
+                if findings.is_empty() {
+                    eprintln!("rcast-lint: clean ({})", root.display());
+                } else {
+                    eprintln!("rcast-lint: {} finding(s)", findings.len());
+                }
+            }
+            if findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,523 @@
+//! The ruleset: what each rule protects and how it is detected.
+//!
+//! Every rule guards one way the simulator's headline property — runs
+//! are byte-identical for a given `(config, seed)` at any thread width —
+//! can silently rot:
+//!
+//! * **D001** — wall-clock reads (`std::time::Instant`/`SystemTime`)
+//!   make results depend on the host. Only the `bench`/`testkit`
+//!   harness crates may time things.
+//! * **D002** — iterating a `HashMap`/`HashSet` in a simulation crate
+//!   visits entries in `RandomState` order, which differs per process.
+//!   Sites that restore order explicitly carry a
+//!   `// det: ordered — <reason>` pragma; everything else uses
+//!   `BTreeMap`/`BTreeSet`.
+//! * **D003** — `RandomState`/`DefaultHasher` seed from the
+//!   environment, and external RNGs bypass the labelled
+//!   `rcast_engine::rng` streams that make draws replayable.
+//! * **D004** — `unsafe` code could break any invariant from under the
+//!   checker; every crate root must carry `#![forbid(unsafe_code)]` and
+//!   no `unsafe` token may appear anywhere.
+//! * **D005** — `println!`-family output from library code corrupts the
+//!   CSV/JSON streams the figure pipeline parses; printing belongs to
+//!   the binaries and the bench/report layer.
+//! * **H001** — `#[ignore]` without a reason string hides dead tests.
+//! * **H002** — crate roots must keep `#![deny(missing_docs)]` (or
+//!   carry a `// lint: allow missing_docs — <reason>` pragma).
+
+use crate::lexer::{lex, Token, TokenKind};
+use crate::project::{FileClass, FileKind, SIM_CRATES, WALL_CLOCK_ALLOWED};
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative `/`-separated path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Rule id (`D001` … `H002`).
+    pub rule: &'static str,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+/// Sorts findings into the stable report order: path, then line, then
+/// column, then rule id.
+pub fn sort_findings(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
+}
+
+/// Methods that observe a hash container's iteration order. `retain`
+/// is included: its closure runs side effects in iteration order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+/// Identifiers banned by D003 wherever they appear as code.
+const D003_IDENTS: &[&str] = &[
+    "RandomState",
+    "DefaultHasher",
+    "SipHasher",
+    "SipHasher13",
+    "thread_rng",
+    "ThreadRng",
+    "OsRng",
+    "StdRng",
+    "SmallRng",
+    "from_entropy",
+    "getrandom",
+];
+
+/// Macros banned by D005 in simulation-library code.
+const PRINT_MACROS: &[&str] = &["println", "eprintln", "print", "eprint", "dbg"];
+
+/// Per-file line facts needed for pragma resolution.
+struct LineFacts {
+    /// Lines (1-based) holding at least one non-comment token.
+    has_code: Vec<bool>,
+    /// Lines holding at least one comment token.
+    has_comment: Vec<bool>,
+    /// Lines holding a well-formed `det: ordered` pragma.
+    det_pragma: Vec<bool>,
+    /// Lines holding a well-formed `lint: allow missing_docs` pragma.
+    docs_pragma: Vec<bool>,
+}
+
+impl LineFacts {
+    fn build(tokens: &[Token]) -> Self {
+        let last = tokens.iter().map(|t| t.line as usize).max().unwrap_or(0);
+        let mut f = LineFacts {
+            has_code: vec![false; last + 2],
+            has_comment: vec![false; last + 2],
+            det_pragma: vec![false; last + 2],
+            docs_pragma: vec![false; last + 2],
+        };
+        for t in tokens {
+            let l = t.line as usize;
+            if t.kind == TokenKind::Comment {
+                f.has_comment[l] = true;
+                if pragma_reason(&t.text, "det: ordered") {
+                    f.det_pragma[l] = true;
+                }
+                if pragma_reason(&t.text, "lint: allow missing_docs") {
+                    f.docs_pragma[l] = true;
+                }
+            } else {
+                f.has_code[l] = true;
+            }
+        }
+        f
+    }
+
+    /// `true` when a `det: ordered` pragma covers `line`: on the line
+    /// itself (trailing comment) or in the contiguous comment block
+    /// directly above it (blank lines break the block).
+    fn det_covers(&self, line: u32) -> bool {
+        self.covers(&self.det_pragma, line)
+    }
+
+    fn docs_covers(&self, line: u32) -> bool {
+        self.covers(&self.docs_pragma, line)
+    }
+
+    fn covers(&self, pragma: &[bool], line: u32) -> bool {
+        let line = line as usize;
+        if line >= self.has_code.len() {
+            return false;
+        }
+        if pragma[line] {
+            return true;
+        }
+        let mut l = line.saturating_sub(1);
+        while l >= 1 && self.has_comment[l] && !self.has_code[l] {
+            if pragma[l] {
+                return true;
+            }
+            l -= 1;
+        }
+        false
+    }
+}
+
+/// `true` when `text` is a pragma of the given head *with a non-empty
+/// reason* after an em- or ASCII dash. A pragma without a reason is
+/// deliberately not honored: the reason is the artifact being enforced.
+fn pragma_reason(text: &str, head: &str) -> bool {
+    let t = text.trim();
+    let Some(rest) = t.strip_prefix(head) else {
+        return false;
+    };
+    let rest = rest.trim_start();
+    let reason = rest
+        .strip_prefix('—')
+        .or_else(|| rest.strip_prefix("--"))
+        .or_else(|| rest.strip_prefix('-'))
+        .or_else(|| rest.strip_prefix(':'));
+    reason.is_some_and(|r| !r.trim().is_empty())
+}
+
+/// Runs every applicable rule over one file's source.
+///
+/// `path` is used only for reporting; `class` decides which rules
+/// apply. This is the unit the fixture tests drive directly.
+pub fn check_file(path: &str, source: &str, class: &FileClass) -> Vec<Finding> {
+    let tokens = lex(source);
+    let facts = LineFacts::build(&tokens);
+    let mut out = Vec::new();
+    d001_wall_clock(path, &tokens, class, &mut out);
+    d002_hash_iteration(path, &tokens, class, &facts, &mut out);
+    d003_environment_randomness(path, &tokens, &mut out);
+    d004_unsafe(path, &tokens, class, &mut out);
+    d005_print(path, &tokens, class, &mut out);
+    h001_ignore_reason(path, &tokens, &mut out);
+    h002_missing_docs(path, &tokens, class, &facts, &mut out);
+    sort_findings(&mut out);
+    out.dedup();
+    out
+}
+
+fn code_tokens(tokens: &[Token]) -> Vec<&Token> {
+    tokens.iter().filter(|t| t.kind != TokenKind::Comment).collect()
+}
+
+fn d001_wall_clock(path: &str, tokens: &[Token], class: &FileClass, out: &mut Vec<Finding>) {
+    if WALL_CLOCK_ALLOWED.contains(&class.crate_name.as_str()) {
+        return;
+    }
+    for t in tokens {
+        if t.is_word("Instant") || t.is_word("SystemTime") {
+            out.push(Finding {
+                path: path.to_string(),
+                line: t.line,
+                col: t.col,
+                rule: "D001",
+                message: format!(
+                    "wall-clock type `{}` outside the allowlisted crates ({}); \
+                     simulation results must be a pure function of (config, seed)",
+                    t.text,
+                    WALL_CLOCK_ALLOWED.join(", "),
+                ),
+            });
+        }
+    }
+}
+
+/// D002 works in two passes over the code tokens: first it collects the
+/// names declared with a `HashMap`/`HashSet` type (field/binding
+/// annotations `name: …HashMap<…>` and inferred `let name = HashMap::…`
+/// initializers), then it flags any iteration-order-observing use of
+/// those names — `name.iter()`-style calls and `for … in` expressions
+/// mentioning the name — that no pragma covers.
+fn d002_hash_iteration(
+    path: &str,
+    tokens: &[Token],
+    class: &FileClass,
+    facts: &LineFacts,
+    out: &mut Vec<Finding>,
+) {
+    if !class.is_sim_crate() {
+        return;
+    }
+    let code = code_tokens(tokens);
+    let mut hash_names: Vec<String> = Vec::new();
+    for (i, t) in code.iter().enumerate() {
+        if !(t.is_word("HashMap") || t.is_word("HashSet")) {
+            continue;
+        }
+        // Walk back through type-ish tokens (path `::` pairs included)
+        // until the annotation colon of `name: …HashMap<…>` or the `=`
+        // of an inferred `let name = …HashMap::new()` initializer.
+        let mut j = i;
+        while j > 0 {
+            j -= 1;
+            let b = code[j];
+            if b.is_punct(':') {
+                if j > 0 && code[j - 1].is_punct(':') {
+                    j -= 1; // `::` inside a path: still in the type
+                    continue;
+                }
+                if j > 0 && code[j - 1].kind == TokenKind::Ident {
+                    hash_names.push(code[j - 1].text.clone());
+                }
+                break;
+            }
+            if b.is_punct('=') {
+                if j > 0 && code[j - 1].kind == TokenKind::Ident {
+                    hash_names.push(code[j - 1].text.clone());
+                }
+                break;
+            }
+            let type_ish = b.kind == TokenKind::Ident
+                || b.is_punct('<')
+                || b.is_punct('>')
+                || b.is_punct(',')
+                || b.is_punct('(')
+                || b.is_punct(')')
+                || b.is_punct('&')
+                || b.kind == TokenKind::Lifetime;
+            if !type_ish {
+                break;
+            }
+        }
+    }
+    if hash_names.is_empty() {
+        return;
+    }
+
+    let report = |out: &mut Vec<Finding>, t: &Token, name: &str, how: &str| {
+        out.push(Finding {
+            path: path.to_string(),
+            line: t.line,
+            col: t.col,
+            rule: "D002",
+            message: format!(
+                "{how} of `HashMap`/`HashSet` value `{name}` in simulation crate \
+                 `{}` without a `// det: ordered — <reason>` pragma; iteration \
+                 order is per-process random and leaks into results — use \
+                 BTreeMap/BTreeSet or restore order explicitly and annotate",
+                class.crate_name,
+            ),
+        });
+    };
+
+    // A finding is suppressed when the pragma covers the use site or
+    // the first line of the statement it belongs to (multi-line method
+    // chains anchor at the statement start).
+    let suppressed = |code: &[&Token], idx: usize| {
+        let line = code[idx].line;
+        if facts.det_covers(line) {
+            return true;
+        }
+        let mut j = idx;
+        while j > 0 {
+            let t = code[j - 1];
+            if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+                break;
+            }
+            j -= 1;
+        }
+        facts.det_covers(code[j].line)
+    };
+
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokenKind::Ident || !hash_names.iter().any(|n| n == &t.text) {
+            continue;
+        }
+        // `name . method (` with an order-observing method.
+        if i + 3 < code.len()
+            && code[i + 1].is_punct('.')
+            && code[i + 2].kind == TokenKind::Ident
+            && ITER_METHODS.contains(&code[i + 2].text.as_str())
+            && code[i + 3].is_punct('(')
+            && !suppressed(&code, i)
+        {
+            report(out, code[i + 2], &t.text, "order-observing method call");
+        }
+        // `for … in <expr mentioning name> {`. A following `.` defers
+        // to the method-call branch above.
+        let method_follows = code.get(i + 1).is_some_and(|n| n.is_punct('.'));
+        if !method_follows {
+            if let Some(for_idx) = enclosing_for_in(&code, i) {
+                if !suppressed(&code, for_idx) && !suppressed(&code, i) {
+                    report(out, t, &t.text, "`for` iteration");
+                }
+            }
+        }
+    }
+}
+
+/// If `code[idx]` sits in the header of a `for … in header {` loop,
+/// returns the index of the `for` token.
+fn enclosing_for_in(code: &[&Token], idx: usize) -> Option<usize> {
+    // Walk back to `in` then `for`, refusing to cross statement ends or
+    // an opening `{` (which would mean we left the loop header).
+    let mut saw_in = None;
+    let mut j = idx;
+    let mut depth = 0i32;
+    while j > 0 {
+        j -= 1;
+        let t = code[j];
+        if t.is_punct(')') || t.is_punct(']') {
+            depth += 1;
+        } else if t.is_punct('(') || t.is_punct('[') {
+            depth -= 1;
+            if depth < 0 {
+                // The name is inside a call argument like `m.get(&k)`
+                // within some larger expression; still fine to keep
+                // walking for the `in`, the call parens just nest.
+                depth = 0;
+            }
+        } else if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            return None;
+        } else if t.is_word("in") && depth == 0 {
+            saw_in = Some(j);
+        } else if t.is_word("for") && saw_in.is_some() {
+            return Some(j);
+        }
+    }
+    None
+}
+
+fn d003_environment_randomness(path: &str, tokens: &[Token], out: &mut Vec<Finding>) {
+    let code = code_tokens(tokens);
+    for (i, t) in code.iter().enumerate() {
+        let banned = D003_IDENTS.contains(&t.text.as_str()) && t.kind == TokenKind::Ident;
+        // An external-RNG path: the `rand` crate root used as `rand::`.
+        let rand_path = t.is_word("rand")
+            && i + 2 < code.len()
+            && code[i + 1].is_punct(':')
+            && code[i + 2].is_punct(':');
+        if banned || rand_path {
+            out.push(Finding {
+                path: path.to_string(),
+                line: t.line,
+                col: t.col,
+                rule: "D003",
+                message: format!(
+                    "environment-seeded hashing or external RNG `{}`; all \
+                     randomness must flow through the named rcast_engine::rng \
+                     streams so draws replay bit-identically",
+                    t.text,
+                ),
+            });
+        }
+    }
+}
+
+fn d004_unsafe(path: &str, tokens: &[Token], class: &FileClass, out: &mut Vec<Finding>) {
+    for t in tokens {
+        if t.is_word("unsafe") {
+            out.push(Finding {
+                path: path.to_string(),
+                line: t.line,
+                col: t.col,
+                rule: "D004",
+                message: "`unsafe` is banned workspace-wide: no invariant the \
+                          determinism rules protect survives undefined behavior"
+                    .to_string(),
+            });
+        }
+    }
+    if class.is_crate_root && !has_inner_attr(tokens, "forbid", "unsafe_code") {
+        out.push(Finding {
+            path: path.to_string(),
+            line: 1,
+            col: 1,
+            rule: "D004",
+            message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+        });
+    }
+}
+
+/// Looks for `attr ( arg )` anywhere in the token stream — i.e.
+/// `#![attr(arg)]` once comments are stripped. Lexical matching is
+/// enough: these idents only occur in attribute position.
+fn has_inner_attr(tokens: &[Token], attr: &str, arg: &str) -> bool {
+    let code = code_tokens(tokens);
+    code.windows(4).any(|w| {
+        w[0].is_word(attr) && w[1].is_punct('(') && w[2].is_word(arg) && w[3].is_punct(')')
+    })
+}
+
+fn d005_print(path: &str, tokens: &[Token], class: &FileClass, out: &mut Vec<Finding>) {
+    let lib_of_sim = class.kind == FileKind::Lib
+        && (class.is_sim_crate() || class.crate_name == "testkit");
+    if !lib_of_sim {
+        return;
+    }
+    let code = code_tokens(tokens);
+    for w in code.windows(2) {
+        if w[0].kind == TokenKind::Ident
+            && PRINT_MACROS.contains(&w[0].text.as_str())
+            && w[1].is_punct('!')
+        {
+            out.push(Finding {
+                path: path.to_string(),
+                line: w[0].line,
+                col: w[0].col,
+                rule: "D005",
+                message: format!(
+                    "`{}!` in library crate `{}`; stdout/stderr belong to the \
+                     report/CLI layer — return data and let binaries print",
+                    w[0].text, class.crate_name,
+                ),
+            });
+        }
+    }
+}
+
+fn h001_ignore_reason(path: &str, tokens: &[Token], out: &mut Vec<Finding>) {
+    let code = code_tokens(tokens);
+    for (i, w) in code.windows(3).enumerate() {
+        if w[0].is_punct('#') && w[1].is_punct('[') && w[2].is_word("ignore") {
+            let reasoned = code.get(i + 3).is_some_and(|t| t.is_punct('='))
+                && code.get(i + 4).is_some_and(|t| {
+                    t.kind == TokenKind::Str && !t.text.trim().is_empty()
+                });
+            if !reasoned {
+                out.push(Finding {
+                    path: path.to_string(),
+                    line: w[2].line,
+                    col: w[2].col,
+                    rule: "H001",
+                    message: "`#[ignore]` without a reason string; use \
+                              `#[ignore = \"why\"]` so skipped tests stay accounted for"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+fn h002_missing_docs(
+    path: &str,
+    tokens: &[Token],
+    class: &FileClass,
+    facts: &LineFacts,
+    out: &mut Vec<Finding>,
+) {
+    if !class.is_crate_root {
+        return;
+    }
+    if has_inner_attr(tokens, "deny", "missing_docs") || facts.docs_covers(1) {
+        return;
+    }
+    out.push(Finding {
+        path: path.to_string(),
+        line: 1,
+        col: 1,
+        rule: "H002",
+        message: "crate root is missing `#![deny(missing_docs)]` (document an \
+                  exemption with `// lint: allow missing_docs — <reason>` on line 1)"
+            .to_string(),
+    });
+}
+
+/// Rule ids in report order, for `--explain`-style listings and tests.
+pub const RULES: &[(&str, &str)] = &[
+    ("D001", "no wall-clock time sources outside bench/testkit"),
+    ("D002", "no unordered HashMap/HashSet iteration in simulation crates"),
+    ("D003", "no environment-seeded hashing or external RNGs"),
+    ("D004", "forbid(unsafe_code) at every crate root; no unsafe anywhere"),
+    ("D005", "no println!-family output from simulation library code"),
+    ("H001", "no #[ignore] without a reason string"),
+    ("H002", "deny(missing_docs) at every crate root"),
+];
+
+/// `SIM_CRATES` re-exported for doc/tests convenience.
+pub fn sim_crates() -> &'static [&'static str] {
+    SIM_CRATES
+}

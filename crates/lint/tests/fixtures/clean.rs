@@ -1,0 +1,16 @@
+//! A fully compliant simulation-crate source file: ordered collections,
+//! engine-owned randomness, no printing, no wall clock.
+
+use std::collections::BTreeMap;
+
+/// Sums the routing table's next hops in key order.
+pub fn sum_next_hops(routes: &BTreeMap<u32, u32>) -> u64 {
+    routes.values().map(|&v| u64::from(v)).sum()
+}
+
+/// Strings and comments must never trip keyword scans:
+/// "unsafe println! Instant thread_rng" is data, not code.
+pub fn decoy() -> &'static str {
+    // unsafe Instant SystemTime println! — only a comment
+    "unsafe println! Instant thread_rng HashMap .iter()"
+}

@@ -1,0 +1,12 @@
+//! D001 fixture: wall-clock reads in a simulation crate.
+
+use std::time::Instant;
+
+fn elapsed_ms() -> u128 {
+    let start = Instant::now();
+    start.elapsed().as_millis()
+}
+
+fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

@@ -1,0 +1,24 @@
+//! D002 fixture: three hash-iteration sites; only the pragma-free two
+//! may be reported.
+
+use std::collections::{HashMap, HashSet};
+
+fn annotated(routes: &HashMap<u32, u32>) -> Vec<u32> {
+    // Violation: `.keys()` observes hasher-dependent order.
+    routes.keys().copied().collect()
+}
+
+fn inferred() -> usize {
+    let seen = HashSet::<u32>::new();
+    let mut n = 0;
+    // Violation: `for … in` over a HashSet.
+    for _x in seen.iter() {
+        n += 1;
+    }
+    n
+}
+
+fn excused(cache: &HashMap<u32, u32>) -> u32 {
+    // det: ordered — commutative sum; order cannot affect the result
+    cache.values().sum()
+}

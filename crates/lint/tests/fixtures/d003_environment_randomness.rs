@@ -1,0 +1,11 @@
+//! D003 fixture: environment-seeded hashing and external RNG.
+
+use std::collections::hash_map::RandomState;
+
+fn hasher() -> RandomState {
+    RandomState::new()
+}
+
+fn draw() -> u64 {
+    rand::random()
+}

@@ -1,0 +1,6 @@
+//! D004 fixture: an `unsafe` block (the fixture is classified as a
+//! crate root without `#![forbid(unsafe_code)]`, so that fires too).
+
+fn sneaky(p: *const u32) -> u32 {
+    unsafe { *p }
+}

@@ -1,0 +1,6 @@
+//! D005 fixture: printing from library code in a simulation crate.
+
+fn debug_dump(x: u32) {
+    println!("x = {x}");
+    eprintln!("also x = {x}");
+}

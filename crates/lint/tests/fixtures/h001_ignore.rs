@@ -1,0 +1,10 @@
+//! H001 fixture: one bare `#[ignore]` (violation) and one with a
+//! reason string (allowed).
+
+#[test]
+#[ignore]
+fn flaky() {}
+
+#[test]
+#[ignore = "needs a multi-gigabyte trace; run manually"]
+fn heavy() {}

@@ -1,0 +1,242 @@
+//! Fixture-driven tests for every lint rule: each rule must fire on its
+//! deliberately-violating fixture, honor its pragma/allowlist escape
+//! hatches, and stay quiet on compliant code. The fixtures live under
+//! `tests/fixtures/`, which the workspace walker never descends into,
+//! so the violations can never leak into the self-lint gate.
+
+use std::path::{Path, PathBuf};
+
+use rcast_lint::{
+    check_file, find_workspace_root, lint_workspace, render_json, sort_findings, FileClass,
+    FileKind, Finding, RULES,
+};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// A library file inside a simulation crate — the strictest class.
+fn sim_lib() -> FileClass {
+    FileClass {
+        crate_name: "dsr".to_string(),
+        kind: FileKind::Lib,
+        is_crate_root: false,
+    }
+}
+
+fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+fn lines_of(findings: &[Finding], rule: &str) -> Vec<u32> {
+    findings
+        .iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| f.line)
+        .collect()
+}
+
+#[test]
+fn d001_fires_on_wall_clock_reads() {
+    let findings = check_file("fixture.rs", &fixture("d001_wall_clock.rs"), &sim_lib());
+    assert!(!findings.is_empty());
+    assert!(rules_of(&findings).iter().all(|r| *r == "D001"));
+    // `Instant` in the use and the call; `SystemTime` in signature and body.
+    assert_eq!(lines_of(&findings, "D001"), vec![3, 6, 10, 11]);
+}
+
+#[test]
+fn d001_allowlisted_crates_may_read_the_clock() {
+    for name in ["bench", "testkit"] {
+        let class = FileClass {
+            crate_name: name.to_string(),
+            kind: FileKind::Lib,
+            is_crate_root: false,
+        };
+        let findings = check_file("fixture.rs", &fixture("d001_wall_clock.rs"), &class);
+        assert!(
+            lines_of(&findings, "D001").is_empty(),
+            "D001 must not fire inside allowlisted crate `{name}`"
+        );
+    }
+}
+
+#[test]
+fn d002_fires_on_unordered_iteration_and_honors_the_pragma() {
+    let findings = check_file("fixture.rs", &fixture("d002_hash_iteration.rs"), &sim_lib());
+    assert!(rules_of(&findings).iter().all(|r| *r == "D002"));
+    // Line 8: `.keys()` on an annotated parameter. Line 15: `for … in`
+    // over an inferred `HashSet` binding. Line 23 carries the
+    // `// det: ordered — …` pragma and must stay silent.
+    assert_eq!(lines_of(&findings, "D002"), vec![8, 15]);
+}
+
+#[test]
+fn d002_only_applies_to_simulation_crates() {
+    let class = FileClass {
+        crate_name: "report".to_string(),
+        kind: FileKind::Lib,
+        is_crate_root: false,
+    };
+    let findings = check_file("fixture.rs", &fixture("d002_hash_iteration.rs"), &class);
+    assert!(lines_of(&findings, "D002").is_empty());
+}
+
+#[test]
+fn d003_fires_on_environment_randomness() {
+    let findings = check_file(
+        "fixture.rs",
+        &fixture("d003_environment_randomness.rs"),
+        &sim_lib(),
+    );
+    assert!(rules_of(&findings).iter().all(|r| *r == "D003"));
+    // `RandomState` at the use/signature/constructor, `rand::` path.
+    assert_eq!(lines_of(&findings, "D003"), vec![3, 5, 6, 10]);
+}
+
+#[test]
+fn d004_fires_on_unsafe_and_missing_forbid() {
+    let class = FileClass {
+        crate_name: "dsr".to_string(),
+        kind: FileKind::Lib,
+        is_crate_root: true,
+    };
+    let findings = check_file("fixture.rs", &fixture("d004_unsafe.rs"), &class);
+    // Missing `#![forbid(unsafe_code)]` reported at 1:1, the `unsafe`
+    // token at its own line.
+    assert_eq!(lines_of(&findings, "D004"), vec![1, 5]);
+    // The same fixture as a crate root also lacks `deny(missing_docs)`.
+    assert_eq!(lines_of(&findings, "H002"), vec![1]);
+}
+
+#[test]
+fn d004_non_root_files_only_report_the_unsafe_token() {
+    let findings = check_file("fixture.rs", &fixture("d004_unsafe.rs"), &sim_lib());
+    assert_eq!(lines_of(&findings, "D004"), vec![5]);
+    assert!(lines_of(&findings, "H002").is_empty());
+}
+
+#[test]
+fn d005_fires_on_printing_from_library_code() {
+    let findings = check_file("fixture.rs", &fixture("d005_print.rs"), &sim_lib());
+    assert_eq!(lines_of(&findings, "D005"), vec![4, 5]);
+}
+
+#[test]
+fn d005_binaries_may_print() {
+    let class = FileClass {
+        crate_name: "dsr".to_string(),
+        kind: FileKind::Bin,
+        is_crate_root: false,
+    };
+    let findings = check_file("fixture.rs", &fixture("d005_print.rs"), &class);
+    assert!(lines_of(&findings, "D005").is_empty());
+}
+
+#[test]
+fn h001_fires_on_bare_ignore_but_not_reasoned_ignore() {
+    let findings = check_file("fixture.rs", &fixture("h001_ignore.rs"), &sim_lib());
+    assert_eq!(lines_of(&findings, "H001"), vec![5]);
+}
+
+#[test]
+fn clean_fixture_produces_no_findings() {
+    let findings = check_file("fixture.rs", &fixture("clean.rs"), &sim_lib());
+    assert!(
+        findings.is_empty(),
+        "clean fixture must lint clean, got: {findings:?}"
+    );
+}
+
+#[test]
+fn json_output_matches_golden() {
+    let mut findings = vec![
+        Finding {
+            path: "crates/dsr/src/node.rs".to_string(),
+            line: 10,
+            col: 5,
+            rule: "D002",
+            message: "iteration of `m` without pragma".to_string(),
+        },
+        Finding {
+            path: "crates/core/src/sim.rs".to_string(),
+            line: 3,
+            col: 1,
+            rule: "D001",
+            message: "wall-clock `Instant` with a \"quote\"".to_string(),
+        },
+    ];
+    sort_findings(&mut findings);
+    let golden = concat!(
+        "{\n",
+        "  \"version\": 1,\n",
+        "  \"findings\": [\n",
+        "    {\"path\": \"crates/core/src/sim.rs\", \"line\": 3, \"col\": 1, ",
+        "\"rule\": \"D001\", \"message\": \"wall-clock `Instant` with a \\\"quote\\\"\"},\n",
+        "    {\"path\": \"crates/dsr/src/node.rs\", \"line\": 10, \"col\": 5, ",
+        "\"rule\": \"D002\", \"message\": \"iteration of `m` without pragma\"}\n",
+        "  ],\n",
+        "  \"count\": 2\n",
+        "}\n",
+    );
+    assert_eq!(render_json(&findings), golden);
+}
+
+#[test]
+fn report_ordering_is_stable() {
+    let mk = |path: &str, line: u32, col: u32, rule: &'static str| Finding {
+        path: path.to_string(),
+        line,
+        col,
+        rule,
+        message: String::new(),
+    };
+    let mut findings = vec![
+        mk("b.rs", 1, 1, "D001"),
+        mk("a.rs", 9, 2, "D005"),
+        mk("a.rs", 9, 2, "D002"),
+        mk("a.rs", 2, 7, "H001"),
+    ];
+    sort_findings(&mut findings);
+    let keys: Vec<_> = findings
+        .iter()
+        .map(|f| (f.path.as_str(), f.line, f.col, f.rule))
+        .collect();
+    assert_eq!(
+        keys,
+        vec![
+            ("a.rs", 2, 7, "H001"),
+            ("a.rs", 9, 2, "D002"),
+            ("a.rs", 9, 2, "D005"),
+            ("b.rs", 1, 1, "D001"),
+        ]
+    );
+}
+
+#[test]
+fn every_documented_rule_has_fixture_coverage() {
+    // Keep this list in sync with the tests above: adding a rule to
+    // RULES without a fixture exercising it fails here.
+    let covered = ["D001", "D002", "D003", "D004", "D005", "H001", "H002"];
+    for (rule, _) in RULES {
+        assert!(
+            covered.contains(rule),
+            "rule {rule} has no fixture test exercising it"
+        );
+    }
+}
+
+#[test]
+fn the_workspace_itself_lints_clean() {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let root = find_workspace_root(&manifest).expect("workspace root above crates/lint");
+    let findings = lint_workspace(&root).expect("lint the real tree");
+    assert!(
+        findings.is_empty(),
+        "the workspace must self-lint clean, got:\n{}",
+        rcast_lint::render_text(&findings)
+    );
+}

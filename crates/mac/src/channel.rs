@@ -328,8 +328,10 @@ mod tests {
     #[test]
     fn loss_injection_consumes_retries_then_delivers_or_fails() {
         let nt = topology(&[0.0, 100.0]);
-        let mut cfg = MacConfig::default();
-        cfg.frame_loss_prob = 1.0;
+        let cfg = MacConfig {
+            frame_loss_prob: 1.0,
+            ..MacConfig::default()
+        };
         let mut ch = Channel::new(2, cfg, Phy::default(), StreamRng::from_seed(2));
         match ch.transmit(SimTime::ZERO, NodeId::new(0), uni(1), &nt, |_| true) {
             ImmediateResult::Failed(f) => assert!(f.at > SimTime::ZERO),

@@ -117,20 +117,19 @@ mod tests {
         c.atim_window = c.beacon_interval;
         assert!(c.validate().is_err());
 
-        let mut c = MacConfig::default();
-        c.queue_capacity = 0;
+        let c = MacConfig { queue_capacity: 0, ..MacConfig::default() };
         assert!(c.validate().is_err());
 
-        let mut c = MacConfig::default();
-        c.frame_loss_prob = 1.5;
+        let c = MacConfig { frame_loss_prob: 1.5, ..MacConfig::default() };
         assert!(c.validate().is_err());
 
-        let mut c = MacConfig::default();
-        c.atim_retry_limit = 0;
+        let c = MacConfig { atim_retry_limit: 0, ..MacConfig::default() };
         assert!(c.validate().is_err());
 
-        let mut c = MacConfig::default();
-        c.beacon_interval = SimDuration::ZERO;
+        let c = MacConfig {
+            beacon_interval: SimDuration::ZERO,
+            ..MacConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 }

@@ -846,8 +846,10 @@ mod tests {
     #[test]
     fn injected_loss_keeps_frame_queued() {
         let nt = line_topology(&[0.0, 100.0]);
-        let mut cfg = MacConfig::default();
-        cfg.frame_loss_prob = 1.0; // always lose
+        let cfg = MacConfig {
+            frame_loss_prob: 1.0, // always lose
+            ..MacConfig::default()
+        };
         let mut m: Mac = MacLayer::new(2, cfg, Phy::default(), StreamRng::from_seed(1));
         m.enqueue(
             NodeId::new(0),

@@ -23,7 +23,7 @@
 //! each of the paper's schemes.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod budget;
 mod channel;

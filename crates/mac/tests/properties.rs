@@ -67,7 +67,7 @@ fn queue_fifo_per_destination() {
     Check::new("queue_fifo_per_destination").run(|g| {
         let ops = g.vec(1, 60, |g| (g.u32_range(0, 4), g.u64_range(0, 100)));
         let mut q: TxQueue<u64> = TxQueue::new(1_000);
-        let mut expected: std::collections::HashMap<u32, Vec<u64>> = Default::default();
+        let mut expected: std::collections::BTreeMap<u32, Vec<u64>> = Default::default();
         for (dest, tag) in ops {
             q.push(
                 MacFrame::unicast(NodeId::new(dest), OverhearingLevel::None, 64, tag),

@@ -14,7 +14,7 @@
 //! [`TextTable`] renders the figure-regeneration binaries' output.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod confidence;
 mod delivery;

@@ -106,6 +106,50 @@ fn main() -> ExitCode {
             print!("{}", randomcast::write_scenario(&cfg));
             ExitCode::SUCCESS
         }
+        Ok(Command::Lint(lint)) => {
+            let root = match lint.root {
+                Some(r) => std::path::PathBuf::from(r),
+                None => {
+                    let cwd = match std::env::current_dir() {
+                        Ok(d) => d,
+                        Err(e) => {
+                            eprintln!("error: cannot determine current directory: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                    match rcast_lint::find_workspace_root(&cwd) {
+                        Some(r) => r,
+                        None => {
+                            eprintln!("error: no workspace Cargo.toml above {}", cwd.display());
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+            };
+            match rcast_lint::lint_workspace(&root) {
+                Ok(findings) => {
+                    if lint.json {
+                        print!("{}", rcast_lint::render_json(&findings));
+                    } else {
+                        print!("{}", rcast_lint::render_text(&findings));
+                        if findings.is_empty() {
+                            eprintln!("rcast lint: clean ({})", root.display());
+                        } else {
+                            eprintln!("rcast lint: {} finding(s)", findings.len());
+                        }
+                    }
+                    if findings.is_empty() {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::FAILURE
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         Ok(Command::Compare(cmp)) => {
             let threads = cmp
                 .threads

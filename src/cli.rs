@@ -29,8 +29,21 @@ pub enum Command {
     /// Print the scenario text for the given flags
     /// (`rcast export-scenario [options]`).
     ExportScenario(SimConfig),
+    /// Run the determinism & hygiene static analyzer
+    /// (`rcast lint [--json] [--root <dir>]`).
+    Lint(LintArgs),
     /// Print usage.
     Help,
+}
+
+/// Arguments of `rcast lint`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LintArgs {
+    /// Emit the machine-readable JSON report instead of text lines.
+    pub json: bool,
+    /// Workspace root to lint; `None` finds the nearest `[workspace]`
+    /// manifest above the current directory.
+    pub root: Option<String>,
 }
 
 /// Arguments of `rcast run`.
@@ -118,6 +131,7 @@ USAGE:
     rcast compare [options]          sweep schemes x rates
     rcast scenario <file> [--csv]    run a saved scenario file
     rcast export-scenario [options]  print a scenario file for the flags
+    rcast lint [--json] [--root <d>] run the determinism static analyzer
     rcast help                       show this text
 
 COMMON OPTIONS (both subcommands):
@@ -183,6 +197,21 @@ pub fn parse(args: &[String]) -> Result<Command, ParseCliError> {
             }
             let path = path.ok_or_else(|| err("scenario needs a file path"))?;
             Ok(Command::Scenario { path, csv })
+        }
+        "lint" => {
+            let mut lint = LintArgs::default();
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--json" => lint.json = true,
+                    "--root" => {
+                        let v = it.next().ok_or_else(|| err("--root needs a directory"))?;
+                        lint.root = Some(v.clone());
+                    }
+                    other => return Err(err(format!("unknown option '{other}'"))),
+                }
+            }
+            Ok(Command::Lint(lint))
         }
         "export-scenario" => {
             let (config, extras) = parse_config(rest)?;
@@ -253,7 +282,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseCliError> {
             }))
         }
         other => Err(err(format!(
-            "unknown subcommand '{other}' (expected run, compare, help)"
+            "unknown subcommand '{other}' (expected run, compare, scenario, \
+             export-scenario, lint, help)"
         ))),
     }
 }
@@ -477,6 +507,23 @@ mod tests {
         assert!(parse(&args("compare --threads 0")).is_err());
         assert!(parse(&args("compare --threads many")).is_err());
         assert!(parse(&args("compare --threads")).is_err());
+    }
+
+    #[test]
+    fn lint_flags_parse() {
+        assert_eq!(
+            parse(&args("lint")).unwrap(),
+            Command::Lint(LintArgs { json: false, root: None })
+        );
+        assert_eq!(
+            parse(&args("lint --json --root /tmp/ws")).unwrap(),
+            Command::Lint(LintArgs {
+                json: true,
+                root: Some("/tmp/ws".into())
+            })
+        );
+        assert!(parse(&args("lint --root")).is_err());
+        assert!(parse(&args("lint --bogus")).is_err());
     }
 
     #[test]

@@ -269,8 +269,10 @@ fn delivered_packets_hop_through_alive_nodes_in_contiguous_chains() {
 #[test]
 fn battery_exhaustion_turns_depletion_into_permanent_crashes() {
     // 20 J at 802.11's constant 1.15 W: every node dies ~17.4 s in.
-    let mut faults = FaultsConfig::default();
-    faults.battery_exhaustion = true;
+    let faults = FaultsConfig {
+        battery_exhaustion: true,
+        ..FaultsConfig::default()
+    };
     let mut cfg = chaos_config(Scheme::Dot11, 3, faults);
     cfg.battery_capacity_j = Some(20.0);
     let r = run_sim(cfg.clone()).expect("valid chaos config");
