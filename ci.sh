@@ -38,4 +38,10 @@ for scheme in 802.11 psm psm-none odpm rcast; do
         > /dev/null
 done
 
+echo "==> bench smoke: tracked perf suite, small workload (release)"
+# Liveness gate only — timing thresholds are not asserted in CI. The
+# checked-in BENCH_rcast.json is regenerated deliberately with
+# `rcast bench --out BENCH_rcast.json`, never overwritten here.
+./target/release/rcast bench --smoke > /dev/null
+
 echo "CI gate passed."

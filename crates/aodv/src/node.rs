@@ -482,6 +482,21 @@ impl AodvNode {
         }
     }
 
+    /// Borrowing variant of [`receive`](Self::receive) for broadcast
+    /// fan-out: one interned packet is handed to every recipient.
+    /// Every AODV packet except RERR is fixed-size (no heap payload),
+    /// so the clone here is a plain memcpy; RERRs carry a short
+    /// unreachable-set and are never broadcast on the hot path.
+    pub fn receive_ref(
+        &mut self,
+        packet: &AodvPacket,
+        from: NodeId,
+        now: SimTime,
+    ) -> Vec<AodvAction> {
+        // det: hot-ok — fixed-size packets; the clone is a plain memcpy
+        self.receive(packet.clone(), from, now)
+    }
+
     fn receive_rreq(&mut self, r: AodvRreq, from: NodeId, now: SimTime) -> Vec<AodvAction> {
         let mut out = Vec::new();
         if r.origin == self.id || !self.seen_rreq.insert((r.origin, r.id)) {

@@ -1,0 +1,123 @@
+//! A counting global allocator for steady-state allocation regression
+//! tests and the `rcast bench` report.
+//!
+//! [`AllocProbe`] wraps [`System`] and counts every allocation into a
+//! process-wide relaxed atomic. Install it with `#[global_allocator]`
+//! in a binary or integration test, then read [`allocations`] deltas
+//! around the region under measurement. The probe adds one relaxed
+//! `fetch_add` per allocation — noise-level overhead, and the hot path
+//! under test allocates nothing at all, which is exactly the property
+//! being pinned (DESIGN.md §10).
+//!
+//! Counting is the only side effect: sizes, frees and failures are
+//! passed straight through to [`System`], so behaviour under the probe
+//! is indistinguishable from running without it.
+
+// This module is the one place in the workspace allowed to use
+// `unsafe`: implementing `GlobalAlloc` requires it, and the impl only
+// forwards to `System`. The lint rule D004 exempts lines carrying the
+// `det: unsafe-ok` pragma.
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Allocations observed process-wide since start (or the last
+/// [`reset`]). Shared by every probe instance: `#[global_allocator]`
+/// statics are unit values, so the count lives here.
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Set by the first allocation routed through a probe — i.e. exactly
+/// when a probe is installed as the global allocator (Rust allocates
+/// before `main`).
+static INSTALLED: AtomicBool = AtomicBool::new(false);
+
+/// The counting allocator. See the [module docs](self).
+pub struct AllocProbe;
+
+impl AllocProbe {
+    /// A probe, for the `#[global_allocator]` static.
+    pub const fn new() -> Self {
+        AllocProbe
+    }
+}
+
+impl Default for AllocProbe {
+    fn default() -> Self {
+        AllocProbe::new()
+    }
+}
+
+/// Total allocations counted so far.
+pub fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Zeroes the counter (the absolute value rarely matters; deltas do).
+pub fn reset() {
+    ALLOCATIONS.store(0, Ordering::Relaxed);
+}
+
+/// `true` when an [`AllocProbe`] is this process's global allocator —
+/// the counter is meaningless otherwise.
+pub fn is_installed() -> bool {
+    INSTALLED.load(Ordering::Relaxed)
+}
+
+fn count() {
+    INSTALLED.store(true, Ordering::Relaxed);
+    ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+}
+
+// det: unsafe-ok — GlobalAlloc is an unsafe trait; the impl forwards
+// every call to std's System allocator unchanged and only bumps an
+// atomic counter, so System's safety contract carries over verbatim.
+unsafe impl GlobalAlloc for AllocProbe {
+    // det: unsafe-ok — GlobalAlloc method; body forwards to System
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count();
+        System.alloc(layout) // det: unsafe-ok — delegated to System
+    }
+
+    // det: unsafe-ok — GlobalAlloc method; body forwards to System
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout) // det: unsafe-ok — delegated to System
+    }
+
+    // det: unsafe-ok — GlobalAlloc method; body forwards to System
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        count();
+        System.alloc_zeroed(layout) // det: unsafe-ok — delegated to System
+    }
+
+    // det: unsafe-ok — GlobalAlloc method; body forwards to System
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        count();
+        System.realloc(ptr, layout, new_size) // det: unsafe-ok — delegated to System
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The probe is NOT installed as this test binary's allocator, so
+    // only the pass-through plumbing is checked here; counting under
+    // installation is exercised by `tests/zero_alloc.rs`.
+    #[test]
+    fn probe_forwards_and_counts() {
+        let probe = AllocProbe::new();
+        let before = allocations();
+        let layout = Layout::from_size_align(64, 8).unwrap();
+        // det: unsafe-ok — test exercises the GlobalAlloc pass-through
+        unsafe {
+            let p = probe.alloc(layout);
+            assert!(!p.is_null());
+            let p = probe.realloc(p, layout, 128);
+            assert!(!p.is_null());
+            probe.dealloc(p, Layout::from_size_align(128, 8).unwrap());
+        }
+        assert_eq!(allocations() - before, 2, "alloc + realloc count");
+        assert!(is_installed(), "counting marks the probe live");
+    }
+}

@@ -25,13 +25,20 @@
 //! `--threads N` to pin the worker count (results are byte-identical at
 //! any width — see the determinism contract in `rcast_engine::pool`).
 
-#![forbid(unsafe_code)]
+// det: unsafe-ok — deny (not forbid) so alloc_probe can carve out the
+// single GlobalAlloc impl this workspace needs; everything else in the
+// crate still refuses unsafe at compile time.
+#![deny(unsafe_code)]
 #![deny(missing_docs)]
 
 use rcast_core::{AggregateReport, Scheme, SimConfig, SimReport};
 use rcast_engine::SimDuration;
 
+pub mod alloc_probe;
+pub mod perf;
 pub mod timing;
+
+pub use alloc_probe::AllocProbe;
 
 /// How big an experiment to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

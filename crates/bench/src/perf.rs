@@ -1,0 +1,196 @@
+//! The tracked simulator-throughput benchmark behind `rcast bench`.
+//!
+//! Unlike the figure binaries (which reproduce the *paper's* numbers),
+//! this suite tracks the *simulator's* own performance so hot-path
+//! regressions show up in review: wall time per simulated second,
+//! beacon intervals per second, and — when the [`alloc_probe`] is the
+//! process's global allocator — heap allocations per steady-state
+//! interval. Results are emitted as a stable, hand-rolled JSON document
+//! (`rcast-bench/v1`) checked in as `BENCH_rcast.json`; timing fields
+//! vary with the host, the schema and workloads do not.
+//!
+//! [`alloc_probe`]: crate::alloc_probe
+
+use std::time::Instant;
+
+use rcast_core::{Scheme, SimConfig, Simulation};
+use rcast_engine::SimDuration;
+use rcast_mobility::Area;
+
+use crate::alloc_probe;
+
+/// Intervals stepped before allocation counting starts: long enough for
+/// every reusable buffer to reach its high-water capacity.
+const WARMUP_INTERVALS: u64 = 120;
+
+/// One measured workload cell.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Workload name (`small`, `medium`).
+    pub workload: &'static str,
+    /// Scheme label as the paper prints it (`802.11`, `PSM`, `Rcast`).
+    pub scheme: &'static str,
+    /// Node count.
+    pub nodes: u32,
+    /// Simulated seconds.
+    pub sim_seconds: f64,
+    /// Beacon intervals executed.
+    pub intervals: u64,
+    /// Wall-clock seconds for the full run.
+    pub wall_seconds: f64,
+    /// Beacon intervals per wall-clock second.
+    pub intervals_per_sec: f64,
+    /// Wall-clock milliseconds per simulated second.
+    pub ms_per_sim_second: f64,
+    /// Mean heap allocations per post-warm-up interval; `None` when no
+    /// [`alloc_probe`] is installed as the global allocator.
+    pub allocs_per_interval: Option<f64>,
+}
+
+/// A named workload: `(name, configure)`.
+type Workload = (&'static str, fn(Scheme) -> SimConfig);
+
+/// The benchmark workloads. `small` is the `SimConfig::smoke` testbed;
+/// `medium` triples it in every dimension.
+fn workloads(smoke: bool) -> Vec<Workload> {
+    fn small(scheme: Scheme) -> SimConfig {
+        SimConfig::smoke(scheme, 1)
+    }
+    fn medium(scheme: Scheme) -> SimConfig {
+        let mut cfg = SimConfig::paper(scheme, 1, 0.4, 60.0);
+        cfg.nodes = 150;
+        cfg.area = Area::new(1800.0, 360.0);
+        cfg.duration = SimDuration::from_secs(240);
+        cfg.traffic.flows = 30;
+        cfg
+    }
+    if smoke {
+        vec![("small", small)]
+    } else {
+        vec![("small", small), ("medium", medium)]
+    }
+}
+
+/// The schemes tracked: the always-on ceiling, the PSM baseline, and
+/// the paper's contribution.
+const SCHEMES: &[Scheme] = &[Scheme::Dot11, Scheme::Psm, Scheme::Rcast];
+
+/// Runs one workload cell: step the whole run, timing it, and count
+/// allocations over the post-warm-up intervals.
+fn run_cell(workload: &'static str, cfg: SimConfig) -> BenchResult {
+    let scheme = cfg.scheme.label();
+    let nodes = cfg.nodes;
+    let sim_seconds = cfg.duration.as_secs_f64();
+    let mut sim = Simulation::new(cfg).expect("valid bench config");
+    let started = Instant::now();
+    let mut intervals = 0u64;
+    let mut allocs_at_warmup = None;
+    loop {
+        if intervals == WARMUP_INTERVALS {
+            allocs_at_warmup = Some(alloc_probe::allocations());
+        }
+        if !sim.step_interval() {
+            break;
+        }
+        intervals += 1;
+    }
+    let wall_seconds = started.elapsed().as_secs_f64();
+    std::hint::black_box(sim.finish());
+    let allocs_per_interval = match allocs_at_warmup {
+        Some(base) if alloc_probe::is_installed() && intervals > WARMUP_INTERVALS => Some(
+            (alloc_probe::allocations() - base) as f64 / (intervals - WARMUP_INTERVALS) as f64,
+        ),
+        _ => None,
+    };
+    BenchResult {
+        workload,
+        scheme,
+        nodes,
+        sim_seconds,
+        intervals,
+        wall_seconds,
+        intervals_per_sec: intervals as f64 / wall_seconds,
+        ms_per_sim_second: wall_seconds * 1e3 / sim_seconds,
+        allocs_per_interval,
+    }
+}
+
+/// Runs the suite: every scheme at every workload (smoke = the small
+/// workload only). Serial on purpose — each cell measures single-run
+/// latency, which thread contention would pollute.
+pub fn run_suite(smoke: bool) -> Vec<BenchResult> {
+    let mut out = Vec::new();
+    for (name, build) in workloads(smoke) {
+        for &scheme in SCHEMES {
+            out.push(run_cell(name, build(scheme)));
+        }
+    }
+    out
+}
+
+/// Renders the `rcast-bench/v1` JSON document. Hand-rolled and stable:
+/// fixed key order, fixed precision, no timestamps or host fields, so
+/// diffs of the checked-in file show only performance movement.
+pub fn to_json(results: &[BenchResult]) -> String {
+    let mut s = String::from("{\n  \"schema\": \"rcast-bench/v1\",\n  \"points\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let allocs = match r.allocs_per_interval {
+            Some(a) => format!("{a:.2}"),
+            None => "null".to_string(),
+        };
+        s.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"scheme\": \"{}\", \"nodes\": {}, \
+\"sim_seconds\": {:.0}, \"intervals\": {}, \"wall_seconds\": {:.3}, \
+\"intervals_per_sec\": {:.1}, \"ms_per_sim_second\": {:.3}, \
+\"allocs_per_interval\": {}}}{}\n",
+            r.workload,
+            r.scheme,
+            r.nodes,
+            r.sim_seconds,
+            r.intervals,
+            r.wall_seconds,
+            r.intervals_per_sec,
+            r.ms_per_sim_second,
+            allocs,
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_suite_runs_and_renders() {
+        let results = run_suite(true);
+        assert_eq!(results.len(), SCHEMES.len(), "one cell per scheme");
+        for r in &results {
+            assert_eq!(r.workload, "small");
+            assert_eq!(r.intervals, 480, "120 s at 250 ms");
+            assert!(r.wall_seconds > 0.0);
+            assert!(r.intervals_per_sec > 0.0);
+            // No assertion on allocs_per_interval: the probe is not this
+            // test binary's allocator, but a sibling unit test exercising
+            // the pass-through may have flipped the shared INSTALLED flag.
+        }
+        let json = to_json(&results);
+        assert!(json.starts_with("{\n  \"schema\": \"rcast-bench/v1\""));
+        assert_eq!(json.matches("\"workload\"").count(), results.len());
+        assert!(json.contains("\"allocs_per_interval\": "));
+        assert!(json.ends_with("  ]\n}\n"));
+    }
+
+    #[test]
+    fn medium_workload_matches_the_tracked_shape() {
+        let cfgs = workloads(false);
+        assert_eq!(cfgs.len(), 2);
+        let medium = (cfgs[1].1)(Scheme::Rcast);
+        assert_eq!(medium.nodes, 150);
+        assert_eq!(medium.duration, SimDuration::from_secs(240));
+        assert_eq!(medium.traffic.flows, 30);
+        assert!(medium.validate().is_ok());
+    }
+}

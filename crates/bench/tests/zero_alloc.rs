@@ -1,0 +1,68 @@
+//! Regression gate for DESIGN.md §10: the steady-state interval loop
+//! performs **zero heap allocations** once the reusable scratch storage
+//! has warmed up.
+//!
+//! This integration test installs [`rcast_bench::AllocProbe`] as its
+//! process's global allocator, warms a quiet-but-realistic simulation
+//! past its high-water marks, then steps the remaining intervals and
+//! asserts the process-wide allocation counter did not move. Any
+//! reintroduced `Vec::new`/`clone`/`to_vec` on the hot path fails this
+//! test with an exact count (the lint rule D006 catches the same class
+//! statically; this is the dynamic proof).
+
+use rcast_bench::alloc_probe;
+use rcast_core::{Scheme, SimConfig, Simulation};
+
+#[global_allocator]
+static PROBE: rcast_bench::AllocProbe = rcast_bench::AllocProbe::new();
+
+/// A quiet steady state: static nodes (a pause longer than the run) and
+/// one almost-silent flow (traffic validation requires >= 1 flow, and a
+/// 0.001 pps rate means the flow's first packet falls outside the run),
+/// so intervals exercise the full PSM/beacon/energy machinery without
+/// data traffic forcing route discoveries mid-measurement.
+fn quiet_config() -> SimConfig {
+    let mut cfg = SimConfig::smoke(Scheme::Rcast, 3);
+    cfg.waypoint.pause_secs = 1e9;
+    cfg.traffic.flows = 1;
+    cfg.traffic.rate_pps = 0.001;
+    cfg
+}
+
+#[test]
+fn steady_state_interval_loop_does_not_allocate() {
+    assert!(
+        !alloc_probe::is_installed() || alloc_probe::allocations() > 0,
+        "sanity: flag only flips once counting starts"
+    );
+
+    let mut sim = Simulation::new(quiet_config()).expect("valid config");
+    let total = 480u64; // 120 s at 250 ms beacons.
+
+    // Warm-up: let every scratch buffer, queue and table reach its
+    // high-water capacity.
+    for _ in 0..total / 2 {
+        assert!(sim.step_interval());
+    }
+
+    assert!(
+        alloc_probe::is_installed(),
+        "the probe must be this process's global allocator"
+    );
+    let before = alloc_probe::allocations();
+    let mut stepped = 0u64;
+    while sim.step_interval() {
+        stepped += 1;
+    }
+    let after = alloc_probe::allocations();
+
+    assert_eq!(stepped, total - total / 2, "ran to the configured end");
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state intervals must not touch the heap \
+         ({} allocations over {} intervals)",
+        after - before,
+        stepped,
+    );
+}

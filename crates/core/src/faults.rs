@@ -305,10 +305,16 @@ impl FaultPlan {
     /// come from `StreamRng::from_seed(cfg.seed).child("faults")`, the
     /// same stream the simulation uses.
     pub fn build(cfg: &SimConfig) -> FaultPlan {
+        FaultPlan::build_seeded(cfg, cfg.seed)
+    }
+
+    /// [`build`](Self::build) with the seed supplied separately, for
+    /// per-seed runs that share one config (`cfg.seed` is ignored).
+    pub fn build_seeded(cfg: &SimConfig, seed: u64) -> FaultPlan {
         let fc = &cfg.faults;
         let bi = cfg.mac.beacon_interval;
         let dur_s = cfg.duration.as_secs_f64();
-        let rng = StreamRng::from_seed(cfg.seed).child("faults");
+        let rng = StreamRng::from_seed(seed).child("faults");
 
         let quantize = |at_s: f64| -> SimTime {
             let k = SimTime::from_secs_f64(at_s.min(dur_s)).elapsed_from_origin() / bi;

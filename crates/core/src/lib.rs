@@ -53,7 +53,10 @@ pub use faults::{FaultCounters, FaultEvent, FaultPlan, FaultsConfig};
 pub use odpm::{OdpmConfig, OdpmState};
 pub use overhearing::{OverhearFactors, RcastDecider};
 pub use report::{AggregateReport, SimReport};
-pub use routing::{DataInfo, NetPacket, RouteAction, RouterNode, RoutingKind};
+pub use routing::{
+    DataInfo, NetPacket, PacketArena, PacketHandle, PacketHeader, PacketKind, RouteAction,
+    RouterNode, RoutingKind,
+};
 pub use scenario::{parse_scenario, write_scenario};
 pub use trace::{PacketId, PacketTrace, TraceEvent, TraceRecord};
 pub use scheme::Scheme;

@@ -223,6 +223,36 @@ impl RouterNode {
         }
     }
 
+    /// [`receive`](Self::receive) by reference, for broadcast fan-out
+    /// where one interned packet reaches many recipients. Semantically
+    /// identical to cloning the packet and calling `receive`; the
+    /// engines avoid the clone on the paths that travel by broadcast
+    /// (route requests, hellos).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a protocol mismatch (a wiring bug).
+    pub fn receive_ref(
+        &mut self,
+        packet: &NetPacket,
+        from: NodeId,
+        now: SimTime,
+    ) -> Vec<RouteAction> {
+        match (self, packet) {
+            (RouterNode::Dsr(n), NetPacket::Dsr(p)) => n
+                .receive_ref(p, from, now)
+                .into_iter()
+                .filter_map(from_dsr)
+                .collect(),
+            (RouterNode::Aodv(n), NetPacket::Aodv(p)) => n
+                .receive_ref(p, from, now)
+                .into_iter()
+                .filter_map(from_aodv)
+                .collect(),
+            _ => panic!("routing protocol mismatch"),
+        }
+    }
+
     /// Promiscuous overhearing. AODV ignores overheard traffic — the
     /// contrast the paper draws.
     ///
@@ -300,6 +330,16 @@ impl RouterNode {
         }
     }
 
+    /// Visits every cached source route without materializing a `Vec`
+    /// — the allocation-free form of [`cached_paths`](Self::cached_paths)
+    /// used by the per-interval role-number sampler.
+    pub fn for_each_cached_path(&self, f: impl FnMut(&SourceRoute)) {
+        match self {
+            RouterNode::Dsr(n) => n.cache().for_each_path(f),
+            RouterNode::Aodv(_) => {}
+        }
+    }
+
     /// DSR counters, when applicable.
     pub fn dsr_counters(&self) -> Option<DsrCounters> {
         match self {
@@ -314,6 +354,185 @@ impl RouterNode {
             RouterNode::Dsr(_) => None,
             RouterNode::Aodv(n) => Some(n.counters()),
         }
+    }
+}
+
+/// Packet category, mirrored from [`NetPacket::kind`] into the interned
+/// header so hot-path dispatch never touches strings or the arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PacketKind {
+    /// Route request (broadcast flood).
+    Rreq,
+    /// Route reply.
+    Rrep,
+    /// Route error.
+    Rerr,
+    /// Application data.
+    Data,
+    /// AODV hello beacon (a broadcast RREP in disguise).
+    Hello,
+}
+
+/// The frame metadata the simulation core consults on every hop,
+/// denormalized out of the packet so a [`PacketHandle`] answers all
+/// accounting questions without an arena lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketHeader {
+    /// The packet category.
+    pub kind: PacketKind,
+    /// `true` for routing-control packets.
+    pub control: bool,
+    /// On-air size, octets.
+    pub wire_bytes: usize,
+    /// The `(flow, seq)` identity when this is a data packet.
+    pub data_id: Option<(u32, u64)>,
+}
+
+/// A copyable ticket for a packet interned in a [`PacketArena`].
+///
+/// The MAC layer and channel move handles through queues and
+/// deliveries; fanning a broadcast out to N receivers copies 32 bytes
+/// per receiver instead of cloning a source route per receiver. The
+/// embedded [`PacketHeader`] carries everything the bookkeeping needs;
+/// the arena is only consulted to hand the actual packet to a routing
+/// engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketHandle {
+    id: u32,
+    /// Cached frame metadata.
+    pub header: PacketHeader,
+}
+
+impl PacketHandle {
+    /// The packet category.
+    pub fn kind(&self) -> PacketKind {
+        self.header.kind
+    }
+
+    /// `true` for routing-control packets.
+    pub fn is_control(&self) -> bool {
+        self.header.control
+    }
+
+    /// On-air size, octets.
+    pub fn wire_bytes(&self) -> usize {
+        self.header.wire_bytes
+    }
+
+    /// The `(flow, seq)` identity when this is a data packet.
+    pub fn data_id(&self) -> Option<(u32, u64)> {
+        self.header.data_id
+    }
+}
+
+/// A slab of in-flight packets, indexed by [`PacketHandle`].
+///
+/// Lifetime discipline (see DESIGN.md §10): every interned handle is
+/// consumed exactly once — taken by the unicast receiver or a link
+/// failure, or released after a broadcast fan-out, an enqueue
+/// rejection, or a crash purge. Freed slots are recycled through a free
+/// list, so a steady-state simulation reuses a small working set of
+/// slots instead of growing.
+#[derive(Debug, Clone, Default)]
+pub struct PacketArena {
+    slots: Vec<Option<NetPacket>>,
+    free: Vec<u32>,
+    live: usize,
+    high_water: usize,
+}
+
+impl PacketArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        PacketArena::default()
+    }
+
+    fn header_of(packet: &NetPacket) -> PacketHeader {
+        let kind = match packet {
+            NetPacket::Dsr(DsrPacket::Rreq(_)) | NetPacket::Aodv(AodvPacket::Rreq(_)) => {
+                PacketKind::Rreq
+            }
+            NetPacket::Aodv(AodvPacket::Rrep(r)) if r.is_hello() => PacketKind::Hello,
+            NetPacket::Dsr(DsrPacket::Rrep(_)) | NetPacket::Aodv(AodvPacket::Rrep(_)) => {
+                PacketKind::Rrep
+            }
+            NetPacket::Dsr(DsrPacket::Rerr(_)) | NetPacket::Aodv(AodvPacket::Rerr(_)) => {
+                PacketKind::Rerr
+            }
+            NetPacket::Dsr(DsrPacket::Data(_)) | NetPacket::Aodv(AodvPacket::Data(_)) => {
+                PacketKind::Data
+            }
+        };
+        PacketHeader {
+            kind,
+            control: packet.is_control(),
+            wire_bytes: packet.wire_bytes(),
+            data_id: packet.data_id(),
+        }
+    }
+
+    /// Interns a packet, returning its handle.
+    pub fn intern(&mut self, packet: NetPacket) -> PacketHandle {
+        let header = Self::header_of(&packet);
+        let id = match self.free.pop() {
+            Some(id) => {
+                self.slots[id as usize] = Some(packet);
+                id
+            }
+            None => {
+                let id = self.slots.len() as u32;
+                self.slots.push(Some(packet));
+                id
+            }
+        };
+        self.live += 1;
+        self.high_water = self.high_water.max(self.live);
+        PacketHandle { id, header }
+    }
+
+    /// Borrows the interned packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle was already taken or released (a lifetime
+    /// bug in the simulation core).
+    pub fn get(&self, h: PacketHandle) -> &NetPacket {
+        self.slots[h.id as usize]
+            .as_ref()
+            .expect("packet handle used after release")
+    }
+
+    /// Removes and returns the interned packet, freeing the slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle was already taken or released.
+    pub fn take(&mut self, h: PacketHandle) -> NetPacket {
+        let p = self.slots[h.id as usize]
+            .take()
+            .expect("packet handle used after release");
+        self.free.push(h.id);
+        self.live -= 1;
+        p
+    }
+
+    /// Drops the interned packet, freeing the slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle was already taken or released.
+    pub fn release(&mut self, h: PacketHandle) {
+        let _ = self.take(h);
+    }
+
+    /// Number of packets currently interned.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// The maximum number of simultaneously interned packets seen.
+    pub fn high_water(&self) -> usize {
+        self.high_water
     }
 }
 

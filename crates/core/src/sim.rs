@@ -3,10 +3,11 @@
 //! One [`Simulation`] owns mobility, the PSM MAC, the active-mode
 //! channel, one DSR engine per node, the scheme-specific controllers
 //! (ODPM timeouts, the Rcast decider), energy meters, and the metric
-//! collectors. [`Simulation::run`] advances beacon interval by beacon
-//! interval:
+//! collectors. [`Simulation::step_interval`] advances one beacon
+//! interval ([`Simulation::run`] loops it to completion):
 //!
-//! 1. refresh positions and the neighbor table,
+//! 1. refresh positions and the incrementally maintained neighbor
+//!    index,
 //! 2. fire DSR timers,
 //! 3. resolve the PSM beacon interval (ATIM window + data window) and
 //!    feed every delivery, overhearing and link failure back into the
@@ -17,26 +18,38 @@
 //!
 //! The result is a [`SimReport`] carrying every metric of the paper's
 //! Section 4.
+//!
+//! # Hot path & memory discipline
+//!
+//! The steady-state interval loop is allocation-free (see DESIGN.md
+//! §10): the neighbor index ([`rcast_mobility::NeighborIndex`]) is
+//! updated in place from the mobility delta, packets are interned once
+//! in a [`PacketArena`] and travel through the MAC as copyable
+//! [`PacketHandle`]s, and all per-interval working storage lives in a
+//! [`Scratch`] that is cleared, never dropped. `crates/bench` carries a
+//! counting-allocator regression test pinning quiet intervals to zero
+//! heap allocations.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use rcast_aodv::AodvCounters;
 use rcast_dsr::DsrCounters;
 use rcast_engine::rng::StreamRng;
 use rcast_engine::{NodeId, SimDuration, SimTime};
 use rcast_mac::{
-    Channel, Delivery, ImmediateResult, MacFrame, MacLayer, OverhearingLevel, PowerMode,
-    WakePolicy,
+    Channel, Delivery, ImmediateResult, IntervalOutcome, MacFrame, MacLayer, OverhearingLevel,
+    PowerMode, WakePolicy,
 };
-use rcast_mobility::{MobilityField, NeighborTable};
+use rcast_mobility::{MobilityField, NeighborIndex, NeighborTable, Snapshot};
 use rcast_radio::{Battery, EnergyMeter, Phy, PowerState};
 use rcast_metrics::{DeliveryTracker, EnergyReport, RoleNumbers, TimeSeries};
-use rcast_traffic::FlowSchedule;
+use rcast_traffic::{Arrival, FlowSchedule};
 
 use crate::config::SimConfig;
 use crate::faults::{FaultCounters, FaultPlan};
 use crate::odpm::OdpmState;
-use crate::routing::{NetPacket, RouteAction, RouterNode};
+use crate::routing::{NetPacket, PacketArena, PacketHandle, PacketKind, RouteAction, RouterNode};
 use crate::trace::{PacketTrace, TraceEvent};
 use crate::overhearing::RcastDecider;
 use crate::report::SimReport;
@@ -90,6 +103,27 @@ impl WakePolicy for IntervalPolicy<'_> {
 /// A routing action awaiting dispatch, stamped with its node and time.
 type Pending = (NodeId, SimTime, RouteAction);
 
+/// Reusable per-interval working storage. Every collection here is
+/// cleared at the start of its use and refilled in place; after the
+/// first few intervals the capacities stabilize and the interval loop
+/// stops touching the allocator.
+#[derive(Default)]
+struct Scratch {
+    /// The pending-action queue drained by [`Simulation::dispatch`].
+    work: VecDeque<Pending>,
+    /// Broadcast fan-out staging for reply-storm suppression.
+    batch: Vec<Pending>,
+    /// The MAC interval outcome, refilled by `run_interval_into`.
+    outcome: IntervalOutcome<PacketHandle>,
+    /// `committed_awake` substitute for the non-PSM (802.11) path: every
+    /// node awake for the full beacon interval. Built once.
+    flat_committed: Vec<SimDuration>,
+    /// `ps_awake` substitute for the non-PSM path: all `false`.
+    flat_ps: Vec<bool>,
+    /// Per-node cumulative-joules buffer for the energy time series.
+    energy_sample: Vec<f64>,
+}
+
 /// The assembled network simulation.
 ///
 /// # Example
@@ -104,10 +138,18 @@ type Pending = (NodeId, SimTime, RouteAction);
 /// assert!(report.delivery.delivery_ratio() > 0.0);
 /// ```
 pub struct Simulation {
-    cfg: SimConfig,
+    cfg: Arc<SimConfig>,
+    /// The seed actually driving this run — overrides `cfg.seed`, so
+    /// one shared configuration can fan out across seeds without being
+    /// cloned per run.
+    seed: u64,
     mobility: MobilityField,
-    mac: MacLayer<NetPacket>,
+    mac: MacLayer<PacketHandle>,
     channel: Channel,
+    /// In-flight packet storage: the MAC and channel move
+    /// [`PacketHandle`]s; the packets themselves are interned here once
+    /// per transmission.
+    arena: PacketArena,
     routers: Vec<RouterNode>,
     odpm: OdpmState,
     rcast: RcastDecider,
@@ -125,19 +167,43 @@ pub struct Simulation {
     faults_active: bool,
     down: Vec<bool>,
     fault_counters: FaultCounters,
+    /// Position snapshot, refreshed in place each interval.
+    snap: Snapshot,
+    /// Incrementally maintained neighbor index (current + previous
+    /// table, double-buffered).
+    neighbors: NeighborIndex,
+    scratch: Scratch,
+    /// The next beacon interval to execute.
+    k: u64,
+    next_arrival: Option<Arrival>,
 }
 
 impl Simulation {
-    /// Builds a simulation from a validated configuration.
+    /// Builds a simulation from a validated configuration, seeded by
+    /// `cfg.seed`.
     ///
     /// # Errors
     ///
     /// Returns the configuration error, if any.
     pub fn new(cfg: SimConfig) -> Result<Self, String> {
+        let seed = cfg.seed;
+        Simulation::with_seed(Arc::new(cfg), seed)
+    }
+
+    /// Builds a simulation over a shared configuration with an explicit
+    /// seed override. `cfg.seed` is ignored: every random stream, the
+    /// fault plan, and the report's `seed` field all derive from `seed`,
+    /// so seed sweeps share one configuration allocation instead of
+    /// cloning it per run.
+    ///
+    /// # Errors
+    ///
+    /// Returns the configuration error, if any.
+    pub fn with_seed(cfg: Arc<SimConfig>, seed: u64) -> Result<Self, String> {
         cfg.validate()?;
         let n = cfg.nodes as usize;
-        let root = StreamRng::from_seed(cfg.seed);
-        let mobility = MobilityField::random_waypoint(
+        let root = StreamRng::from_seed(seed);
+        let mut mobility = MobilityField::random_waypoint(
             cfg.nodes,
             cfg.area,
             cfg.waypoint,
@@ -146,12 +212,22 @@ impl Simulation {
         let flows = cfg.traffic.generate(cfg.nodes, root.child("traffic"));
         let horizon = SimTime::ZERO + cfg.duration;
         let phy = Phy::new(cfg.data_rate_bps);
-        let faults = FaultPlan::build(&cfg);
+        let faults = FaultPlan::build_seeded(&cfg, seed);
         let faults_active = !faults.is_empty();
+        let mut schedule = FlowSchedule::new(&flows, horizon);
+        let next_arrival = schedule.next();
+        let snap = mobility.snapshot(SimTime::ZERO);
+        let neighbors = NeighborIndex::new(&snap, cfg.range_m);
+        let scratch = Scratch {
+            flat_committed: vec![cfg.mac.beacon_interval; n],
+            flat_ps: vec![false; n],
+            ..Scratch::default()
+        };
         Ok(Simulation {
             mobility,
             mac: MacLayer::new(n, cfg.mac, phy, root.child("mac")),
             channel: Channel::new(n, cfg.mac, phy, root.child("channel")),
+            arena: PacketArena::new(),
             routers: (0..n)
                 .map(|i| RouterNode::new(cfg.routing, NodeId::new(i as u32), cfg.dsr, cfg.aodv))
                 .collect(),
@@ -163,7 +239,7 @@ impl Simulation {
                 .map(|cap| (0..n).map(|_| Battery::new(cap)).collect()),
             tracker: DeliveryTracker::new(),
             roles: RoleNumbers::new(n),
-            schedule: FlowSchedule::new(&flows, horizon),
+            schedule,
             first_depletion: None,
             energy_series: cfg
                 .energy_sampling
@@ -173,6 +249,12 @@ impl Simulation {
             faults_active,
             down: vec![false; n],
             fault_counters: FaultCounters::default(),
+            snap,
+            neighbors,
+            scratch,
+            k: 0,
+            next_arrival,
+            seed,
             cfg,
         })
     }
@@ -184,152 +266,179 @@ impl Simulation {
 
     /// Runs the simulation to completion and reports.
     pub fn run(mut self) -> SimReport {
+        while self.step_interval() {}
+        self.finish()
+    }
+
+    /// Executes one beacon interval. Returns `false` once the
+    /// configured duration has elapsed (and performs no work then).
+    pub fn step_interval(&mut self) -> bool {
+        if self.k >= self.cfg.beacon_intervals() {
+            return false;
+        }
+        let k = self.k;
         let bi = self.cfg.mac.beacon_interval;
-        let intervals = self.cfg.beacon_intervals();
+        let t = SimTime::ZERO + bi * k;
         let n = self.cfg.nodes as usize;
-        let mut prev_nt: Option<NeighborTable> = None;
-        let mut next_arrival = self.schedule.next();
-        let mut work: VecDeque<Pending> = VecDeque::new();
 
-        for k in 0..intervals {
-            let t = SimTime::ZERO + bi * k;
-            let snap = self.mobility.snapshot(t);
-            let mut nt = NeighborTable::build(&snap, self.cfg.range_m);
-            if self.faults_active {
-                self.apply_faults(t, &mut nt);
-            }
-            if let Some(prev) = &prev_nt {
-                for i in 0..n {
-                    let id = NodeId::new(i as u32);
-                    self.rcast
-                        .note_link_changes(id, nt.link_changes_since(prev, id));
-                }
-            }
+        // Detach the reusable state so `&mut self` methods can run while
+        // it is borrowed; restored before returning.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut neighbors = std::mem::take(&mut self.neighbors);
+        let work = &mut scratch.work;
+        let batch = &mut scratch.batch;
 
-            // 1. Routing timers (crashed nodes hold no timers).
+        if k > 0 {
+            self.mobility.snapshot_into(t, &mut self.snap);
+            neighbors.advance(&self.snap);
+        }
+        if self.faults_active {
+            self.apply_faults(t, &mut neighbors);
+        }
+        if k > 0 {
             for i in 0..n {
-                if self.down[i] {
-                    continue;
-                }
                 let id = NodeId::new(i as u32);
-                for a in self.routers[i].tick(t) {
-                    work.push_back((id, t, a));
-                }
+                let changes = neighbors
+                    .current()
+                    .link_changes_since(neighbors.previous(), id);
+                self.rcast.note_link_changes(id, changes);
             }
-            self.dispatch(&mut work, &nt);
+        }
+        let nt = neighbors.current();
 
-            // 2. The PSM beacon interval.
-            let (committed_awake, ps_awake) = if self.cfg.scheme.uses_psm_path() {
-                let outcome = {
-                    let mut policy = IntervalPolicy {
-                        scheme: self.cfg.scheme,
-                        interval_start: t,
-                        odpm: &self.odpm,
-                        rcast: &mut self.rcast,
-                    };
-                    self.mac.run_interval(t, &nt, &mut policy)
+        // 1. Routing timers (crashed nodes hold no timers).
+        for i in 0..n {
+            if self.down[i] {
+                continue;
+            }
+            let id = NodeId::new(i as u32);
+            for a in self.routers[i].tick(t) {
+                work.push_back((id, t, a));
+            }
+        }
+        self.dispatch(work, batch, nt);
+
+        // 2. The PSM beacon interval.
+        let used_psm = self.cfg.scheme.uses_psm_path();
+        if used_psm {
+            {
+                let mut policy = IntervalPolicy {
+                    scheme: self.cfg.scheme,
+                    interval_start: t,
+                    odpm: &self.odpm,
+                    rcast: &mut self.rcast,
                 };
-                let committed_awake = outcome.committed_awake;
-                let ps_awake = outcome.ps_awake;
-                for d in outcome.deliveries {
-                    self.process_delivery(d, &mut work);
-                }
-                for f in outcome.failures {
-                    if self.faults_active
-                        && (self.down[f.receiver.index()]
-                            || self.faults.link_cut(f.sender, f.receiver, t))
-                    {
-                        self.fault_counters.rerrs_triggered += 1;
-                    }
-                    let actions = self.routers[f.sender.index()].link_failure(
-                        f.receiver,
-                        f.frame.payload,
-                        f.at,
-                    );
-                    for a in actions {
-                        work.push_back((f.sender, f.at, a));
-                    }
-                }
-                self.dispatch(&mut work, &nt);
-                (committed_awake, ps_awake)
-            } else {
-                (vec![bi; n], vec![false; n])
-            };
-
-            // 3. This interval's traffic arrivals.
-            let interval_end = t + bi;
-            while let Some(a) = next_arrival {
-                if a.at >= interval_end {
-                    next_arrival = Some(a);
-                    break;
-                }
-                self.tracker.record_originated();
-                if let Some(trace) = &mut self.trace {
-                    trace.record(
-                        a.at,
-                        (a.flow, a.seq),
-                        TraceEvent::Originated {
-                            src: a.src,
-                            dst: a.dst,
-                        },
-                    );
-                }
-                if self.down[a.src.index()] {
-                    // A crashed source generates nothing on the air; the
-                    // packet is lost at birth.
-                    self.tracker.record_fault_drop();
-                    self.fault_counters.packets_lost_to_faults += 1;
-                    if let Some(trace) = &mut self.trace {
-                        trace.record(a.at, (a.flow, a.seq), TraceEvent::Dropped);
-                    }
-                    next_arrival = self.schedule.next();
-                    continue;
-                }
-                if self.cfg.scheme == Scheme::Odpm {
-                    // A generating source is an endpoint event.
-                    self.odpm.on_data(a.src, a.at);
-                }
-                let actions =
-                    self.routers[a.src.index()].originate(a.flow, a.seq, a.dst, a.bytes, a.at);
-                for act in actions {
-                    work.push_back((a.src, a.at, act));
-                }
-                self.dispatch(&mut work, &nt);
-                next_arrival = self.schedule.next();
+                self.mac
+                    .run_interval_into(t, nt, &mut policy, &mut scratch.outcome);
             }
-
-            // 4. Role-number accounting: the paper computes role numbers
-            // "by examining each node's route cache" — sample cache
-            // contents once a second and count intermediates.
-            if k % 4 == 0 {
-                for node in &self.routers {
-                    for path in node.cached_paths() {
-                        self.roles.record_cached_route(path.nodes());
-                    }
+            for d in scratch.outcome.deliveries.drain(..) {
+                self.process_delivery(d, work, batch);
+            }
+            for f in scratch.outcome.failures.drain(..) {
+                if self.faults_active
+                    && (self.down[f.receiver.index()]
+                        || self.faults.link_cut(f.sender, f.receiver, t))
+                {
+                    self.fault_counters.rerrs_triggered += 1;
+                }
+                let packet = self.arena.take(f.frame.payload);
+                let actions = self.routers[f.sender.index()].link_failure(
+                    f.receiver,
+                    packet,
+                    f.at,
+                );
+                for a in actions {
+                    work.push_back((f.sender, f.at, a));
                 }
             }
-
-            // 5. Energy integration for [t, t + bi).
-            self.account_energy(t, &ps_awake, &committed_awake);
-
-            // 6. Optional energy time series.
-            if let Some(series) = &mut self.energy_series {
-                let due = match series.times().last() {
-                    None => true,
-                    Some(&last) => (t + bi) - last >= series.period(),
-                };
-                if due {
-                    let sample: Vec<f64> =
-                        self.meters.iter().map(EnergyMeter::total_joules).collect();
-                    series.push(t + bi, &sample);
-                }
-            }
-
-            prev_nt = Some(nt);
+            self.dispatch(work, batch, nt);
         }
 
-        // Close the energy series with an end-of-run sample.
-        let end = SimTime::ZERO + bi * intervals;
+        // 3. This interval's traffic arrivals.
+        let interval_end = t + bi;
+        while let Some(a) = self.next_arrival {
+            if a.at >= interval_end {
+                break;
+            }
+            self.tracker.record_originated();
+            if let Some(trace) = &mut self.trace {
+                trace.record(
+                    a.at,
+                    (a.flow, a.seq),
+                    TraceEvent::Originated {
+                        src: a.src,
+                        dst: a.dst,
+                    },
+                );
+            }
+            if self.down[a.src.index()] {
+                // A crashed source generates nothing on the air; the
+                // packet is lost at birth.
+                self.tracker.record_fault_drop();
+                self.fault_counters.packets_lost_to_faults += 1;
+                if let Some(trace) = &mut self.trace {
+                    trace.record(a.at, (a.flow, a.seq), TraceEvent::Dropped);
+                }
+                self.next_arrival = self.schedule.next();
+                continue;
+            }
+            if self.cfg.scheme == Scheme::Odpm {
+                // A generating source is an endpoint event.
+                self.odpm.on_data(a.src, a.at);
+            }
+            let actions =
+                self.routers[a.src.index()].originate(a.flow, a.seq, a.dst, a.bytes, a.at);
+            for act in actions {
+                work.push_back((a.src, a.at, act));
+            }
+            self.dispatch(work, batch, nt);
+            self.next_arrival = self.schedule.next();
+        }
+
+        // 4. Role-number accounting: the paper computes role numbers
+        // "by examining each node's route cache" — sample cache
+        // contents once a second and count intermediates.
+        if k.is_multiple_of(4) {
+            let roles = &mut self.roles;
+            for node in &self.routers {
+                node.for_each_cached_path(|path| roles.record_cached_route(path.nodes()));
+            }
+        }
+
+        // 5. Energy integration for [t, t + bi).
+        if used_psm {
+            self.account_energy(t, &scratch.outcome.ps_awake, &scratch.outcome.committed_awake);
+        } else {
+            self.account_energy(t, &scratch.flat_ps, &scratch.flat_committed);
+        }
+
+        // 6. Optional energy time series.
+        if let Some(series) = &mut self.energy_series {
+            let due = match series.times().last() {
+                None => true,
+                Some(&last) => (t + bi) - last >= series.period(),
+            };
+            if due {
+                scratch.energy_sample.clear();
+                scratch
+                    .energy_sample
+                    .extend(self.meters.iter().map(EnergyMeter::total_joules));
+                series.push(t + bi, &scratch.energy_sample);
+            }
+        }
+
+        self.neighbors = neighbors;
+        self.scratch = scratch;
+        self.k += 1;
+        true
+    }
+
+    /// Closes the run (end-of-run energy sample) and reports. Pairs
+    /// with [`step_interval`](Self::step_interval); calling it before
+    /// the final interval reports the simulation as of the intervals
+    /// executed so far.
+    pub fn finish(mut self) -> SimReport {
+        let end = SimTime::ZERO + self.cfg.mac.beacon_interval * self.k;
         if let Some(series) = &mut self.energy_series {
             if series.times().last() != Some(&end) {
                 let sample: Vec<f64> =
@@ -337,18 +446,17 @@ impl Simulation {
                 series.push(end, &sample);
             }
         }
-
         self.into_report()
     }
 
     /// Applies the fault plan at the interval boundary `t`: resolves
     /// node up/down transitions (a crash purges the node's MAC queue
     /// and wipes its volatile routing state), masks crashed nodes and
-    /// blacked-out links out of the neighbor table — neighbors then
+    /// blacked-out links out of the neighbor index — neighbors then
     /// discover the loss through missing ATIM-ACKs, which feeds DSR a
     /// link error — and sets the interval's frame-corruption
     /// probability.
-    fn apply_faults(&mut self, t: SimTime, nt: &mut NeighborTable) {
+    fn apply_faults(&mut self, t: SimTime, index: &mut NeighborIndex) {
         self.fault_counters.link_blackouts += self.faults.activate_blackouts(t);
         self.fault_counters.corruption_bursts += self.faults.activate_bursts(t);
         let n = self.cfg.nodes as usize;
@@ -362,14 +470,14 @@ impl Simulation {
                 // Volatile state dies with the node: queued frames and
                 // route-pending buffered packets are lost for good.
                 for q in self.mac.purge_node(id) {
-                    if q.frame.payload.is_control() {
+                    let h = q.frame.payload;
+                    self.arena.release(h);
+                    if h.is_control() {
                         continue;
                     }
                     self.tracker.record_fault_drop();
                     self.fault_counters.packets_lost_to_faults += 1;
-                    if let (Some(trace), Some(pid)) =
-                        (&mut self.trace, q.frame.payload.data_id())
-                    {
+                    if let (Some(trace), Some(pid)) = (&mut self.trace, h.data_id()) {
                         trace.record(t, pid, TraceEvent::Dropped);
                     }
                 }
@@ -385,11 +493,11 @@ impl Simulation {
             }
             self.down[i] = is_down;
             if is_down {
-                nt.isolate(id);
+                index.isolate(id);
             }
         }
         for (a, b) in self.faults.cut_links_at(t) {
-            nt.cut_link(a, b);
+            index.cut_link(a, b);
         }
         let p = self
             .faults
@@ -452,14 +560,19 @@ impl Simulation {
 
     /// Drains the pending-action queue, routing transmissions through
     /// the scheme-appropriate path.
-    fn dispatch(&mut self, work: &mut VecDeque<Pending>, nt: &NeighborTable) {
+    fn dispatch(
+        &mut self,
+        work: &mut VecDeque<Pending>,
+        batch: &mut Vec<Pending>,
+        nt: &NeighborTable,
+    ) {
         while let Some((node, at, action)) = work.pop_front() {
             match action {
                 RouteAction::Unicast { next_hop, packet } => {
-                    self.send_unicast(node, next_hop, packet, at, nt, work);
+                    self.send_unicast(node, next_hop, packet, at, nt, work, batch);
                 }
                 RouteAction::Broadcast { packet } => {
-                    self.send_broadcast(node, packet, at, nt, work);
+                    self.send_broadcast(node, packet, at, nt, work, batch);
                 }
                 RouteAction::Delivered(info) => {
                     self.tracker.record_delivered(info.generated_at, at);
@@ -492,6 +605,7 @@ impl Simulation {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn send_unicast(
         &mut self,
         from: NodeId,
@@ -500,11 +614,13 @@ impl Simulation {
         at: SimTime,
         nt: &NeighborTable,
         work: &mut VecDeque<Pending>,
+        batch: &mut Vec<Pending>,
     ) {
         let level = self.cfg.scheme.level_for_net(&packet);
         let bytes = packet.wire_bytes();
+        let handle = self.arena.intern(packet);
+        let frame = MacFrame::unicast(next_hop, level, bytes, handle);
         if self.immediate_path(from, next_hop, at) {
-            let frame = MacFrame::unicast(next_hop, level, bytes, packet);
             let scheme = self.cfg.scheme;
             let odpm = &self.odpm;
             let result = self.channel.transmit(at, from, frame, nt, |x| match scheme {
@@ -513,7 +629,7 @@ impl Simulation {
                 _ => unreachable!("immediate path is 802.11/ODPM only"),
             });
             match result {
-                ImmediateResult::Delivered(d) => self.process_delivery(d, work),
+                ImmediateResult::Delivered(d) => self.process_delivery(d, work, batch),
                 ImmediateResult::Failed(f) => {
                     if self.faults_active
                         && (self.down[f.receiver.index()]
@@ -521,9 +637,10 @@ impl Simulation {
                     {
                         self.fault_counters.rerrs_triggered += 1;
                     }
+                    let packet = self.arena.take(f.frame.payload);
                     let actions = self.routers[f.sender.index()].link_failure(
                         f.receiver,
-                        f.frame.payload,
+                        packet,
                         f.at,
                     );
                     for a in actions {
@@ -531,18 +648,15 @@ impl Simulation {
                     }
                 }
             }
-        } else {
-            let frame = MacFrame::unicast(next_hop, level, bytes, packet);
-            if let Err(frame) = self.mac.enqueue(from, frame, at) {
-                if !frame.payload.is_control() {
-                    self.tracker.record_dropped();
-                    if let (Some(trace), Some(id)) =
-                        (&mut self.trace, frame.payload.data_id())
-                    {
-                        trace.record(at, id, TraceEvent::Dropped);
-                    }
+        } else if let Err(frame) = self.mac.enqueue(from, frame, at) {
+            let h = frame.payload;
+            if !h.is_control() {
+                self.tracker.record_dropped();
+                if let (Some(trace), Some(id)) = (&mut self.trace, h.data_id()) {
+                    trace.record(at, id, TraceEvent::Dropped);
                 }
             }
+            self.arena.release(h);
         }
     }
 
@@ -553,12 +667,14 @@ impl Simulation {
         at: SimTime,
         nt: &NeighborTable,
         work: &mut VecDeque<Pending>,
+        batch: &mut Vec<Pending>,
     ) {
         let bytes = packet.wire_bytes();
+        let handle = self.arena.intern(packet);
         if self.cfg.scheme == Scheme::Dot11 {
-            let frame = MacFrame::broadcast(bytes, packet);
+            let frame = MacFrame::broadcast(bytes, handle);
             match self.channel.transmit(at, from, frame, nt, |_| true) {
-                ImmediateResult::Delivered(d) => self.process_delivery(d, work),
+                ImmediateResult::Delivered(d) => self.process_delivery(d, work, batch),
                 ImmediateResult::Failed(_) => unreachable!("broadcasts never fail"),
             }
         } else {
@@ -571,21 +687,33 @@ impl Simulation {
             } else {
                 OverhearingLevel::Unconditional
             };
-            let frame = MacFrame::broadcast_with_level(level, bytes, packet);
-            let _ = self.mac.enqueue(from, frame, at);
+            let frame = MacFrame::broadcast_with_level(level, bytes, handle);
+            if let Err(frame) = self.mac.enqueue(from, frame, at) {
+                self.arena.release(frame.payload);
+            }
         }
     }
 
     /// Feeds one completed transmission back into the protocol stack.
-    fn process_delivery(&mut self, d: Delivery<NetPacket>, work: &mut VecDeque<Pending>) {
-        let payload = d.frame.payload;
-        // Overhead accounting: one on-air transmission.
-        if payload.is_control() {
+    ///
+    /// Arena lifetime: the interned packet is *borrowed* by overhearers
+    /// and broadcast recipients, then consumed exactly once — taken by
+    /// the unicast receiver, or released after the broadcast fan-out.
+    fn process_delivery(
+        &mut self,
+        d: Delivery<PacketHandle>,
+        work: &mut VecDeque<Pending>,
+        batch: &mut Vec<Pending>,
+    ) {
+        let h = d.frame.payload;
+        // Overhead accounting: one on-air transmission. The handle's
+        // cached header answers everything without touching the arena.
+        if h.is_control() {
             self.tracker.record_control_transmission();
         } else {
             self.tracker.record_data_transmission();
             if let (Some(trace), Some(id), Some(to)) =
-                (&mut self.trace, payload.data_id(), d.receiver)
+                (&mut self.trace, h.data_id(), d.receiver)
             {
                 trace.record(
                     d.at,
@@ -602,21 +730,22 @@ impl Simulation {
         // received traffic at the power-management layer — overhearers
         // refresh their timers too. This stickiness is what keeps ODPM's
         // active corridors lit at high rates (the paper's Fig. 5(d)
-        // explanation).
+        // explanation). AODV hellos are broadcast RREPs but carry their
+        // own `Hello` kind, so they do not refresh RREP timers.
         if self.cfg.scheme == Scheme::Odpm {
-            match payload.kind() {
-                "RREP" => {
+            match h.kind() {
+                PacketKind::Rrep => {
                     if let Some(r) = d.receiver {
                         self.odpm.on_rrep(r, d.at);
                     }
                 }
-                "DATA" => {
+                PacketKind::Data => {
                     self.odpm.on_data(d.sender, d.at);
                     if let Some(r) = d.receiver {
                         self.odpm.on_data(r, d.at);
                     }
                 }
-                "RREQ" => {
+                PacketKind::Rreq => {
                     // Route-discovery keep-alive: request recipients stay
                     // active briefly so the reply can race back along the
                     // reverse path — the source of ODPM's low delay.
@@ -636,9 +765,10 @@ impl Simulation {
         {
             self.rcast.note_heard(x, d.sender, d.at);
         }
-        // Overhearers first (they only borrow the payload).
+        // Overhearers first (they only borrow the interned packet).
+        let (routers, arena) = (&mut self.routers, &self.arena);
         for &o in &d.overhearers {
-            let actions = self.routers[o.index()].overhear(&payload, d.sender, d.at);
+            let actions = routers[o.index()].overhear(arena.get(h), d.sender, d.at);
             for a in actions {
                 work.push_back((o, d.at, a));
             }
@@ -646,25 +776,26 @@ impl Simulation {
         // Then the addressed receiver(s).
         match d.receiver {
             Some(r) => {
-                let actions = self.routers[r.index()].receive(payload, d.sender, d.at);
+                let packet = self.arena.take(h);
+                let actions = self.routers[r.index()].receive(packet, d.sender, d.at);
                 for a in actions {
                     work.push_back((r, d.at, a));
                 }
             }
             None => {
-                let is_rreq = payload.kind() == "RREQ";
-                let mut batch: Vec<Pending> = Vec::new();
+                let is_rreq = h.kind() == PacketKind::Rreq;
+                batch.clear();
                 for &r in &d.recipients {
-                    let actions =
-                        self.routers[r.index()].receive(payload.clone(), d.sender, d.at);
+                    let actions = routers[r.index()].receive_ref(arena.get(h), d.sender, d.at);
                     for a in actions {
                         batch.push((r, d.at, a));
                     }
                 }
+                self.arena.release(h);
                 if is_rreq {
-                    Self::suppress_reply_storm(&mut batch);
+                    Self::suppress_reply_storm(batch);
                 }
-                work.extend(batch);
+                work.extend(batch.drain(..));
             }
         }
     }
@@ -739,7 +870,7 @@ impl Simulation {
         }
         SimReport {
             scheme: self.cfg.scheme,
-            seed: self.cfg.seed,
+            seed: self.seed,
             duration: self.cfg.duration,
             energy: EnergyReport::new(
                 self.meters.iter().map(EnergyMeter::total_joules).collect(),
@@ -767,16 +898,18 @@ pub fn run_sim(cfg: SimConfig) -> Result<SimReport, String> {
 }
 
 /// Runs the same configuration under `seeds` different seeds, serially.
+/// The configuration is shared (one clone total), with only the seed
+/// varying per run.
 ///
 /// # Errors
 ///
 /// Returns the configuration error, if any.
 pub fn run_seeds(cfg: &SimConfig, seeds: impl IntoIterator<Item = u64>) -> Result<Vec<SimReport>, String> {
+    cfg.validate()?;
+    let shared = Arc::new(cfg.clone());
     let mut out = Vec::new();
     for seed in seeds {
-        let mut c = cfg.clone();
-        c.seed = seed;
-        out.push(run_sim(c)?);
+        out.push(Simulation::with_seed(Arc::clone(&shared), seed)?.run());
     }
     Ok(out)
 }
@@ -793,25 +926,26 @@ pub fn run_seeds(cfg: &SimConfig, seeds: impl IntoIterator<Item = u64>) -> Resul
 /// seed) degenerates to the serial path on the calling thread. Pass
 /// [`rcast_engine::pool::available_threads()`] to use every core.
 ///
+/// The configuration is validated once and shared across workers
+/// behind an [`Arc`]; only the seed differs per run.
+///
 /// # Errors
 ///
 /// Returns the configuration error, if any, before any thread is
-/// spawned (the configuration is validated once per seed up front).
+/// spawned.
 pub fn run_seeds_parallel(
     cfg: &SimConfig,
     seeds: impl IntoIterator<Item = u64>,
     threads: usize,
 ) -> Result<Vec<SimReport>, String> {
-    let mut configs = Vec::new();
-    for seed in seeds {
-        let mut c = cfg.clone();
-        c.seed = seed;
-        c.validate()?;
-        configs.push(c);
-    }
+    cfg.validate()?;
+    let shared = Arc::new(cfg.clone());
+    let seeds: Vec<u64> = seeds.into_iter().collect();
     Ok(rcast_engine::pool::ScopedPool::new(threads)
-        .map(configs, |_, c| {
-            Simulation::new(c).expect("validated above").run()
+        .map(seeds, |_, seed| {
+            Simulation::with_seed(Arc::clone(&shared), seed)
+                .expect("validated above")
+                .run()
         }))
 }
 
@@ -884,6 +1018,33 @@ mod tests {
         let a = smoke(Scheme::Rcast, 1);
         let b = smoke(Scheme::Rcast, 2);
         assert_ne!(a.energy.per_node_joules(), b.energy.per_node_joules());
+    }
+
+    #[test]
+    fn stepwise_api_matches_one_shot_run() {
+        let cfg = SimConfig::smoke(Scheme::Rcast, 13);
+        let one = run_sim(cfg.clone()).unwrap();
+        let mut sim = Simulation::new(cfg).unwrap();
+        let mut steps = 0u64;
+        while sim.step_interval() {
+            steps += 1;
+        }
+        // Stepping past the end is a no-op.
+        assert!(!sim.step_interval());
+        let report = sim.finish();
+        assert_eq!(steps, 480, "120 s at 250 ms per interval");
+        assert_eq!(format!("{one:?}"), format!("{report:?}"));
+    }
+
+    #[test]
+    fn with_seed_overrides_the_config_seed() {
+        // One shared config fanned across seeds must equal per-seed
+        // configs bit-for-bit: nothing may read `cfg.seed` directly.
+        let shared = Arc::new(SimConfig::smoke(Scheme::Rcast, 1));
+        let direct = run_sim(SimConfig::smoke(Scheme::Rcast, 5)).unwrap();
+        let fanned = Simulation::with_seed(shared, 5).unwrap().run();
+        assert_eq!(fanned.seed, 5);
+        assert_eq!(format!("{direct:?}"), format!("{fanned:?}"));
     }
 
     #[test]

@@ -197,6 +197,14 @@ impl PathCache {
     pub fn paths(&self) -> Vec<SourceRoute> {
         self.entries.iter().map(|e| e.path.clone()).collect()
     }
+
+    /// Visits every cached path by reference, in storage order —
+    /// the allocation-free counterpart of [`paths`](Self::paths).
+    pub fn for_each_path(&self, mut f: impl FnMut(&SourceRoute)) {
+        for e in &self.entries {
+            f(&e.path);
+        }
+    }
 }
 
 /// Which caching strategy a [`RouteCache`] uses — the design axis of
@@ -317,6 +325,22 @@ impl RouteCache {
         match self {
             RouteCache::Path(c) => c.paths(),
             RouteCache::Link(c) => c.paths(),
+        }
+    }
+
+    /// Visits every cached path by reference. For a path cache this
+    /// never allocates; a link cache has no materialized paths, so it
+    /// falls back to rendering them (the role sampler only runs every
+    /// fourth interval, and the link strategy is off the paper's
+    /// default configuration).
+    pub fn for_each_path(&self, mut f: impl FnMut(&SourceRoute)) {
+        match self {
+            RouteCache::Path(c) => c.for_each_path(f),
+            RouteCache::Link(c) => {
+                for p in c.paths() {
+                    f(&p);
+                }
+            }
         }
     }
 }

@@ -504,14 +504,27 @@ impl DsrNode {
     /// received). `from` is the transmitting neighbor.
     pub fn receive(&mut self, packet: DsrPacket, from: NodeId, now: SimTime) -> Vec<DsrAction> {
         match packet {
-            DsrPacket::Rreq(r) => self.receive_rreq(r, from, now),
+            DsrPacket::Rreq(r) => self.receive_rreq(&r, from, now),
             DsrPacket::Rrep(r) => self.receive_rrep(r, now),
             DsrPacket::Rerr(e) => self.receive_rerr(e, now),
             DsrPacket::Data(d) => self.receive_data(d, now),
         }
     }
 
-    fn receive_rreq(&mut self, r: Rreq, from: NodeId, now: SimTime) -> Vec<DsrAction> {
+    /// Borrowing variant of [`receive`](Self::receive) for broadcast
+    /// fan-out: one interned packet is handed to every recipient without
+    /// cloning it per receiver. RREQs — the only packet kind that
+    /// actually floods — are processed entirely by reference; the rare
+    /// non-RREQ broadcast falls back to a clone.
+    pub fn receive_ref(&mut self, packet: &DsrPacket, from: NodeId, now: SimTime) -> Vec<DsrAction> {
+        match packet {
+            DsrPacket::Rreq(r) => self.receive_rreq(r, from, now),
+            // det: hot-ok — non-RREQ broadcasts are rare (see doc above)
+            other => self.receive(other.clone(), from, now),
+        }
+    }
+
+    fn receive_rreq(&mut self, r: &Rreq, from: NodeId, now: SimTime) -> Vec<DsrAction> {
         let mut out = Vec::new();
         if r.origin == self.id || r.record.contains(&self.id) {
             return out; // our own flood, or a loop
@@ -576,9 +589,11 @@ impl DsrNode {
             self.counters.rreq_forwarded += 1;
             out.push(DsrAction::Broadcast {
                 packet: DsrPacket::Rreq(Rreq {
+                    origin: r.origin,
+                    target: r.target,
+                    id: r.id,
                     ttl: r.ttl - 1,
                     record,
-                    ..r
                 }),
             });
         }

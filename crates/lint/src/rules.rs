@@ -17,10 +17,18 @@
 //!   `rcast_engine::rng` streams that make draws replayable.
 //! * **D004** — `unsafe` code could break any invariant from under the
 //!   checker; every crate root must carry `#![forbid(unsafe_code)]` and
-//!   no `unsafe` token may appear anywhere.
+//!   no `unsafe` token may appear anywhere. The single sanctioned
+//!   exception is a `GlobalAlloc` shim: a crate root may downgrade to
+//!   `#![deny(unsafe_code)]` and individual `unsafe` tokens may appear
+//!   when a `// det: unsafe-ok — <reason>` pragma covers the line.
 //! * **D005** — `println!`-family output from library code corrupts the
 //!   CSV/JSON streams the figure pipeline parses; printing belongs to
 //!   the binaries and the bench/report layer.
+//! * **D006** — heap allocation (`Vec::new()`, `.to_vec()`, `.clone()`)
+//!   inside the named per-interval hot functions of simulation crates
+//!   erodes the zero-allocation steady state DESIGN.md §10 pins down;
+//!   deliberate cold-path or warm-up allocations carry a
+//!   `// det: hot-ok — <reason>` pragma.
 //! * **H001** — `#[ignore]` without a reason string hides dead tests.
 //! * **H002** — crate roots must keep `#![deny(missing_docs)]` (or
 //!   carry a `// lint: allow missing_docs — <reason>` pragma).
@@ -84,6 +92,28 @@ const D003_IDENTS: &[&str] = &[
 /// Macros banned by D005 in simulation-library code.
 const PRINT_MACROS: &[&str] = &["println", "eprintln", "print", "eprint", "dbg"];
 
+/// The per-interval hot functions D006 guards: the steady-state loop in
+/// `rcast_core::sim`, the MAC/channel interval machinery, and the
+/// routing/mobility helpers they call every beacon interval. Keep in
+/// sync with DESIGN.md §10.
+const HOT_FUNCTIONS: &[&str] = &[
+    "step_interval",
+    "run_interval_into",
+    "process_delivery",
+    "dispatch",
+    "send_unicast",
+    "send_broadcast",
+    "transmit",
+    "advance",
+    "apply_faults",
+    "account_energy",
+    "suppress_reply_storm",
+    "receive_ref",
+    "destinations_into",
+    "try_reserve",
+    "snapshot_into",
+];
+
 /// Per-file line facts needed for pragma resolution.
 struct LineFacts {
     /// Lines (1-based) holding at least one non-comment token.
@@ -92,6 +122,10 @@ struct LineFacts {
     has_comment: Vec<bool>,
     /// Lines holding a well-formed `det: ordered` pragma.
     det_pragma: Vec<bool>,
+    /// Lines holding a well-formed `det: unsafe-ok` pragma.
+    unsafe_pragma: Vec<bool>,
+    /// Lines holding a well-formed `det: hot-ok` pragma.
+    hot_pragma: Vec<bool>,
     /// Lines holding a well-formed `lint: allow missing_docs` pragma.
     docs_pragma: Vec<bool>,
 }
@@ -103,6 +137,8 @@ impl LineFacts {
             has_code: vec![false; last + 2],
             has_comment: vec![false; last + 2],
             det_pragma: vec![false; last + 2],
+            unsafe_pragma: vec![false; last + 2],
+            hot_pragma: vec![false; last + 2],
             docs_pragma: vec![false; last + 2],
         };
         for t in tokens {
@@ -111,6 +147,12 @@ impl LineFacts {
                 f.has_comment[l] = true;
                 if pragma_reason(&t.text, "det: ordered") {
                     f.det_pragma[l] = true;
+                }
+                if pragma_reason(&t.text, "det: unsafe-ok") {
+                    f.unsafe_pragma[l] = true;
+                }
+                if pragma_reason(&t.text, "det: hot-ok") {
+                    f.hot_pragma[l] = true;
                 }
                 if pragma_reason(&t.text, "lint: allow missing_docs") {
                     f.docs_pragma[l] = true;
@@ -127,6 +169,14 @@ impl LineFacts {
     /// directly above it (blank lines break the block).
     fn det_covers(&self, line: u32) -> bool {
         self.covers(&self.det_pragma, line)
+    }
+
+    fn unsafe_covers(&self, line: u32) -> bool {
+        self.covers(&self.unsafe_pragma, line)
+    }
+
+    fn hot_covers(&self, line: u32) -> bool {
+        self.covers(&self.hot_pragma, line)
     }
 
     fn docs_covers(&self, line: u32) -> bool {
@@ -180,8 +230,9 @@ pub fn check_file(path: &str, source: &str, class: &FileClass) -> Vec<Finding> {
     d001_wall_clock(path, &tokens, class, &mut out);
     d002_hash_iteration(path, &tokens, class, &facts, &mut out);
     d003_environment_randomness(path, &tokens, &mut out);
-    d004_unsafe(path, &tokens, class, &mut out);
+    d004_unsafe(path, &tokens, class, &facts, &mut out);
     d005_print(path, &tokens, class, &mut out);
+    d006_hot_alloc(path, &tokens, class, &facts, &mut out);
     h001_ignore_reason(path, &tokens, &mut out);
     h002_missing_docs(path, &tokens, class, &facts, &mut out);
     sort_findings(&mut out);
@@ -397,28 +448,45 @@ fn d003_environment_randomness(path: &str, tokens: &[Token], out: &mut Vec<Findi
     }
 }
 
-fn d004_unsafe(path: &str, tokens: &[Token], class: &FileClass, out: &mut Vec<Finding>) {
+fn d004_unsafe(
+    path: &str,
+    tokens: &[Token],
+    class: &FileClass,
+    facts: &LineFacts,
+    out: &mut Vec<Finding>,
+) {
     for t in tokens {
-        if t.is_word("unsafe") {
+        if t.is_word("unsafe") && !facts.unsafe_covers(t.line) {
             out.push(Finding {
                 path: path.to_string(),
                 line: t.line,
                 col: t.col,
                 rule: "D004",
                 message: "`unsafe` is banned workspace-wide: no invariant the \
-                          determinism rules protect survives undefined behavior"
+                          determinism rules protect survives undefined behavior \
+                          (a GlobalAlloc shim may annotate each line with \
+                          `// det: unsafe-ok — <reason>`)"
                     .to_string(),
             });
         }
     }
     if class.is_crate_root && !has_inner_attr(tokens, "forbid", "unsafe_code") {
-        out.push(Finding {
-            path: path.to_string(),
-            line: 1,
-            col: 1,
-            rule: "D004",
-            message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
-        });
+        // A crate hosting a pragma'd GlobalAlloc shim may downgrade to
+        // `deny`, provided the attribute itself carries the pragma.
+        let pragma_deny = inner_attr_line(tokens, "deny", "unsafe_code")
+            .is_some_and(|line| facts.unsafe_covers(line));
+        if !pragma_deny {
+            out.push(Finding {
+                path: path.to_string(),
+                line: 1,
+                col: 1,
+                rule: "D004",
+                message: "crate root is missing `#![forbid(unsafe_code)]` (or a \
+                          `// det: unsafe-ok — <reason>`-annotated \
+                          `#![deny(unsafe_code)]`)"
+                    .to_string(),
+            });
+        }
     }
 }
 
@@ -426,9 +494,16 @@ fn d004_unsafe(path: &str, tokens: &[Token], class: &FileClass, out: &mut Vec<Fi
 /// `#![attr(arg)]` once comments are stripped. Lexical matching is
 /// enough: these idents only occur in attribute position.
 fn has_inner_attr(tokens: &[Token], attr: &str, arg: &str) -> bool {
+    inner_attr_line(tokens, attr, arg).is_some()
+}
+
+/// Like [`has_inner_attr`], but returns the line the attribute starts
+/// on so pragma coverage can be checked against it.
+fn inner_attr_line(tokens: &[Token], attr: &str, arg: &str) -> Option<u32> {
     let code = code_tokens(tokens);
-    code.windows(4).any(|w| {
-        w[0].is_word(attr) && w[1].is_punct('(') && w[2].is_word(arg) && w[3].is_punct(')')
+    code.windows(4).find_map(|w| {
+        (w[0].is_word(attr) && w[1].is_punct('(') && w[2].is_word(arg) && w[3].is_punct(')'))
+            .then(|| w[0].line)
     })
 }
 
@@ -455,6 +530,87 @@ fn d005_print(path: &str, tokens: &[Token], class: &FileClass, out: &mut Vec<Fin
                     w[0].text, class.crate_name,
                 ),
             });
+        }
+    }
+}
+
+/// D006 tracks the enclosing function with a brace stack: a `fn NAME`
+/// arms a pending frame (disarmed by `;`, i.e. a bodyless trait
+/// signature), the next `{` pushes it, `}` pops. Code is "hot" while
+/// any frame on the stack names a [`HOT_FUNCTIONS`] entry, so closures
+/// and nested blocks inside a hot function are covered too. Within hot
+/// code, `Vec::new(`, `.to_vec(` and `.clone(` are flagged unless a
+/// `// det: hot-ok — <reason>` pragma covers the line.
+fn d006_hot_alloc(
+    path: &str,
+    tokens: &[Token],
+    class: &FileClass,
+    facts: &LineFacts,
+    out: &mut Vec<Finding>,
+) {
+    if !class.is_sim_crate() || class.kind != FileKind::Lib {
+        return;
+    }
+    let code = code_tokens(tokens);
+    let mut report = |t: &Token, what: &str| {
+        if facts.hot_covers(t.line) {
+            return;
+        }
+        out.push(Finding {
+            path: path.to_string(),
+            line: t.line,
+            col: t.col,
+            rule: "D006",
+            message: format!(
+                "{what} inside a per-interval hot function; the steady-state \
+                 loop must not allocate (DESIGN.md §10) — reuse cleared scratch \
+                 storage, or annotate a deliberate cold/warm-up allocation with \
+                 `// det: hot-ok — <reason>`",
+            ),
+        });
+    };
+    let mut stack: Vec<bool> = Vec::new();
+    let mut hot_depth = 0usize;
+    let mut pending: Option<bool> = None;
+    for (i, t) in code.iter().enumerate() {
+        if t.is_word("fn") {
+            if let Some(name) = code.get(i + 1) {
+                if name.kind == TokenKind::Ident {
+                    pending = Some(HOT_FUNCTIONS.contains(&name.text.as_str()));
+                }
+            }
+        } else if t.is_punct(';') {
+            pending = None;
+        } else if t.is_punct('{') {
+            let hot = pending.take().unwrap_or(false);
+            stack.push(hot);
+            hot_depth += usize::from(hot);
+        } else if t.is_punct('}') {
+            if let Some(hot) = stack.pop() {
+                hot_depth -= usize::from(hot);
+            }
+        }
+        if hot_depth == 0 {
+            continue;
+        }
+        if t.is_word("Vec")
+            && code.get(i + 1).is_some_and(|w| w.is_punct(':'))
+            && code.get(i + 2).is_some_and(|w| w.is_punct(':'))
+            && code.get(i + 3).is_some_and(|w| w.is_word("new"))
+            && code.get(i + 4).is_some_and(|w| w.is_punct('('))
+        {
+            report(t, "`Vec::new()`");
+        }
+        if t.is_punct('.')
+            && code.get(i + 2).is_some_and(|w| w.is_punct('('))
+        {
+            if let Some(m) = code.get(i + 1) {
+                if m.is_word("to_vec") {
+                    report(m, "`.to_vec()`");
+                } else if m.is_word("clone") {
+                    report(m, "`.clone()`");
+                }
+            }
         }
     }
 }
@@ -513,6 +669,7 @@ pub const RULES: &[(&str, &str)] = &[
     ("D003", "no environment-seeded hashing or external RNGs"),
     ("D004", "forbid(unsafe_code) at every crate root; no unsafe anywhere"),
     ("D005", "no println!-family output from simulation library code"),
+    ("D006", "no Vec::new/to_vec/clone inside per-interval hot functions"),
     ("H001", "no #[ignore] without a reason string"),
     ("H002", "deny(missing_docs) at every crate root"),
 ];

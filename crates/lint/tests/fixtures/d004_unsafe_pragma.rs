@@ -1,0 +1,11 @@
+//! D004 pragma fixture: a sanctioned GlobalAlloc-style shim.
+#![deny(missing_docs)]
+// det: unsafe-ok — GlobalAlloc shim crate; every unsafe line annotated
+#![deny(unsafe_code)]
+
+// det: unsafe-ok — forwards straight to the system allocator
+unsafe fn covered_by_block() {}
+
+unsafe fn bare() {} // line 9: no pragma, must fire
+
+unsafe fn trailing() {} // det: unsafe-ok — trailing pragma form

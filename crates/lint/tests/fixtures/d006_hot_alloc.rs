@@ -1,0 +1,23 @@
+//! D006 fixture: allocations inside per-interval hot functions.
+
+pub fn process_delivery(xs: &[u32]) -> Vec<u32> {
+    let grown: Vec<u32> = Vec::new();
+    let copied = xs.to_vec();
+    let doubled = copied.clone();
+    // det: hot-ok — warm-up only; the buffer is reused afterwards
+    let warm: Vec<u32> = Vec::new();
+    let trailing = xs.to_vec(); // det: hot-ok — cold error branch
+    let from_closure = || grown.clone();
+    let _ = from_closure();
+    let mut out = warm;
+    out.extend_from_slice(&doubled);
+    out.extend_from_slice(&trailing);
+    out
+}
+
+pub fn cold_setup(xs: &[u32]) -> Vec<u32> {
+    let fine: Vec<u32> = Vec::new();
+    let also_fine = xs.to_vec();
+    let _ = (fine, also_fine.clone());
+    also_fine
+}

@@ -120,6 +120,21 @@ fn d004_non_root_files_only_report_the_unsafe_token() {
 }
 
 #[test]
+fn d004_pragma_sanctions_a_global_alloc_shim() {
+    let class = FileClass {
+        crate_name: "bench".to_string(),
+        kind: FileKind::Lib,
+        is_crate_root: true,
+    };
+    let findings = check_file("fixture.rs", &fixture("d004_unsafe_pragma.rs"), &class);
+    // The pragma'd `deny(unsafe_code)` satisfies the crate-root check
+    // and the covered `unsafe` tokens stay silent; only the bare
+    // `unsafe fn` on line 9 fires.
+    assert_eq!(lines_of(&findings, "D004"), vec![9]);
+    assert!(lines_of(&findings, "H002").is_empty());
+}
+
+#[test]
 fn d005_fires_on_printing_from_library_code() {
     let findings = check_file("fixture.rs", &fixture("d005_print.rs"), &sim_lib());
     assert_eq!(lines_of(&findings, "D005"), vec![4, 5]);
@@ -134,6 +149,37 @@ fn d005_binaries_may_print() {
     };
     let findings = check_file("fixture.rs", &fixture("d005_print.rs"), &class);
     assert!(lines_of(&findings, "D005").is_empty());
+}
+
+#[test]
+fn d006_fires_on_hot_path_allocations_and_honors_the_pragma() {
+    let findings = check_file("fixture.rs", &fixture("d006_hot_alloc.rs"), &sim_lib());
+    assert!(rules_of(&findings).iter().all(|r| *r == "D006"));
+    // Lines 4–6: Vec::new/.to_vec/.clone inside `process_delivery`.
+    // Line 10: a closure inside the hot function counts too. Lines 8–9
+    // carry `det: hot-ok` pragmas and `cold_setup` is not a hot
+    // function, so both stay silent.
+    assert_eq!(lines_of(&findings, "D006"), vec![4, 5, 6, 10]);
+}
+
+#[test]
+fn d006_only_applies_to_simulation_library_code() {
+    for (name, kind) in [
+        ("report", FileKind::Lib),
+        ("dsr", FileKind::Test),
+        ("dsr", FileKind::Bin),
+    ] {
+        let class = FileClass {
+            crate_name: name.to_string(),
+            kind,
+            is_crate_root: false,
+        };
+        let findings = check_file("fixture.rs", &fixture("d006_hot_alloc.rs"), &class);
+        assert!(
+            lines_of(&findings, "D006").is_empty(),
+            "D006 must not fire for {name}/{kind:?}"
+        );
+    }
 }
 
 #[test]
@@ -220,7 +266,7 @@ fn report_ordering_is_stable() {
 fn every_documented_rule_has_fixture_coverage() {
     // Keep this list in sync with the tests above: adding a rule to
     // RULES without a fixture exercising it fails here.
-    let covered = ["D001", "D002", "D003", "D004", "D005", "H001", "H002"];
+    let covered = ["D001", "D002", "D003", "D004", "D005", "D006", "H001", "H002"];
     for (rule, _) in RULES {
         assert!(
             covered.contains(rule),

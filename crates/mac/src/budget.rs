@@ -12,7 +12,7 @@
 use rcast_engine::{NodeId, SimDuration};
 
 /// Airtime accounting for one window (ATIM or data) of one interval.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct AirtimeBudget {
     limit: SimDuration,
     used: Vec<SimDuration>,
@@ -25,6 +25,15 @@ impl AirtimeBudget {
             limit,
             used: vec![SimDuration::ZERO; n],
         }
+    }
+
+    /// Re-arms the budget in place for a new window — equivalent to
+    /// `*self = AirtimeBudget::new(n, limit)` without discarding the
+    /// `used` allocation.
+    pub fn reset(&mut self, n: usize, limit: SimDuration) {
+        self.limit = limit;
+        self.used.clear();
+        self.used.resize(n, SimDuration::ZERO);
     }
 
     /// The window length.
@@ -51,6 +60,8 @@ impl AirtimeBudget {
         dur: SimDuration,
     ) -> Option<SimDuration> {
         let offset = affected
+            // det: hot-ok — clones the borrowing iterator (a few words
+            // on the stack), not a collection; no heap traffic.
             .clone()
             .into_iter()
             .map(|n| self.used[n.index()])

@@ -142,6 +142,7 @@ impl Channel {
                     sender,
                     receiver: None,
                     recipients,
+                    // det: hot-ok — empty Vec::new never allocates
                     overhearers: Vec::new(),
                     at: end,
                     enqueued_at: now,

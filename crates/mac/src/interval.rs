@@ -74,6 +74,10 @@ pub struct LinkFailure<P> {
 }
 
 /// Everything that happened during one resolved beacon interval.
+///
+/// [`MacLayer::run_interval_into`] refills a caller-owned outcome in
+/// place, so the per-node vectors and the delivery/failure lists keep
+/// their allocations across intervals.
 #[derive(Debug, Clone)]
 pub struct IntervalOutcome<P> {
     /// Start of the interval.
@@ -98,6 +102,19 @@ pub struct IntervalOutcome<P> {
     /// unconditional overhearing, deferred/lost transfers) are charged
     /// the whole interval.
     pub committed_awake: Vec<SimDuration>,
+}
+
+impl<P> Default for IntervalOutcome<P> {
+    fn default() -> Self {
+        IntervalOutcome {
+            start: SimTime::ZERO,
+            deliveries: Vec::new(),
+            failures: Vec::new(),
+            awake: Vec::new(),
+            ps_awake: Vec::new(),
+            committed_awake: Vec::new(),
+        }
+    }
 }
 
 /// Cumulative MAC statistics across a run.
@@ -160,6 +177,7 @@ pub struct MacLayer<P> {
     queues: Vec<TxQueue<P>>,
     rng: StreamRng,
     counters: MacCounters,
+    scratch: IntervalScratch,
 }
 
 /// One announced (acknowledged) advertisement awaiting its data phase.
@@ -168,6 +186,24 @@ struct Announcement {
     sender: NodeId,
     dest: Destination,
     level: OverhearingLevel,
+}
+
+/// Per-interval working state, kept on the layer so the resolver reuses
+/// its allocations every interval instead of rebuilding them (the MAC
+/// runs once per 250 ms of simulated time — these buffers dominated the
+/// allocator profile before they were hoisted).
+#[derive(Debug, Clone, Default)]
+struct IntervalScratch {
+    awake: Vec<bool>,
+    committed: Vec<bool>,
+    full_wake: Vec<bool>,
+    doze_at: Vec<SimTime>,
+    accepted: Vec<Vec<NodeId>>,
+    announcements: Vec<Announcement>,
+    atim_budget: AirtimeBudget,
+    data_budget: AirtimeBudget,
+    affected: Vec<NodeId>,
+    dests: Vec<Destination>,
 }
 
 impl<P> MacLayer<P> {
@@ -186,6 +222,7 @@ impl<P> MacLayer<P> {
             queues: (0..n).map(|_| TxQueue::new(cfg.queue_capacity)).collect(),
             rng,
             counters: MacCounters::default(),
+            scratch: IntervalScratch::default(),
         }
     }
 
@@ -273,68 +310,110 @@ impl<P> MacLayer<P> {
             .broadcast_time(payload_bytes + self.cfg.mac_header_bytes)
     }
 
-    /// Nodes whose channel an `s → r` exchange occupies.
-    fn affected_unicast(nt: &NeighborTable, s: NodeId, r: NodeId) -> Vec<NodeId> {
-        let mut v = Vec::with_capacity(nt.degree(s) + nt.degree(r) + 2);
-        v.push(s);
-        v.push(r);
-        v.extend_from_slice(nt.neighbors(s));
-        v.extend_from_slice(nt.neighbors(r));
-        v
+    /// Fills `out` with the nodes whose channel an `s → r` exchange
+    /// occupies.
+    fn affected_unicast_into(nt: &NeighborTable, s: NodeId, r: NodeId, out: &mut Vec<NodeId>) {
+        out.clear();
+        out.push(s);
+        out.push(r);
+        out.extend_from_slice(nt.neighbors(s));
+        out.extend_from_slice(nt.neighbors(r));
     }
 
-    /// Nodes whose channel a broadcast from `s` occupies.
-    fn affected_broadcast(nt: &NeighborTable, s: NodeId) -> Vec<NodeId> {
-        let mut v = Vec::with_capacity(nt.degree(s) + 1);
-        v.push(s);
-        v.extend_from_slice(nt.neighbors(s));
-        v
+    /// Fills `out` with the nodes whose channel a broadcast from `s`
+    /// occupies.
+    fn affected_broadcast_into(nt: &NeighborTable, s: NodeId, out: &mut Vec<NodeId>) {
+        out.clear();
+        out.push(s);
+        out.extend_from_slice(nt.neighbors(s));
     }
 
-    /// Resolves one beacon interval starting at `start`.
-    ///
-    /// `nt` must describe node positions at `start`; `policy` supplies
-    /// per-node power modes and randomized-overhearing decisions.
+    /// Resolves one beacon interval starting at `start`, returning a
+    /// freshly allocated outcome. Convenience wrapper over
+    /// [`run_interval_into`](Self::run_interval_into) — the simulator's
+    /// hot loop uses the latter with a reused outcome.
     pub fn run_interval(
         &mut self,
         start: SimTime,
         nt: &NeighborTable,
         policy: &mut dyn WakePolicy,
     ) -> IntervalOutcome<P> {
+        let mut out = IntervalOutcome::default();
+        self.run_interval_into(start, nt, policy, &mut out);
+        out
+    }
+
+    /// Resolves one beacon interval starting at `start` into a
+    /// caller-owned outcome, clearing and refilling every field so the
+    /// outcome's allocations survive across intervals.
+    ///
+    /// `nt` must describe node positions at `start`; `policy` supplies
+    /// per-node power modes and randomized-overhearing decisions.
+    pub fn run_interval_into(
+        &mut self,
+        start: SimTime,
+        nt: &NeighborTable,
+        policy: &mut dyn WakePolicy,
+        out: &mut IntervalOutcome<P>,
+    ) {
         let n = self.queues.len();
         debug_assert_eq!(nt.len(), n, "neighbor table size mismatch");
 
+        out.start = start;
+        let deliveries = &mut out.deliveries;
+        let failures = &mut out.failures;
+        deliveries.clear();
+        failures.clear();
+
+        // Working state lives on `self` between intervals; detach it so
+        // the resolver can borrow queues/counters/rng freely.
+        let mut scr = std::mem::take(&mut self.scratch);
+
         // AM nodes are awake regardless of traffic; PSM commitments are
         // tracked separately in `committed`.
-        let active: Vec<bool> = (0..n)
-            .map(|i| policy.mode(NodeId::new(i as u32)) == PowerMode::Active)
-            .collect();
-        let mut committed = vec![false; n];
-        let mut awake: Vec<bool> = active.clone();
+        let awake = &mut scr.awake;
+        awake.clear();
+        awake.extend((0..n).map(|i| policy.mode(NodeId::new(i as u32)) == PowerMode::Active));
+        let committed = &mut scr.committed;
+        committed.clear();
+        committed.resize(n, false);
         // Doze bookkeeping: `full_wake` marks unbounded commitments;
         // `doze_at` tracks when a bounded commitment lets the node doze.
-        let mut full_wake = vec![false; n];
-        let mut doze_at: Vec<SimTime> = vec![start + self.cfg.atim_window; n];
+        let full_wake = &mut scr.full_wake;
+        full_wake.clear();
+        full_wake.resize(n, false);
+        let doze_at = &mut scr.doze_at;
+        doze_at.clear();
+        doze_at.resize(n, start + self.cfg.atim_window);
         // Which randomized overhearers accepted which sender's ATIM.
-        let mut accepted: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        // Inner vectors are cleared, not dropped, to keep their storage.
+        let accepted = &mut scr.accepted;
+        // det: hot-ok — resize pads with empty (allocation-free) vecs
+        // once; steady state reuses the cleared inner storage below.
+        accepted.resize(n, Vec::new());
+        for a in accepted.iter_mut() {
+            a.clear();
+        }
+        let affected = &mut scr.affected;
 
         // ---- Phase 1: ATIM window -------------------------------------
-        let mut atim_budget = AirtimeBudget::new(n, self.cfg.atim_window);
+        let atim_budget = &mut scr.atim_budget;
+        atim_budget.reset(n, self.cfg.atim_window);
         let atim_uni = self.atim_unicast_time();
         let atim_bc = self.atim_broadcast_time();
-        let mut announcements: Vec<Announcement> = Vec::new();
-        let mut failures: Vec<LinkFailure<P>> = Vec::new();
+        let announcements = &mut scr.announcements;
+        announcements.clear();
+        let dests = &mut scr.dests;
 
         for i in 0..n {
             let sender = NodeId::new(i as u32);
-            for dest in self.queues[i].destinations() {
+            self.queues[i].destinations_into(dests);
+            for &dest in dests.iter() {
                 match dest {
                     Destination::Broadcast => {
+                        Self::affected_broadcast_into(nt, sender, affected);
                         if atim_budget
-                            .try_reserve(
-                                Self::affected_broadcast(nt, sender).iter().copied(),
-                                atim_bc,
-                            )
+                            .try_reserve(affected.iter().copied(), atim_bc)
                             .is_some()
                         {
                             self.counters.atim_broadcast += 1;
@@ -389,11 +468,9 @@ impl<P> MacLayer<P> {
                             }
                             continue;
                         }
+                        Self::affected_unicast_into(nt, sender, r, affected);
                         if atim_budget
-                            .try_reserve(
-                                Self::affected_unicast(nt, sender, r).iter().copied(),
-                                atim_uni,
-                            )
+                            .try_reserve(affected.iter().copied(), atim_uni)
                             .is_some()
                         {
                             self.counters.atim_unicast += 1;
@@ -419,7 +496,7 @@ impl<P> MacLayer<P> {
         }
 
         // ---- Phase 2: overhearing decisions ----------------------------
-        for a in &announcements {
+        for a in announcements.iter() {
             let Destination::Unicast(r) = a.dest else {
                 continue; // broadcast already woke everyone in range
             };
@@ -453,17 +530,17 @@ impl<P> MacLayer<P> {
 
         // ---- Phase 3: data window --------------------------------------
         let data_start = start + self.cfg.atim_window;
-        let mut data_budget = AirtimeBudget::new(n, self.cfg.data_window());
-        let mut deliveries: Vec<Delivery<P>> = Vec::new();
+        let data_budget = &mut scr.data_budget;
+        data_budget.reset(n, self.cfg.data_window());
 
-        for a in &announcements {
+        for a in announcements.iter() {
             let qi = a.sender.index();
             match a.dest {
                 Destination::Broadcast => {
                     while let Some(idx) = self.queues[qi].first_for(Destination::Broadcast) {
                         let bytes = self.queues[qi].get(idx).expect("valid index").frame.bytes;
                         let dur = self.data_broadcast_time(bytes);
-                        let affected = Self::affected_broadcast(nt, a.sender);
+                        Self::affected_broadcast_into(nt, a.sender, affected);
                         match data_budget.try_reserve(affected.iter().copied(), dur) {
                             Some(offset) => {
                                 let q = self.queues[qi].remove(idx);
@@ -481,6 +558,7 @@ impl<P> MacLayer<P> {
                                     sender: a.sender,
                                     receiver: None,
                                     recipients,
+                                    // det: hot-ok — empty Vec::new never allocates
                                     overhearers: Vec::new(),
                                     at: data_start + offset + dur,
                                     enqueued_at: q.enqueued_at,
@@ -499,7 +577,7 @@ impl<P> MacLayer<P> {
                     while let Some(idx) = self.queues[qi].first_for(a.dest) {
                         let bytes = self.queues[qi].get(idx).expect("valid index").frame.bytes;
                         let dur = self.data_unicast_time(bytes);
-                        let affected = Self::affected_unicast(nt, a.sender, r);
+                        Self::affected_unicast_into(nt, a.sender, r, affected);
                         match data_budget.try_reserve(affected.iter().copied(), dur) {
                             Some(offset) => {
                                 if self.cfg.frame_loss_prob > 0.0
@@ -559,26 +637,22 @@ impl<P> MacLayer<P> {
 
         let bi = self.cfg.beacon_interval;
         let aw = self.cfg.atim_window;
-        let committed_awake: Vec<SimDuration> = (0..n)
-            .map(|i| {
-                if !committed[i] {
-                    aw
-                } else if full_wake[i] || !self.cfg.doze_after_transfer {
-                    bi
-                } else {
-                    (doze_at[i] - start).max(aw).min(bi)
-                }
-            })
-            .collect();
+        out.committed_awake.clear();
+        out.committed_awake.extend((0..n).map(|i| {
+            if !committed[i] {
+                aw
+            } else if full_wake[i] || !self.cfg.doze_after_transfer {
+                bi
+            } else {
+                (doze_at[i] - start).max(aw).min(bi)
+            }
+        }));
+        out.awake.clear();
+        out.awake.extend_from_slice(awake);
+        out.ps_awake.clear();
+        out.ps_awake.extend_from_slice(committed);
 
-        IntervalOutcome {
-            start,
-            deliveries,
-            failures,
-            awake,
-            ps_awake: committed,
-            committed_awake,
-        }
+        self.scratch = scr;
     }
 }
 

@@ -84,12 +84,20 @@ impl<P> TxQueue<P> {
     /// frame (the order ATIMs are sent in).
     pub fn destinations(&self) -> Vec<Destination> {
         let mut seen = Vec::new();
+        self.destinations_into(&mut seen);
+        seen
+    }
+
+    /// Fills `out` with the distinct destinations present, in order of
+    /// their first queued frame — [`destinations`](Self::destinations)
+    /// against a reusable buffer.
+    pub fn destinations_into(&self, out: &mut Vec<Destination>) {
+        out.clear();
         for q in &self.items {
-            if !seen.contains(&q.frame.to) {
-                seen.push(q.frame.to);
+            if !out.contains(&q.frame.to) {
+                out.push(q.frame.to);
             }
         }
-        seen
     }
 
     /// Index of the first frame bound for `dest`.

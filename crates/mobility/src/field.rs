@@ -135,6 +135,17 @@ impl MobilityField {
         }
     }
 
+    /// Refreshes a caller-owned snapshot to the positions at `t`,
+    /// reusing its buffer so the steady-state loop allocates nothing.
+    /// Same monotonic constraint as [`snapshot`](Self::snapshot).
+    pub fn snapshot_into(&mut self, t: SimTime, out: &mut Snapshot) {
+        out.time = t;
+        out.area = self.area;
+        out.positions.clear();
+        out.positions
+            .extend(self.nodes.iter_mut().map(|n| n.position_at(t)));
+    }
+
     /// Motion state of one node at `t` (same monotonic constraint).
     pub fn state_at(&mut self, id: NodeId, t: SimTime) -> MotionState {
         self.nodes[id.index()].state_at(t)

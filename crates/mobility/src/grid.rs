@@ -3,6 +3,7 @@
 use rcast_engine::NodeId;
 
 use crate::field::Snapshot;
+use crate::geometry::Vec2;
 
 /// A uniform bucket grid over node positions.
 ///
@@ -71,16 +72,34 @@ impl SpatialGrid {
     /// Panics if `radius > cell_size` (the 3×3 scan would miss nodes) or
     /// if `of` is out of range for the snapshot.
     pub fn neighbors_of(&self, of: NodeId, snapshot: &Snapshot, radius: f64) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.neighbors_into(of, snapshot, radius, &mut out);
+        out
+    }
+
+    /// [`neighbors_of`](Self::neighbors_of) writing into a caller-owned
+    /// buffer (cleared first) so steady-state queries allocate nothing.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`neighbors_of`](Self::neighbors_of).
+    pub fn neighbors_into(
+        &self,
+        of: NodeId,
+        snapshot: &Snapshot,
+        radius: f64,
+        out: &mut Vec<NodeId>,
+    ) {
         assert!(
             radius <= self.cell_size + 1e-9,
             "radius {radius} exceeds cell size {}",
             self.cell_size
         );
+        out.clear();
         let p = snapshot.positions()[of.index()];
         let r2 = radius * radius;
         let col = ((p.x / self.cell_size) as usize).min(self.cols - 1);
         let row = ((p.y / self.cell_size) as usize).min(self.rows - 1);
-        let mut out = Vec::new();
         for dr in -1i64..=1 {
             for dc in -1i64..=1 {
                 let rr = row as i64 + dr;
@@ -100,12 +119,35 @@ impl SpatialGrid {
             }
         }
         out.sort_unstable();
-        out
     }
 
     /// The number of grid cells.
     pub fn cell_count(&self) -> usize {
         self.buckets.len()
+    }
+
+    /// The grid's column count.
+    pub(crate) fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The bucket a position falls into.
+    pub(crate) fn bucket_index(&self, p: Vec2) -> usize {
+        let col = ((p.x / self.cell_size) as usize).min(self.cols - 1);
+        let row = ((p.y / self.cell_size) as usize).min(self.rows - 1);
+        row * self.cols + col
+    }
+
+    /// Moves `id` from bucket `from` to bucket `to`, keeping both
+    /// buckets sorted by id (build order is ascending id, and
+    /// incremental maintenance preserves that invariant).
+    pub(crate) fn move_between_buckets(&mut self, id: NodeId, from: usize, to: usize) {
+        if let Ok(pos) = self.buckets[from].binary_search(&id) {
+            self.buckets[from].remove(pos);
+        }
+        if let Err(pos) = self.buckets[to].binary_search(&id) {
+            self.buckets[to].insert(pos, id);
+        }
     }
 }
 

@@ -1,0 +1,322 @@
+//! Incrementally maintained neighbor index.
+//!
+//! [`NeighborTable::build`] constructs a fresh grid and one `Vec` per
+//! node on every call — fine for one-shot queries, allocator-bound when
+//! the simulator calls it once per 250 ms beacon interval for the whole
+//! run. [`NeighborIndex`] keeps the grid, the per-node lists and a
+//! double-buffered previous table alive across intervals and updates
+//! them in place from the mobility delta:
+//!
+//! * only nodes that crossed a cell boundary are re-bucketed;
+//! * a node's list is recomputed only when its own position changed or
+//!   some node in its 3 × 3 cell neighborhood moved (any node further
+//!   away than one cell is beyond radio range before *and* after, so
+//!   its motion cannot affect the list);
+//! * untouched lists are copied forward from the previous interval
+//!   without reallocation.
+//!
+//! Fault injection mutates the current table through
+//! [`NeighborIndex::isolate`] / [`NeighborIndex::cut_link`]; a mutated
+//! table disables the skip path for the next [`advance`]
+//! (every list is then recomputed from pure geometry), reproducing the
+//! rebuild-then-mutate semantics of the from-scratch path exactly.
+//! `NeighborTable::build` stays as the differential oracle — the
+//! property tests in this module and in `rcast-testkit` assert the
+//! incremental table equals a from-scratch build after arbitrary
+//! interleavings of motion and fault mutations.
+//!
+//! [`advance`]: NeighborIndex::advance
+//!
+//! # Example
+//!
+//! ```
+//! use rcast_engine::{SimTime, rng::StreamRng};
+//! use rcast_mobility::{Area, MobilityField, NeighborIndex, NeighborTable, WaypointConfig};
+//!
+//! let mut field = MobilityField::random_waypoint(
+//!     40, Area::paper_default(), WaypointConfig::default(), StreamRng::from_seed(9));
+//! let mut snap = field.snapshot(SimTime::ZERO);
+//! let mut index = NeighborIndex::new(&snap, 250.0);
+//! field.snapshot_into(SimTime::from_secs(1), &mut snap);
+//! index.advance(&snap);
+//! let oracle = NeighborTable::build(&snap, 250.0);
+//! for i in (0..40).map(rcast_engine::NodeId::new) {
+//!     assert_eq!(index.current().neighbors(i), oracle.neighbors(i));
+//! }
+//! ```
+
+use rcast_engine::NodeId;
+
+use crate::field::Snapshot;
+use crate::geometry::Vec2;
+use crate::grid::SpatialGrid;
+use crate::neighbors::NeighborTable;
+
+/// A neighbor table maintained in place across mobility snapshots.
+/// See the [module docs](self).
+#[derive(Debug, Clone, Default)]
+pub struct NeighborIndex {
+    range_m: f64,
+    grid: Option<SpatialGrid>,
+    /// Bucket index of each node, mirroring `grid`.
+    cell_of: Vec<usize>,
+    /// Last seen position of each node (exact-compare motion detector).
+    last_pos: Vec<Vec2>,
+    /// Scratch: whether each node moved since the last advance.
+    moved: Vec<bool>,
+    /// Scratch: whether each grid cell saw motion since the last advance.
+    dirty_cells: Vec<bool>,
+    current: NeighborTable,
+    previous: NeighborTable,
+    /// Set by [`isolate`](Self::isolate) / [`cut_link`](Self::cut_link);
+    /// forces a full geometric refill on the next advance.
+    mutated: bool,
+}
+
+impl NeighborIndex {
+    /// Builds the index from an initial snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range_m` is not positive and finite (grid invariant).
+    pub fn new(snapshot: &Snapshot, range_m: f64) -> Self {
+        let grid = snapshot.grid(range_m);
+        let n = snapshot.len();
+        let cell_of: Vec<usize> = snapshot
+            .positions()
+            .iter()
+            .map(|&p| grid.bucket_index(p))
+            .collect();
+        let mut current = NeighborTable::with_nodes(n, range_m);
+        for (i, list) in current.lists_mut().iter_mut().enumerate() {
+            grid.neighbors_into(NodeId::new(i as u32), snapshot, range_m, list);
+        }
+        NeighborIndex {
+            range_m,
+            dirty_cells: vec![false; grid.cell_count()],
+            grid: Some(grid),
+            cell_of,
+            last_pos: snapshot.positions().to_vec(),
+            moved: vec![false; n],
+            previous: current.clone(),
+            current,
+            mutated: false,
+        }
+    }
+
+    /// Advances to a new snapshot: the table that was current becomes
+    /// [`previous`](Self::previous) and the current one is refreshed in
+    /// place from the new positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's node count differs from the one the
+    /// index was built with.
+    pub fn advance(&mut self, snapshot: &Snapshot) {
+        let Some(grid) = self.grid.as_mut() else {
+            assert_eq!(snapshot.len(), 0, "index not initialised");
+            return;
+        };
+        let n = self.last_pos.len();
+        assert_eq!(snapshot.len(), n, "node count changed across advance");
+
+        std::mem::swap(&mut self.current, &mut self.previous);
+
+        self.dirty_cells.fill(false);
+        for (i, (&p, last)) in snapshot
+            .positions()
+            .iter()
+            .zip(self.last_pos.iter_mut())
+            .enumerate()
+        {
+            let moved = p != *last;
+            self.moved[i] = moved;
+            if moved {
+                *last = p;
+                let from = self.cell_of[i];
+                let to = grid.bucket_index(p);
+                if to != from {
+                    grid.move_between_buckets(NodeId::new(i as u32), from, to);
+                    self.cell_of[i] = to;
+                }
+                self.dirty_cells[from] = true;
+                self.dirty_cells[to] = true;
+            }
+        }
+
+        let refill_all = self.mutated;
+        let cols = grid.cols() as i64;
+        let cells = self.dirty_cells.len() as i64;
+        let rows = cells / cols;
+        for (i, list) in self.current.lists_mut().iter_mut().enumerate() {
+            let cell = self.cell_of[i] as i64;
+            let (row, col) = (cell / cols, cell % cols);
+            let mut refill = refill_all || self.moved[i];
+            if !refill {
+                'scan: for dr in -1i64..=1 {
+                    for dc in -1i64..=1 {
+                        let (rr, cc) = (row + dr, col + dc);
+                        if rr < 0 || cc < 0 || rr >= rows || cc >= cols {
+                            continue;
+                        }
+                        if self.dirty_cells[(rr * cols + cc) as usize] {
+                            refill = true;
+                            break 'scan;
+                        }
+                    }
+                }
+            }
+            if refill {
+                grid.neighbors_into(NodeId::new(i as u32), snapshot, self.range_m, list);
+            } else {
+                // Nothing within one cell of this node changed, so the
+                // list is exactly last interval's; copy it forward
+                // without reallocating.
+                list.clone_from(&self.previous.lists()[i]);
+            }
+        }
+        self.mutated = false;
+    }
+
+    /// The maintained table for the current snapshot.
+    pub fn current(&self) -> &NeighborTable {
+        &self.current
+    }
+
+    /// The table as it stood at the previous advance (after any fault
+    /// mutations applied then) — the baseline for
+    /// [`NeighborTable::link_changes_since`].
+    pub fn previous(&self) -> &NeighborTable {
+        &self.previous
+    }
+
+    /// Silences `node` in the current table (see
+    /// [`NeighborTable::isolate`]); the next advance recomputes every
+    /// list from geometry.
+    pub fn isolate(&mut self, node: NodeId) {
+        self.mutated = true;
+        self.current.isolate(node);
+    }
+
+    /// Cuts the `a`–`b` link in the current table (see
+    /// [`NeighborTable::cut_link`]); the next advance recomputes every
+    /// list from geometry.
+    pub fn cut_link(&mut self, a: NodeId, b: NodeId) {
+        self.mutated = true;
+        self.current.cut_link(a, b);
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.last_pos.len()
+    }
+
+    /// `true` when the index covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.last_pos.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::MobilityField;
+    use crate::geometry::Area;
+    use crate::waypoint::WaypointConfig;
+    use rcast_engine::rng::StreamRng;
+    use rcast_engine::SimTime;
+
+    fn assert_tables_equal(index: &NeighborIndex, oracle: &NeighborTable, ctx: &str) {
+        assert_eq!(index.current().len(), oracle.len(), "{ctx}");
+        for i in 0..oracle.len() {
+            let id = NodeId::new(i as u32);
+            assert_eq!(
+                index.current().neighbors(id),
+                oracle.neighbors(id),
+                "{ctx}: node {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn tracks_from_scratch_build_over_many_intervals() {
+        let mut field = MobilityField::random_waypoint(
+            80,
+            Area::paper_default(),
+            WaypointConfig::default(),
+            StreamRng::from_seed(3),
+        );
+        let mut snap = field.snapshot(SimTime::ZERO);
+        let mut index = NeighborIndex::new(&snap, 250.0);
+        assert_tables_equal(&index, &NeighborTable::build(&snap, 250.0), "t=0");
+        for k in 1..200u64 {
+            let t = SimTime::from_millis(k * 250);
+            field.snapshot_into(t, &mut snap);
+            index.advance(&snap);
+            assert_tables_equal(&index, &NeighborTable::build(&snap, 250.0), "interval");
+        }
+    }
+
+    #[test]
+    fn static_field_skips_but_stays_correct() {
+        let cfg = WaypointConfig {
+            pause_secs: 1e9,
+            ..WaypointConfig::default()
+        };
+        let mut field =
+            MobilityField::random_waypoint(40, Area::paper_default(), cfg, StreamRng::from_seed(8));
+        let mut snap = field.snapshot(SimTime::ZERO);
+        let mut index = NeighborIndex::new(&snap, 250.0);
+        for k in 1..20u64 {
+            field.snapshot_into(SimTime::from_millis(k * 250), &mut snap);
+            index.advance(&snap);
+            assert_tables_equal(&index, &NeighborTable::build(&snap, 250.0), "static");
+        }
+    }
+
+    #[test]
+    fn fault_mutations_wash_out_on_the_next_advance() {
+        let mut field = MobilityField::random_waypoint(
+            50,
+            Area::paper_default(),
+            WaypointConfig::default(),
+            StreamRng::from_seed(5),
+        );
+        let mut snap = field.snapshot(SimTime::ZERO);
+        let mut index = NeighborIndex::new(&snap, 250.0);
+        for k in 1..60u64 {
+            field.snapshot_into(SimTime::from_millis(k * 250), &mut snap);
+            index.advance(&snap);
+            let mut oracle = NeighborTable::build(&snap, 250.0);
+            assert_tables_equal(&index, &oracle, "pre-mutation");
+            if k % 3 == 0 {
+                let down = NodeId::new((k % 50) as u32);
+                index.isolate(down);
+                oracle.isolate(down);
+            }
+            if k % 4 == 0 {
+                let (a, b) = (NodeId::new(1), NodeId::new(2));
+                index.cut_link(a, b);
+                oracle.cut_link(a, b);
+            }
+            assert_tables_equal(&index, &oracle, "post-mutation");
+            // `previous` carries the post-mutation table, exactly like
+            // the from-scratch path's `prev_nt`.
+            for i in 0..50 {
+                let id = NodeId::new(i as u32);
+                assert_eq!(oracle.link_changes_since(&oracle, id), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_index_is_harmless() {
+        let area = Area::new(100.0, 100.0);
+        let snap = Snapshot::from_positions(vec![], area, SimTime::ZERO);
+        let mut index = NeighborIndex::new(&snap, 50.0);
+        assert!(index.is_empty());
+        assert_eq!(index.len(), 0);
+        index.advance(&snap);
+        assert!(index.current().is_empty());
+    }
+}

@@ -38,11 +38,13 @@
 mod field;
 mod geometry;
 mod grid;
+mod incremental;
 mod neighbors;
 mod waypoint;
 
 pub use field::{MobilityField, Snapshot};
 pub use geometry::{Area, Vec2};
 pub use grid::SpatialGrid;
+pub use incremental::NeighborIndex;
 pub use neighbors::NeighborTable;
 pub use waypoint::{MotionState, RandomWaypoint, WaypointConfig};

@@ -26,7 +26,7 @@ use crate::field::Snapshot;
 /// assert_eq!(table.neighbors(NodeId::new(0)), &[NodeId::new(1)]);
 /// assert_eq!(table.degree(NodeId::new(2)), 0);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct NeighborTable {
     range_m: f64,
     lists: Vec<Vec<NodeId>>,
@@ -40,6 +40,25 @@ impl NeighborTable {
             .map(|i| grid.neighbors_of(NodeId::new(i as u32), snapshot, range_m))
             .collect();
         NeighborTable { range_m, lists }
+    }
+
+    /// An all-empty table over `n` nodes — the starting point for
+    /// incremental maintenance (see [`crate::NeighborIndex`]).
+    pub(crate) fn with_nodes(n: usize, range_m: f64) -> Self {
+        NeighborTable {
+            range_m,
+            lists: vec![Vec::new(); n],
+        }
+    }
+
+    /// Mutable access to the per-node lists for in-place maintenance.
+    pub(crate) fn lists_mut(&mut self) -> &mut [Vec<NodeId>] {
+        &mut self.lists
+    }
+
+    /// Shared access to the per-node lists.
+    pub(crate) fn lists(&self) -> &[Vec<NodeId>] {
+        &self.lists
     }
 
     /// The radio range this table was built with.

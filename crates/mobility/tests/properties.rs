@@ -4,7 +4,10 @@
 
 use rcast_engine::rng::StreamRng;
 use rcast_engine::{NodeId, SimTime};
-use rcast_mobility::{Area, NeighborTable, RandomWaypoint, Snapshot, Vec2, WaypointConfig};
+use rcast_mobility::{
+    Area, MobilityField, NeighborIndex, NeighborTable, RandomWaypoint, Snapshot, Vec2,
+    WaypointConfig,
+};
 use rcast_testkit::{prop_assert, prop_assert_eq, Check, Gen};
 
 /// A trajectory never leaves its field, for arbitrary seeds, speeds,
@@ -100,6 +103,73 @@ fn neighbor_symmetry() {
                 prop_assert_eq!(
                     table.are_neighbors(NodeId::new(a as u32), NodeId::new(b as u32)),
                     table.are_neighbors(NodeId::new(b as u32), NodeId::new(a as u32))
+                );
+            }
+        }
+        Ok(())
+    });
+}
+
+/// The incremental [`NeighborIndex`] stays equal to a from-scratch
+/// [`NeighborTable::build`] oracle under arbitrary interleavings of the
+/// operations the simulator performs on it: mobility advances (of
+/// arbitrary stride, including zero motion while paused), `isolate`
+/// (node crash / blackout) and `cut_link` (corruption burst), followed
+/// by more advances (crash rejoin: the fault layer re-isolates downed
+/// nodes after every rebuild, so a post-mutation advance must restore
+/// the pure geometric answer).
+#[test]
+fn incremental_index_matches_rebuilt_table() {
+    Check::new("incremental_index_matches_rebuilt_table").run(|g| {
+        let seed = g.u64();
+        let n = g.u32_range(2, 40);
+        let area = Area::new(g.f64_range(300.0, 2_000.0), g.f64_range(100.0, 600.0));
+        let range = g.f64_range(50.0, 400.0);
+        let cfg = WaypointConfig {
+            min_speed_mps: 0.1,
+            max_speed_mps: g.f64_range(1.0, 30.0),
+            pause_secs: g.f64_range(0.0, 60.0),
+        };
+        let mut field = MobilityField::random_waypoint(n, area, cfg, StreamRng::from_seed(seed));
+        let mut snap = field.snapshot(SimTime::ZERO);
+        let mut index = NeighborIndex::new(&snap, range);
+        let mut oracle = NeighborTable::build(&snap, range);
+        let mut t_ms = 0u64;
+
+        let ops = g.vec(1, 25, |g: &mut Gen| (g.u32_range(0, 3), g.u64(), g.u64()));
+        for (op, x, y) in ops {
+            match op {
+                // Mobility advance: strides from 1 ms to 20 s, so runs
+                // cross pause boundaries, tiny in-cell jitters and
+                // multi-cell jumps alike.
+                0 => {
+                    t_ms += 1 + x % 20_000;
+                    field.snapshot_into(SimTime::from_millis(t_ms), &mut snap);
+                    index.advance(&snap);
+                    oracle = NeighborTable::build(&snap, range);
+                }
+                // Node crash or blackout.
+                1 => {
+                    let id = NodeId::new((x % u64::from(n)) as u32);
+                    index.isolate(id);
+                    oracle.isolate(id);
+                }
+                // Corruption burst on one link (self-links are a no-op
+                // the same way in both implementations).
+                _ => {
+                    let a = NodeId::new((x % u64::from(n)) as u32);
+                    let b = NodeId::new((y % u64::from(n)) as u32);
+                    index.cut_link(a, b);
+                    oracle.cut_link(a, b);
+                }
+            }
+            prop_assert_eq!(index.len(), oracle.len());
+            for i in 0..n {
+                let id = NodeId::new(i);
+                prop_assert_eq!(
+                    index.current().neighbors(id),
+                    oracle.neighbors(id),
+                    "node {i} after op {op} at {t_ms} ms"
                 );
             }
         }

@@ -12,6 +12,13 @@ use randomcast::cli::{self, Command};
 use randomcast::metrics::{fmt_f64, TextTable};
 use randomcast::{run_sim, AggregateReport};
 
+/// Count every heap allocation so `rcast bench` can report steady-state
+/// allocations per interval. The probe forwards to the system allocator
+/// and adds one relaxed atomic increment — unmeasurable for every other
+/// subcommand.
+#[global_allocator]
+static ALLOC_PROBE: rcast_bench::AllocProbe = rcast_bench::AllocProbe::new();
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match cli::parse(&args) {
@@ -149,6 +156,19 @@ fn main() -> ExitCode {
                     ExitCode::FAILURE
                 }
             }
+        }
+        Ok(Command::Bench(bench)) => {
+            let results = rcast_bench::perf::run_suite(bench.smoke);
+            let json = rcast_bench::perf::to_json(&results);
+            print!("{json}");
+            if let Some(path) = bench.out {
+                if let Err(e) = std::fs::write(&path, &json) {
+                    eprintln!("error: cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("rcast bench: wrote {path}");
+            }
+            ExitCode::SUCCESS
         }
         Ok(Command::Compare(cmp)) => {
             let threads = cmp

@@ -32,8 +32,20 @@ pub enum Command {
     /// Run the determinism & hygiene static analyzer
     /// (`rcast lint [--json] [--root <dir>]`).
     Lint(LintArgs),
+    /// Run the tracked simulator-throughput benchmark
+    /// (`rcast bench [--smoke] [--out <file>]`).
+    Bench(BenchArgs),
     /// Print usage.
     Help,
+}
+
+/// Arguments of `rcast bench`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BenchArgs {
+    /// Small workload only — the CI regression gate.
+    pub smoke: bool,
+    /// Also write the JSON report to this path (stdout always gets it).
+    pub out: Option<String>,
 }
 
 /// Arguments of `rcast lint`.
@@ -132,6 +144,7 @@ USAGE:
     rcast scenario <file> [--csv]    run a saved scenario file
     rcast export-scenario [options]  print a scenario file for the flags
     rcast lint [--json] [--root <d>] run the determinism static analyzer
+    rcast bench [--smoke] [--out <f>] run the tracked perf benchmark
     rcast help                       show this text
 
 COMMON OPTIONS (both subcommands):
@@ -213,6 +226,21 @@ pub fn parse(args: &[String]) -> Result<Command, ParseCliError> {
             }
             Ok(Command::Lint(lint))
         }
+        "bench" => {
+            let mut bench = BenchArgs::default();
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--smoke" => bench.smoke = true,
+                    "--out" => {
+                        let v = it.next().ok_or_else(|| err("--out needs a file path"))?;
+                        bench.out = Some(v.clone());
+                    }
+                    other => return Err(err(format!("unknown option '{other}'"))),
+                }
+            }
+            Ok(Command::Bench(bench))
+        }
         "export-scenario" => {
             let (config, extras) = parse_config(rest)?;
             if let Some(e) = extras.first() {
@@ -283,7 +311,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseCliError> {
         }
         other => Err(err(format!(
             "unknown subcommand '{other}' (expected run, compare, scenario, \
-             export-scenario, lint, help)"
+             export-scenario, lint, bench, help)"
         ))),
     }
 }
@@ -524,6 +552,23 @@ mod tests {
         );
         assert!(parse(&args("lint --root")).is_err());
         assert!(parse(&args("lint --bogus")).is_err());
+    }
+
+    #[test]
+    fn bench_flags_parse() {
+        assert_eq!(
+            parse(&args("bench")).unwrap(),
+            Command::Bench(BenchArgs { smoke: false, out: None })
+        );
+        assert_eq!(
+            parse(&args("bench --smoke --out BENCH_rcast.json")).unwrap(),
+            Command::Bench(BenchArgs {
+                smoke: true,
+                out: Some("BENCH_rcast.json".into())
+            })
+        );
+        assert!(parse(&args("bench --out")).is_err());
+        assert!(parse(&args("bench --bogus")).is_err());
     }
 
     #[test]
