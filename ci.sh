@@ -38,10 +38,38 @@ for scheme in 802.11 psm psm-none odpm rcast; do
         > /dev/null
 done
 
-echo "==> bench smoke: tracked perf suite, small workload (release)"
-# Liveness gate only — timing thresholds are not asserted in CI. The
-# checked-in BENCH_rcast.json is regenerated deliberately with
-# `rcast bench --out BENCH_rcast.json`, never overwritten here.
+echo "==> bench smoke: tracked perf suite + ledger-overhead gate (release)"
+# Perf suite is a liveness gate only — timing thresholds are not
+# asserted in CI. The checked-in BENCH_rcast.json is regenerated
+# deliberately with `rcast bench --out BENCH_rcast.json`, never
+# overwritten here. With --smoke the binary additionally enforces the
+# DESIGN.md §11 ledger budget: zero steady-state allocations with the
+# ledger off AND on, and < 10% wall overhead when it is on.
 ./target/release/rcast bench --smoke > /dev/null
+
+echo "==> trace smoke: rcast-trace/v1 export matches the checked-in golden"
+# The same pinned workload the determinism suite locks down at widths
+# 1/2/8; here the release binary's end-to-end CLI path (config flags →
+# simulation → ledger → JSONL) is diffed byte-for-byte against the
+# golden. Regenerate deliberately with
+# `cargo test --test determinism -- --ignored`.
+trace_out=$(mktemp)
+trap 'rm -f "$trace_out"' EXIT
+./target/release/rcast trace \
+    --nodes 12 --area 600x300 --duration 10 --flows 3 --pause 20 --seed 7 \
+    --out "$trace_out" 2> /dev/null
+cmp "$trace_out" tests/golden/trace_rcast_seed7.jsonl || {
+    echo "FAIL: rcast trace output diverged from tests/golden/trace_rcast_seed7.jsonl" >&2
+    exit 1
+}
+# Filters must subset, not reshape: a filtered export still parses and
+# keeps the header schema line first.
+./target/release/rcast trace \
+    --nodes 12 --area 600x300 --duration 10 --flows 3 --pause 20 --seed 7 \
+    --filter kind=span --interval-range 0..8 2> /dev/null \
+    | head -1 | grep -q '"schema":"rcast-trace/v1"' || {
+    echo "FAIL: filtered rcast trace lost its schema header" >&2
+    exit 1
+}
 
 echo "CI gate passed."

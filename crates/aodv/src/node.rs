@@ -86,6 +86,22 @@ pub struct AodvCounters {
     pub data_dropped: u64,
 }
 
+impl AodvCounters {
+    /// Labeled control-plane totals, for trace summaries: how many
+    /// RREQ/RREP/RERR/HELLO events this node produced, by label.
+    pub fn control_events(&self) -> [(&'static str, u64); 4] {
+        [
+            ("rreq", self.rreq_originated + self.rreq_forwarded),
+            (
+                "rrep",
+                self.rrep_from_target + self.rrep_from_table + self.rrep_forwarded,
+            ),
+            ("rerr", self.rerr_sent),
+            ("hello", self.hello_sent),
+        ]
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Buffered {
     flow: u32,

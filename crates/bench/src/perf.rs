@@ -128,6 +128,118 @@ pub fn run_suite(smoke: bool) -> Vec<BenchResult> {
     out
 }
 
+/// Paired ledger-overhead measurement behind the `rcast bench --smoke`
+/// CI gate (DESIGN.md §11): with the event ledger off, the steady state
+/// must not allocate (the §10 guarantee is untouched); with it on, the
+/// steady state must *still* not allocate (storage is pre-sized) and
+/// the wall-clock cost must stay under 10%.
+#[derive(Debug, Clone, Copy)]
+pub struct LedgerOverhead {
+    /// Best-round wall nanoseconds per steady-state interval, ledger off.
+    pub off_nanos_per_interval: u64,
+    /// Best-round wall nanoseconds per steady-state interval, ledger on.
+    pub on_nanos_per_interval: u64,
+    /// Worst-round steady-state allocation count, ledger off (0 when no
+    /// probe is installed).
+    pub off_allocs: u64,
+    /// Worst-round steady-state allocation count, ledger on.
+    pub on_allocs: u64,
+}
+
+impl LedgerOverhead {
+    /// Fractional wall-clock overhead of the ledger:
+    /// `(on − off) / off`, clamped at zero when the ledger run was not
+    /// slower.
+    pub fn overhead_fraction(&self) -> f64 {
+        if self.on_nanos_per_interval <= self.off_nanos_per_interval {
+            0.0
+        } else {
+            (self.on_nanos_per_interval - self.off_nanos_per_interval) as f64
+                / self.off_nanos_per_interval as f64
+        }
+    }
+}
+
+/// One ledger-overhead run: warm `cfg` past its high-water marks, then
+/// time and allocation-count the remaining intervals.
+fn ledger_cell(mut cfg: SimConfig, obs: bool) -> (u64, u64) {
+    cfg.obs = obs;
+    let mut sim = Simulation::new(cfg).expect("valid ledger bench config");
+    for _ in 0..WARMUP_INTERVALS {
+        assert!(sim.step_interval(), "warm-up must fit in the run");
+    }
+    let allocs_before = alloc_probe::allocations();
+    let started = Instant::now();
+    let mut stepped = 0u64;
+    while sim.step_interval() {
+        stepped += 1;
+    }
+    let wall_nanos = started.elapsed().as_nanos() as u64;
+    let allocs = alloc_probe::allocations() - allocs_before;
+    std::hint::black_box(sim.finish());
+    (wall_nanos / stepped.max(1), allocs)
+}
+
+/// The zero-alloc contract workload (static nodes, one near-silent
+/// flow) — the same quiet steady state `tests/zero_alloc.rs` pins.
+fn quiet_config() -> SimConfig {
+    let mut cfg = SimConfig::smoke(Scheme::Rcast, 3);
+    cfg.waypoint.pause_secs = 1e9;
+    cfg.traffic.flows = 1;
+    cfg.traffic.rate_pps = 0.001;
+    cfg
+}
+
+/// The wall-overhead workload: the realistic `small` testbed (real
+/// traffic — the representative hot path), lengthened so each timed
+/// half is tens of milliseconds and scheduler noise amortizes.
+fn timing_config() -> SimConfig {
+    let mut cfg = SimConfig::smoke(Scheme::Rcast, 3);
+    cfg.duration = SimDuration::from_secs(240);
+    cfg
+}
+
+/// Measures the ledger's cost.
+///
+/// *Wall overhead* comes from `rounds` interleaved off/on pairs of
+/// [`timing_config`], keeping the pair with the smallest on/off ratio:
+/// the two halves of a pair run back-to-back, so machine-load drift
+/// between rounds cancels instead of counting against the budget,
+/// while a real regression shows up in every round — including the
+/// minimum. *Allocations* come from one off/on pair of the quiet
+/// zero-alloc workload, where the steady-state count must be exactly
+/// zero both ways; a single pair suffices because allocation counts
+/// are deterministic.
+pub fn ledger_overhead_rounds(rounds: usize) -> LedgerOverhead {
+    let (_, off_allocs) = ledger_cell(quiet_config(), false);
+    let (_, on_allocs) = ledger_cell(quiet_config(), true);
+    let mut best: Option<(u64, u64)> = None;
+    for _ in 0..rounds.max(1) {
+        let (off, _) = ledger_cell(timing_config(), false);
+        let (on, _) = ledger_cell(timing_config(), true);
+        let better = match best {
+            None => true,
+            // on/off < best_on/best_off, cross-multiplied to stay exact.
+            Some((b_off, b_on)) => (on as u128) * (b_off as u128) < (b_on as u128) * (off as u128),
+        };
+        if better {
+            best = Some((off, on));
+        }
+    }
+    let (off_nanos_per_interval, on_nanos_per_interval) = best.expect("at least one round");
+    LedgerOverhead {
+        off_nanos_per_interval,
+        on_nanos_per_interval,
+        off_allocs,
+        on_allocs,
+    }
+}
+
+/// The CI-gate measurement: five interleaved off/on rounds.
+pub fn ledger_overhead() -> LedgerOverhead {
+    ledger_overhead_rounds(5)
+}
+
 /// Renders the `rcast-bench/v1` JSON document. Hand-rolled and stable:
 /// fixed key order, fixed precision, no timestamps or host fields, so
 /// diffs of the checked-in file show only performance movement.
@@ -181,6 +293,30 @@ mod tests {
         assert_eq!(json.matches("\"workload\"").count(), results.len());
         assert!(json.contains("\"allocs_per_interval\": "));
         assert!(json.ends_with("  ]\n}\n"));
+    }
+
+    #[test]
+    fn ledger_overhead_fraction_math() {
+        let mut o = LedgerOverhead {
+            off_nanos_per_interval: 1000,
+            on_nanos_per_interval: 1050,
+            off_allocs: 0,
+            on_allocs: 0,
+        };
+        assert!((o.overhead_fraction() - 0.05).abs() < 1e-12);
+        o.on_nanos_per_interval = 900;
+        assert_eq!(o.overhead_fraction(), 0.0, "faster-with-ledger clamps");
+    }
+
+    #[test]
+    fn ledger_overhead_measures_one_round() {
+        let o = ledger_overhead_rounds(1);
+        assert!(o.off_nanos_per_interval > 0);
+        assert!(o.on_nanos_per_interval > 0);
+        assert!(o.off_nanos_per_interval < u64::MAX);
+        // No alloc assertion here: the probe is not this test binary's
+        // global allocator, so counts are meaningful only in the `rcast`
+        // binary and the zero_alloc integration test.
     }
 
     #[test]

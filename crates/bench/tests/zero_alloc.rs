@@ -29,14 +29,10 @@ fn quiet_config() -> SimConfig {
     cfg
 }
 
-#[test]
-fn steady_state_interval_loop_does_not_allocate() {
-    assert!(
-        !alloc_probe::is_installed() || alloc_probe::allocations() > 0,
-        "sanity: flag only flips once counting starts"
-    );
-
-    let mut sim = Simulation::new(quiet_config()).expect("valid config");
+/// Runs the second half of a quiet simulation under the probe and
+/// returns the allocation count over those steady-state intervals.
+fn steady_state_allocs(cfg: SimConfig) -> u64 {
+    let mut sim = Simulation::new(cfg).expect("valid config");
     let total = 480u64; // 120 s at 250 ms beacons.
 
     // Warm-up: let every scratch buffer, queue and table reach its
@@ -55,14 +51,37 @@ fn steady_state_interval_loop_does_not_allocate() {
         stepped += 1;
     }
     let after = alloc_probe::allocations();
-
     assert_eq!(stepped, total - total / 2, "ran to the configured end");
+    after - before
+}
+
+#[test]
+fn steady_state_interval_loop_does_not_allocate() {
+    assert!(
+        !alloc_probe::is_installed() || alloc_probe::allocations() > 0,
+        "sanity: flag only flips once counting starts"
+    );
+
+    let allocs = steady_state_allocs(quiet_config());
     assert_eq!(
-        after - before,
-        0,
+        allocs, 0,
         "steady-state intervals must not touch the heap \
-         ({} allocations over {} intervals)",
-        after - before,
-        stepped,
+         ({allocs} allocations)",
+    );
+}
+
+/// DESIGN.md §11: turning the event ledger on must not reintroduce
+/// steady-state allocations — every ring buffer, span lane and series
+/// row is pre-sized at construction, and overflow increments a counter
+/// instead of growing.
+#[test]
+fn steady_state_with_ledger_enabled_does_not_allocate() {
+    let mut cfg = quiet_config();
+    cfg.obs = true;
+    let allocs = steady_state_allocs(cfg);
+    assert_eq!(
+        allocs, 0,
+        "ledger-on steady-state intervals must not touch the heap \
+         ({allocs} allocations)",
     );
 }

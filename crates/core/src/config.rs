@@ -63,6 +63,11 @@ pub struct SimConfig {
     /// When `true`, journal every data packet's lifecycle into the
     /// report's [`crate::PacketTrace`] (costs memory on long runs).
     pub trace: bool,
+    /// When `true`, record the cross-layer event ledger into the
+    /// report's [`rcast_obs::ObsReport`]: MAC interval phases, routing
+    /// packet lifecycle, fault markers, and per-interval energy spans.
+    /// Storage is fully pre-sized (costs memory on long runs).
+    pub obs: bool,
     /// Fault injection (crashes, blackouts, corruption bursts); the
     /// default injects nothing.
     pub faults: FaultsConfig,
@@ -98,6 +103,7 @@ impl SimConfig {
             battery_capacity_j: None,
             energy_sampling: None,
             trace: false,
+            obs: false,
             faults: FaultsConfig::default(),
         }
     }

@@ -59,5 +59,9 @@ pub use routing::{
 };
 pub use scenario::{parse_scenario, write_scenario};
 pub use trace::{PacketId, PacketTrace, TraceEvent, TraceRecord};
+pub use rcast_obs::{
+    render_jsonl, Event as ObsEvent, EventKind as ObsEventKind, Ledger, LedgerParams, ObsReport,
+    PacketClass, TraceFilter, SERIES_COLUMNS,
+};
 pub use scheme::Scheme;
 pub use sim::{run_seeds, run_seeds_parallel, run_sim, Simulation};

@@ -5,6 +5,7 @@ use rcast_dsr::DsrCounters;
 use rcast_engine::{SimDuration, SimTime};
 use rcast_mac::MacCounters;
 use rcast_metrics::{DeliveryTracker, EnergyReport, RoleNumbers, TimeSeries};
+use rcast_obs::ObsReport;
 
 use crate::config::SimConfig;
 use crate::faults::FaultCounters;
@@ -43,6 +44,8 @@ pub struct SimReport {
     pub energy_series: Option<TimeSeries>,
     /// The packet journal, when `SimConfig::trace` was set.
     pub trace: Option<PacketTrace>,
+    /// The cross-layer event ledger, when `SimConfig::obs` was set.
+    pub obs: Option<ObsReport>,
 }
 
 impl SimReport {
@@ -211,6 +214,7 @@ mod tests {
             first_depletion: None,
             energy_series: None,
             trace: None,
+            obs: None,
         }
     }
 

@@ -76,6 +76,9 @@ pub fn write_scenario(cfg: &SimConfig) -> String {
     if let Some(b) = cfg.battery_capacity_j {
         line("battery", b.to_string());
     }
+    if cfg.obs {
+        line("obs", "true".into());
+    }
     if !cfg.faults.is_none() {
         if let Some(spec) = cfg.faults.spec_string() {
             line("faults", spec);
@@ -159,6 +162,15 @@ pub fn parse_scenario(text: &str) -> Result<SimConfig, String> {
             "max_speed" => cfg.waypoint.max_speed_mps = parse_f(one()?)?,
             "broadcast_p" => cfg.factors.broadcast_probability = parse_f(one()?)?,
             "battery" => cfg.battery_capacity_j = Some(parse_f(one()?)?),
+            "obs" => {
+                cfg.obs = match one()? {
+                    "true" => true,
+                    "false" => false,
+                    other => {
+                        return Err(format!("line {}: obs expects true/false, got '{other}'", lineno + 1))
+                    }
+                }
+            }
             "faults" => {
                 cfg.faults = crate::faults::FaultsConfig::parse_spec(one()?)
                     .map_err(|e| format!("line {}: {e}", lineno + 1))?
@@ -200,6 +212,21 @@ mod tests {
         // A clean config emits no faults line at all.
         let clean = write_scenario(&SimConfig::paper(Scheme::Rcast, 3, 0.4, 600.0));
         assert!(!clean.contains("faults"), "{clean}");
+    }
+
+    #[test]
+    fn obs_flag_round_trips_and_defaults_off() {
+        let mut cfg = SimConfig::paper(Scheme::Rcast, 3, 0.4, 600.0);
+        cfg.obs = true;
+        let text = write_scenario(&cfg);
+        assert!(text.contains("obs true"), "{text}");
+        let parsed = parse_scenario(&text).expect("round trip");
+        assert_eq!(parsed, cfg);
+        // A default config emits no obs line and parses back off.
+        let clean = write_scenario(&SimConfig::paper(Scheme::Rcast, 3, 0.4, 600.0));
+        assert!(!clean.contains("obs"), "{clean}");
+        assert!(!parse_scenario(&clean).unwrap().obs);
+        assert!(parse_scenario("obs maybe\n").is_err());
     }
 
     #[test]

@@ -95,6 +95,21 @@ pub struct DsrCounters {
     pub data_dropped: u64,
 }
 
+impl DsrCounters {
+    /// Labeled control-plane totals, for trace summaries: how many
+    /// RREQ/RREP/RERR events this node produced, by label.
+    pub fn control_events(&self) -> [(&'static str, u64); 3] {
+        [
+            ("rreq", self.rreq_originated + self.rreq_forwarded),
+            (
+                "rrep",
+                self.rrep_from_target + self.rrep_from_cache + self.rrep_forwarded,
+            ),
+            ("rerr", self.rerr_originated + self.rerr_forwarded),
+        ]
+    }
+}
+
 /// A data packet parked at the source awaiting a route.
 #[derive(Debug, Clone)]
 struct Buffered {

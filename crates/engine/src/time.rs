@@ -105,6 +105,18 @@ impl SimTime {
     pub const fn elapsed_from_origin(self) -> SimDuration {
         SimDuration(self.0)
     }
+
+    /// Index of the fixed-length interval containing this instant:
+    /// `floor(t / interval)`. The trace exporter uses it to bucket
+    /// events into beacon intervals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub const fn interval_index(self, interval: SimDuration) -> u64 {
+        assert!(interval.0 > 0, "interval must be positive");
+        self.0 / interval.0
+    }
 }
 
 impl SimDuration {

@@ -112,6 +112,10 @@ const HOT_FUNCTIONS: &[&str] = &[
     "destinations_into",
     "try_reserve",
     "snapshot_into",
+    "run_interval_observed",
+    "record_event",
+    "record_span",
+    "end_interval",
 ];
 
 /// Per-file line facts needed for pragma resolution.

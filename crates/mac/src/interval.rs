@@ -35,6 +35,7 @@ use rcast_radio::Phy;
 use crate::budget::AirtimeBudget;
 use crate::config::MacConfig;
 use crate::frame::{Destination, MacFrame, OverhearingLevel};
+use crate::observe::{MacObserver, NullMacObserver};
 use crate::queue::TxQueue;
 use crate::wake::{PowerMode, WakePolicy};
 
@@ -356,6 +357,21 @@ impl<P> MacLayer<P> {
         policy: &mut dyn WakePolicy,
         out: &mut IntervalOutcome<P>,
     ) {
+        self.run_interval_observed(start, nt, policy, out, &mut NullMacObserver);
+    }
+
+    /// Like [`run_interval_into`](Self::run_interval_into), but reports
+    /// each per-node decision to `obs` as it is made. The resolution
+    /// itself is byte-identical with or without an observer — the tap
+    /// is strictly read-only.
+    pub fn run_interval_observed(
+        &mut self,
+        start: SimTime,
+        nt: &NeighborTable,
+        policy: &mut dyn WakePolicy,
+        out: &mut IntervalOutcome<P>,
+        obs: &mut dyn MacObserver,
+    ) {
         let n = self.queues.len();
         debug_assert_eq!(nt.len(), n, "neighbor table size mismatch");
 
@@ -417,6 +433,7 @@ impl<P> MacLayer<P> {
                             .is_some()
                         {
                             self.counters.atim_broadcast += 1;
+                            obs.atim_broadcast(start, sender);
                             awake[i] = true;
                             committed[i] = true;
                             full_wake[i] = true;
@@ -448,15 +465,18 @@ impl<P> MacLayer<P> {
                             });
                         } else {
                             self.counters.atim_deferred += 1;
+                            obs.atim_deferred(start, sender);
                         }
                     }
                     Destination::Unicast(r) => {
                         if !nt.are_neighbors(sender, r) {
                             // No ATIM-ACK: the receiver moved away.
                             self.counters.atim_no_ack += 1;
+                            obs.atim_no_ack(start, sender, r);
                             let attempts = self.queues[i].bump_attempts_for(dest);
                             if attempts >= self.cfg.atim_retry_limit {
                                 self.counters.link_failures += 1;
+                                obs.link_broken(start + self.cfg.atim_window, sender, r);
                                 for q in self.queues[i].remove_all_for(dest) {
                                     failures.push(LinkFailure {
                                         sender,
@@ -474,6 +494,7 @@ impl<P> MacLayer<P> {
                             .is_some()
                         {
                             self.counters.atim_unicast += 1;
+                            obs.atim_unicast(start, sender, r);
                             awake[i] = true;
                             committed[i] = true;
                             awake[r.index()] = true;
@@ -489,6 +510,7 @@ impl<P> MacLayer<P> {
                             });
                         } else {
                             self.counters.atim_deferred += 1;
+                            obs.atim_deferred(start, sender);
                         }
                     }
                 }
@@ -522,6 +544,7 @@ impl<P> MacLayer<P> {
                             awake[x.index()] = true;
                             committed[x.index()] = true;
                             accepted[a.sender.index()].push(x);
+                            obs.overhear_commit(start, x, a.sender);
                         }
                     }
                 }
@@ -543,6 +566,7 @@ impl<P> MacLayer<P> {
                         Self::affected_broadcast_into(nt, a.sender, affected);
                         match data_budget.try_reserve(affected.iter().copied(), dur) {
                             Some(offset) => {
+                                obs.airtime_reserved(data_start + offset, a.sender, dur);
                                 let q = self.queues[qi].remove(idx);
                                 self.counters.broadcast_delivered += 1;
                                 // Only awake neighbors receive: with the
@@ -567,6 +591,7 @@ impl<P> MacLayer<P> {
                             }
                             None => {
                                 self.counters.data_deferred += 1;
+                                obs.data_deferred(data_start, a.sender);
                                 full_wake[qi] = true;
                                 break;
                             }
@@ -580,6 +605,7 @@ impl<P> MacLayer<P> {
                         Self::affected_unicast_into(nt, a.sender, r, affected);
                         match data_budget.try_reserve(affected.iter().copied(), dur) {
                             Some(offset) => {
+                                obs.airtime_reserved(data_start + offset, a.sender, dur);
                                 if self.cfg.frame_loss_prob > 0.0
                                     && self.rng.chance(self.cfg.frame_loss_prob)
                                 {
@@ -587,6 +613,7 @@ impl<P> MacLayer<P> {
                                     // next interval (frame stays queued);
                                     // both ends keep waiting.
                                     self.counters.data_lost += 1;
+                                    obs.data_lost(data_start + offset + dur, a.sender, r);
                                     full_wake[qi] = true;
                                     full_wake[r.index()] = true;
                                     break;
@@ -622,6 +649,7 @@ impl<P> MacLayer<P> {
                                 // The pair waits out the window hoping
                                 // for airtime that never comes.
                                 self.counters.data_deferred += 1;
+                                obs.data_deferred(data_start, a.sender);
                                 full_wake[qi] = true;
                                 full_wake[r.index()] = true;
                                 break;

@@ -30,6 +30,7 @@ mod channel;
 mod config;
 mod frame;
 mod interval;
+mod observe;
 mod queue;
 mod wake;
 
@@ -38,5 +39,6 @@ pub use channel::{Channel, ImmediateResult};
 pub use config::MacConfig;
 pub use frame::{AtimSubtype, Destination, MacFrame, OverhearingLevel};
 pub use interval::{Delivery, IntervalOutcome, LinkFailure, MacCounters, MacLayer};
+pub use observe::{MacObserver, NullMacObserver};
 pub use queue::{Queued, TxQueue};
 pub use wake::{AllActive, AllPowerSave, PowerMode, WakePolicy};

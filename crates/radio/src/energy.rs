@@ -24,6 +24,29 @@ pub enum PowerState {
     Off,
 }
 
+impl PowerState {
+    /// Every state, in meter-slot order.
+    pub const ALL: [PowerState; 5] = [
+        PowerState::Awake,
+        PowerState::Transmit,
+        PowerState::Receive,
+        PowerState::Sleep,
+        PowerState::Off,
+    ];
+
+    /// Stable lowercase label, used by the trace exporter. Never
+    /// changes: `rcast-trace/v1` output depends on it byte-for-byte.
+    pub const fn label(self) -> &'static str {
+        match self {
+            PowerState::Awake => "awake",
+            PowerState::Transmit => "tx",
+            PowerState::Receive => "rx",
+            PowerState::Sleep => "sleep",
+            PowerState::Off => "off",
+        }
+    }
+}
+
 /// Power draw per state, watts.
 ///
 /// # Example

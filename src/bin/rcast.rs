@@ -168,6 +168,80 @@ fn main() -> ExitCode {
                 }
                 eprintln!("rcast bench: wrote {path}");
             }
+            if bench.smoke {
+                // CI gate: the ledger must stay free (off) and cheap (on).
+                let o = rcast_bench::perf::ledger_overhead();
+                eprintln!(
+                    "rcast bench: ledger overhead {:.1}% \
+({} ns/interval off, {} ns/interval on; steady-state allocs {} off, {} on)",
+                    o.overhead_fraction() * 100.0,
+                    o.off_nanos_per_interval,
+                    o.on_nanos_per_interval,
+                    o.off_allocs,
+                    o.on_allocs,
+                );
+                if o.off_allocs != 0 {
+                    eprintln!("error: ledger-off steady state allocates ({})", o.off_allocs);
+                    return ExitCode::FAILURE;
+                }
+                if o.on_allocs != 0 {
+                    eprintln!("error: ledger-on steady state allocates ({})", o.on_allocs);
+                    return ExitCode::FAILURE;
+                }
+                if o.overhead_fraction() >= 0.10 {
+                    eprintln!(
+                        "error: ledger-on overhead {:.1}% exceeds the 10% budget",
+                        o.overhead_fraction() * 100.0
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Ok(Command::Trace(trace)) => {
+            let mut cfg = trace.config.clone();
+            cfg.obs = true;
+            let report = match run_sim(cfg) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let obs = report.obs.as_ref().expect("obs was requested");
+            let jsonl = randomcast::render_jsonl(
+                obs,
+                report.scheme.label(),
+                report.seed,
+                trace.filter.as_ref(),
+                trace.interval_range,
+            );
+            if let Some(path) = &trace.out {
+                if let Err(e) = std::fs::write(path, &jsonl) {
+                    eprintln!("error: cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("rcast trace: wrote {path} ({} lines)", jsonl.lines().count());
+            } else {
+                print!("{jsonl}");
+            }
+            let control: u64 = match trace.config.routing {
+                randomcast::RoutingKind::Dsr => {
+                    report.dsr.control_events().iter().map(|&(_, n)| n).sum()
+                }
+                randomcast::RoutingKind::Aodv => {
+                    report.aodv.control_events().iter().map(|&(_, n)| n).sum()
+                }
+            };
+            eprintln!(
+                "rcast trace: {} events ({} dropped) over {} intervals | \
+{} routing control events | {:.0} J audited",
+                obs.events().len(),
+                obs.dropped(),
+                obs.intervals(),
+                control,
+                report.energy.total_joules(),
+            );
             ExitCode::SUCCESS
         }
         Ok(Command::Compare(cmp)) => {

@@ -35,8 +35,27 @@ pub enum Command {
     /// Run the tracked simulator-throughput benchmark
     /// (`rcast bench [--smoke] [--out <file>]`).
     Bench(BenchArgs),
+    /// Run one simulation with the event ledger on and export the
+    /// `rcast-trace/v1` JSONL
+    /// (`rcast trace [options] [--filter f] [--interval-range A..B]
+    /// [--out <file>]`).
+    Trace(TraceArgs),
     /// Print usage.
     Help,
+}
+
+/// Arguments of `rcast trace`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceArgs {
+    /// The assembled configuration; the binary forces `obs` on.
+    pub config: SimConfig,
+    /// Keep only matching events (`node=N`, `flow=N`, `kind=K`).
+    pub filter: Option<crate::obs::TraceFilter>,
+    /// Keep only events in the half-open beacon-interval range
+    /// `[start, end)`.
+    pub interval_range: Option<(u64, u64)>,
+    /// Write the JSONL here instead of stdout.
+    pub out: Option<String>,
 }
 
 /// Arguments of `rcast bench`.
@@ -145,6 +164,7 @@ USAGE:
     rcast export-scenario [options]  print a scenario file for the flags
     rcast lint [--json] [--root <d>] run the determinism static analyzer
     rcast bench [--smoke] [--out <f>] run the tracked perf benchmark
+    rcast trace [options]            run once, export rcast-trace/v1 JSONL
     rcast help                       show this text
 
 COMMON OPTIONS (both subcommands):
@@ -174,6 +194,11 @@ compare-ONLY:
     --seeds <list>    comma list of seeds        [1,2,3]
     --threads <n>     worker threads per cell    [machine width]
                       (results are identical at any thread count)
+
+trace-ONLY:
+    --filter <f>          keep matching events: node=N | flow=N | kind=K
+    --interval-range A..B keep beacon intervals [A, B) (half-open)
+    --out <file>          write the JSONL to a file instead of stdout
 ";
 
 /// Parses a full argument vector (without the binary name).
@@ -240,6 +265,46 @@ pub fn parse(args: &[String]) -> Result<Command, ParseCliError> {
                 }
             }
             Ok(Command::Bench(bench))
+        }
+        "trace" => {
+            let (config, extras) = parse_config(rest)?;
+            let mut filter = None;
+            let mut interval_range = None;
+            let mut out = None;
+            let mut it = extras.iter();
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| -> Result<&String, ParseCliError> {
+                    it.next().ok_or_else(|| err(format!("{name} needs a value")))
+                };
+                match flag.as_str() {
+                    "--filter" => {
+                        filter =
+                            Some(crate::obs::TraceFilter::parse(value("--filter")?).map_err(err)?)
+                    }
+                    "--interval-range" => {
+                        let v = value("--interval-range")?;
+                        let (lo, hi) = v.split_once("..").ok_or_else(|| {
+                            err(format!("--interval-range expects A..B, got '{v}'"))
+                        })?;
+                        let lo = parse_u64("--interval-range", lo)?;
+                        let hi = parse_u64("--interval-range", hi)?;
+                        if lo >= hi {
+                            return Err(err(format!(
+                                "--interval-range is half-open and needs A < B, got '{v}'"
+                            )));
+                        }
+                        interval_range = Some((lo, hi));
+                    }
+                    "--out" => out = Some(value("--out")?.clone()),
+                    other => return Err(err(format!("unknown option '{other}'"))),
+                }
+            }
+            Ok(Command::Trace(TraceArgs {
+                config,
+                filter,
+                interval_range,
+                out,
+            }))
         }
         "export-scenario" => {
             let (config, extras) = parse_config(rest)?;
@@ -311,7 +376,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseCliError> {
         }
         other => Err(err(format!(
             "unknown subcommand '{other}' (expected run, compare, scenario, \
-             export-scenario, lint, bench, help)"
+             export-scenario, lint, bench, trace, help)"
         ))),
     }
 }
@@ -569,6 +634,74 @@ mod tests {
         );
         assert!(parse(&args("bench --out")).is_err());
         assert!(parse(&args("bench --bogus")).is_err());
+    }
+
+    #[test]
+    fn trace_defaults_and_config_flags_parse() {
+        let Command::Trace(t) = parse(&args("trace")).unwrap() else {
+            panic!("expected trace");
+        };
+        assert_eq!(t.config.nodes, 100);
+        assert_eq!(t.filter, None);
+        assert_eq!(t.interval_range, None);
+        assert_eq!(t.out, None);
+        // Shared config flags work under trace too.
+        let Command::Trace(t) =
+            parse(&args("trace --scheme psm --nodes 30 --seed 7")).unwrap()
+        else {
+            panic!("expected trace");
+        };
+        assert_eq!(t.config.scheme, Scheme::Psm);
+        assert_eq!(t.config.nodes, 30);
+        assert_eq!(t.config.seed, 7);
+    }
+
+    #[test]
+    fn trace_filter_flag_round_trips() {
+        use crate::obs::TraceFilter;
+        for (flag, want) in [
+            ("node=3", TraceFilter::Node(3)),
+            ("flow=1", TraceFilter::Flow(1)),
+            ("kind=span", TraceFilter::Kind("span".into())),
+        ] {
+            let Command::Trace(t) =
+                parse(&args(&format!("trace --filter {flag}"))).unwrap()
+            else {
+                panic!("expected trace");
+            };
+            assert_eq!(t.filter, Some(want), "{flag}");
+        }
+        assert!(parse(&args("trace --filter")).is_err());
+        assert!(parse(&args("trace --filter node=many")).is_err());
+        assert!(parse(&args("trace --filter planet=9")).is_err());
+    }
+
+    #[test]
+    fn trace_interval_range_is_half_open_and_validated() {
+        let Command::Trace(t) =
+            parse(&args("trace --interval-range 10..20")).unwrap()
+        else {
+            panic!("expected trace");
+        };
+        assert_eq!(t.interval_range, Some((10, 20)));
+        assert!(parse(&args("trace --interval-range")).is_err());
+        assert!(parse(&args("trace --interval-range 10")).is_err());
+        assert!(parse(&args("trace --interval-range 20..10")).is_err());
+        assert!(parse(&args("trace --interval-range 5..5")).is_err());
+        assert!(parse(&args("trace --interval-range a..b")).is_err());
+    }
+
+    #[test]
+    fn trace_out_flag_round_trips() {
+        let Command::Trace(t) =
+            parse(&args("trace --out trace.jsonl --filter flow=0")).unwrap()
+        else {
+            panic!("expected trace");
+        };
+        assert_eq!(t.out, Some("trace.jsonl".into()));
+        assert_eq!(t.filter, Some(crate::obs::TraceFilter::Flow(0)));
+        assert!(parse(&args("trace --out")).is_err());
+        assert!(parse(&args("trace --bogus 1")).is_err());
     }
 
     #[test]

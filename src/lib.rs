@@ -100,9 +100,16 @@ pub mod core {
     pub use rcast_core::*;
 }
 
+/// Deterministic cross-layer observability: event ledger, energy audit,
+/// `rcast-trace/v1` export.
+pub mod obs {
+    pub use rcast_obs::*;
+}
+
 pub use rcast_core::{
     parse_scenario, run_seeds, run_seeds_parallel, run_sim, write_scenario, AggregateReport,
     FaultCounters, FaultEvent, FaultPlan, FaultsConfig, OdpmConfig, OverhearFactors, PacketTrace,
     RcastDecider, RoutingKind, Scheme, SimConfig, SimReport, Simulation, TraceEvent,
 };
 pub use rcast_engine::{NodeId, SimDuration, SimTime};
+pub use rcast_obs::{render_jsonl, ObsReport, TraceFilter};
