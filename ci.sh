@@ -72,4 +72,20 @@ cmp "$trace_out" tests/golden/trace_rcast_seed7.jsonl || {
     exit 1
 }
 
+echo "==> sweep smoke: rcast-sweep/v1 artifacts match the checked-in goldens"
+# The fig7 smoke grid (24 runs) through the release binary's --out
+# path, diffed byte-for-byte against the goldens the determinism suite
+# pins at widths 1/2/8. Regenerate deliberately with
+# `cargo test --release --test sweep_determinism -- --ignored`.
+sweep_out=$(mktemp -d)
+trap 'rm -f "$trace_out"; rm -rf "$sweep_out"' EXIT
+./target/release/rcast sweep --spec fig7 --smoke --threads 8 \
+    --out "$sweep_out" 2> /dev/null
+for ext in json csv; do
+    cmp "$sweep_out/fig7-smoke.$ext" "tests/golden/fig7-smoke.$ext" || {
+        echo "FAIL: rcast sweep .$ext diverged from tests/golden/fig7-smoke.$ext" >&2
+        exit 1
+    }
+done
+
 echo "CI gate passed."

@@ -116,8 +116,11 @@ fn run_cell(workload: &'static str, cfg: SimConfig) -> BenchResult {
 }
 
 /// Runs the suite: every scheme at every workload (smoke = the small
-/// workload only). Serial on purpose — each cell measures single-run
-/// latency, which thread contention would pollute.
+/// workload only), plus one [`sweep_point`] tracking campaign-engine
+/// throughput. The per-scheme cells are serial on purpose — each
+/// measures single-run latency, which thread contention would pollute;
+/// the sweep point deliberately runs machine-wide, because cross-cell
+/// scaling is exactly what it tracks.
 pub fn run_suite(smoke: bool) -> Vec<BenchResult> {
     let mut out = Vec::new();
     for (name, build) in workloads(smoke) {
@@ -125,7 +128,35 @@ pub fn run_suite(smoke: bool) -> Vec<BenchResult> {
             out.push(run_cell(name, build(scheme)));
         }
     }
+    out.push(sweep_point());
     out
+}
+
+/// One sweep-campaign throughput point: the `fig7` CI smoke grid
+/// (3 schemes × 2 rates × 2 pauses × 2 seeds = 24 runs) executed at
+/// machine width through `rcast_sweep::run_spec`. Tracks the
+/// cell × seed work-stealing path end to end; per-interval allocation
+/// counting is meaningless across worker threads, so that field stays
+/// `None`.
+fn sweep_point() -> BenchResult {
+    let spec = rcast_sweep::preset("fig7")
+        .expect("built-in preset")
+        .smoke();
+    let threads = rcast_engine::pool::available_threads();
+    let started = Instant::now();
+    let report = rcast_sweep::run_spec(&spec, threads).expect("smoke grid runs");
+    let wall_seconds = started.elapsed().as_secs_f64();
+    BenchResult {
+        workload: "sweep",
+        scheme: "mixed",
+        nodes: report.spec.nodes[0],
+        sim_seconds: report.total_sim_seconds,
+        intervals: report.total_intervals,
+        wall_seconds,
+        intervals_per_sec: report.total_intervals as f64 / wall_seconds,
+        ms_per_sim_second: wall_seconds * 1e3 / report.total_sim_seconds,
+        allocs_per_interval: None,
+    }
 }
 
 /// Paired ledger-overhead measurement behind the `rcast bench --smoke`
@@ -278,8 +309,13 @@ mod tests {
     #[test]
     fn smoke_suite_runs_and_renders() {
         let results = run_suite(true);
-        assert_eq!(results.len(), SCHEMES.len(), "one cell per scheme");
-        for r in &results {
+        assert_eq!(
+            results.len(),
+            SCHEMES.len() + 1,
+            "one cell per scheme plus the sweep point"
+        );
+        let (sweep, singles) = results.split_last().expect("non-empty");
+        for r in singles {
             assert_eq!(r.workload, "small");
             assert_eq!(r.intervals, 480, "120 s at 250 ms");
             assert!(r.wall_seconds > 0.0);
@@ -288,6 +324,11 @@ mod tests {
             // test binary's allocator, but a sibling unit test exercising
             // the pass-through may have flipped the shared INSTALLED flag.
         }
+        assert_eq!(sweep.workload, "sweep");
+        assert_eq!(sweep.scheme, "mixed");
+        // 12 cells × 2 seeds × (60 s / 250 ms) intervals.
+        assert_eq!(sweep.intervals, 24 * 240);
+        assert_eq!(sweep.allocs_per_interval, None);
         let json = to_json(&results);
         assert!(json.starts_with("{\n  \"schema\": \"rcast-bench/v1\""));
         assert_eq!(json.matches("\"workload\"").count(), results.len());

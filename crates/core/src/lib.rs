@@ -52,11 +52,12 @@ pub use config::SimConfig;
 pub use faults::{FaultCounters, FaultEvent, FaultPlan, FaultsConfig};
 pub use odpm::{OdpmConfig, OdpmState};
 pub use overhearing::{OverhearFactors, RcastDecider};
-pub use report::{AggregateReport, SimReport};
+pub use report::{AggregateReport, SimReport, FIGURE_METRICS};
 pub use routing::{
     DataInfo, NetPacket, PacketArena, PacketHandle, PacketHeader, PacketKind, RouteAction,
     RouterNode, RoutingKind,
 };
+pub use rcast_mobility::Area;
 pub use scenario::{parse_scenario, write_scenario};
 pub use trace::{PacketId, PacketTrace, TraceEvent, TraceRecord};
 pub use rcast_obs::{

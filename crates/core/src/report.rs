@@ -13,6 +13,17 @@ use crate::scheme::Scheme;
 use crate::sim::run_seeds_parallel;
 use crate::trace::PacketTrace;
 
+/// The scalar metric columns of [`SimReport::figure_metrics`], in
+/// order — the stable column names sweep artifacts and CSV headers use.
+pub const FIGURE_METRICS: [&str; 6] = [
+    "energy_j",
+    "energy_variance",
+    "pdr",
+    "delay_s",
+    "overhead",
+    "epb_j_per_bit",
+];
+
 /// Everything measured over one simulation run.
 #[derive(Debug, Clone)]
 pub struct SimReport {
@@ -53,6 +64,27 @@ impl SimReport {
     pub fn energy_per_bit(&self, packet_bytes: usize) -> f64 {
         let bits = self.delivery.delivered() * packet_bytes as u64 * 8;
         self.energy.energy_per_bit(bits)
+    }
+
+    /// The six scalar figure metrics of one run, in the paper's
+    /// artifact order: total energy (J), per-node energy variance,
+    /// delivery ratio, mean delay (s), normalized routing overhead,
+    /// and energy per delivered bit (J/bit, clamped to `0` when
+    /// nothing was delivered so means stay finite).
+    ///
+    /// [`AggregateReport::from_runs`] and the sweep engine's per-cell
+    /// sampling both read runs through this accessor, so a scalar added
+    /// here flows into every artifact.
+    pub fn figure_metrics(&self, packet_bytes: usize) -> [f64; FIGURE_METRICS.len()] {
+        let epb = self.energy_per_bit(packet_bytes);
+        [
+            self.energy.total_joules(),
+            self.energy.variance(),
+            self.delivery.delivery_ratio(),
+            self.delivery.mean_delay().as_secs_f64(),
+            self.delivery.normalized_routing_overhead(),
+            if epb.is_finite() { epb } else { 0.0 },
+        ]
     }
 
     /// One-line human summary.
@@ -124,13 +156,13 @@ impl AggregateReport {
         let (mut energy, mut var, mut pdr, mut delay, mut overhead, mut epb) =
             (0.0, 0.0, 0.0, 0.0, 0.0, 0.0);
         for r in reports {
-            energy += r.energy.total_joules();
-            var += r.energy.variance();
-            pdr += r.delivery.delivery_ratio();
-            delay += r.delivery.mean_delay().as_secs_f64();
-            overhead += r.delivery.normalized_routing_overhead();
-            let e = r.energy_per_bit(packet_bytes);
-            epb += if e.is_finite() { e } else { 0.0 };
+            let [e, v, p, d, o, b] = r.figure_metrics(packet_bytes);
+            energy += e;
+            var += v;
+            pdr += p;
+            delay += d;
+            overhead += o;
+            epb += b;
             for (acc, &j) in per_node.iter_mut().zip(r.energy.per_node_joules()) {
                 *acc += j / k;
             }
@@ -226,6 +258,22 @@ mod tests {
         assert!((epb - 100.0 / 409_600.0).abs() < 1e-12);
         let empty = report(Scheme::Rcast, 0, vec![1.0], 0);
         assert!(empty.energy_per_bit(512).is_infinite());
+    }
+
+    #[test]
+    fn figure_metrics_order_matches_the_column_names() {
+        let r = report(Scheme::Rcast, 0, vec![50.0, 50.0], 100);
+        let m = r.figure_metrics(512);
+        assert_eq!(m.len(), FIGURE_METRICS.len());
+        assert_eq!(m[0], r.energy.total_joules());
+        assert_eq!(m[1], r.energy.variance());
+        assert_eq!(m[2], r.delivery.delivery_ratio());
+        assert_eq!(m[3], r.delivery.mean_delay().as_secs_f64());
+        assert_eq!(m[4], r.delivery.normalized_routing_overhead());
+        assert_eq!(m[5], r.energy_per_bit(512));
+        // Undeliverable runs clamp EPB to zero instead of poisoning means.
+        let empty = report(Scheme::Rcast, 0, vec![1.0], 0);
+        assert_eq!(empty.figure_metrics(512)[5], 0.0);
     }
 
     #[test]

@@ -128,6 +128,39 @@ impl ScopedPool {
             })
             .collect()
     }
+
+    /// Applies `f` across the whole `outer × inner` grid — every
+    /// `(cell, repeat)` pair is one unit of work claimed from a single
+    /// shared cursor, so workers steal across *cells*, not just within
+    /// one cell's repeats. The result is regrouped per outer item:
+    /// `result[o][i] == f(o, &outer[o], i)`, in input order, for any
+    /// thread count.
+    ///
+    /// This is the sweep-campaign generalization of [`map`](Self::map):
+    /// a seed fan-out is the `outer.len() == 1` special case, a figure
+    /// grid keeps every core busy even when cells finish at wildly
+    /// different speeds (an 802.11 cell at 2 pkt/s costs a multiple of
+    /// a static Rcast cell).
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a panic from `f` when the scope joins.
+    pub fn map_grid<T, U, F>(&self, outer: &[T], inner: usize, f: F) -> Vec<Vec<U>>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(usize, &T, usize) -> U + Sync,
+    {
+        let pairs: Vec<(usize, usize)> = (0..outer.len())
+            .flat_map(|o| (0..inner).map(move |i| (o, i)))
+            .collect();
+        let mut flat = self
+            .map(pairs, |_, (o, i)| f(o, &outer[o], i))
+            .into_iter();
+        (0..outer.len())
+            .map(|_| flat.by_ref().take(inner).collect())
+            .collect()
+    }
 }
 
 /// The machine's available parallelism, defaulting to 1 when unknown.
@@ -208,6 +241,43 @@ mod tests {
     fn machine_wide_is_at_least_one() {
         assert!(ScopedPool::machine_wide().threads() >= 1);
         assert!(available_threads() >= 1);
+    }
+
+    #[test]
+    fn map_grid_matches_the_serial_cross_product() {
+        let cells = vec![10u64, 20, 30];
+        let serial: Vec<Vec<u64>> = cells
+            .iter()
+            .map(|&c| (0..4).map(|i| c + i).collect())
+            .collect();
+        for threads in [1, 2, 3, 8] {
+            let got = ScopedPool::new(threads).map_grid(&cells, 4, |o, &c, i| {
+                assert_eq!(cells[o], c);
+                c + i as u64
+            });
+            assert_eq!(got, serial, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn map_grid_degenerate_shapes() {
+        let pool = ScopedPool::new(4);
+        let empty: Vec<Vec<u8>> = pool.map_grid(&Vec::<u8>::new(), 3, |_, &x, _| x);
+        assert!(empty.is_empty());
+        let zero_inner: Vec<Vec<u8>> = pool.map_grid(&[1u8, 2], 0, |_, &x, _| x);
+        assert_eq!(zero_inner, vec![Vec::<u8>::new(), Vec::new()]);
+        let single = pool.map_grid(&[7u8], 1, |o, &x, i| (o, x, i));
+        assert_eq!(single, vec![vec![(0, 7, 0)]]);
+    }
+
+    #[test]
+    fn map_grid_claims_every_pair_once() {
+        let calls = AtomicU32::new(0);
+        let out = ScopedPool::new(8).map_grid(&[0u8; 5], 7, |_, _, _| {
+            calls.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(out.iter().map(Vec::len).sum::<usize>(), 35);
+        assert_eq!(calls.load(Ordering::Relaxed), 35);
     }
 
     #[test]

@@ -15,7 +15,8 @@ use std::path::{Path, PathBuf};
 /// must be a pure function of `(config, seed)`, so the determinism
 /// rules (D002, D005) apply in full.
 pub const SIM_CRATES: &[&str] = &[
-    "aodv", "core", "dsr", "engine", "mac", "metrics", "mobility", "obs", "radio", "traffic",
+    "aodv", "core", "dsr", "engine", "mac", "metrics", "mobility", "obs", "radio", "sweep",
+    "traffic",
 ];
 
 /// Crates allowed to read the wall clock (D001): the timing harness and

@@ -116,6 +116,7 @@ const HOT_FUNCTIONS: &[&str] = &[
     "record_event",
     "record_span",
     "end_interval",
+    "run_cell_seed",
 ];
 
 /// Per-file line facts needed for pragma resolution.

@@ -79,6 +79,53 @@ pub fn confidence95(samples: &[f64]) -> Confidence {
     }
 }
 
+/// Mean, spread and 95 % interval of one experiment point's per-seed
+/// samples — the statistics a sweep artifact carries per cell metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleSummary {
+    /// Sample count.
+    pub n: u64,
+    /// The sample mean.
+    pub mean: f64,
+    /// The sample standard deviation (n − 1 denominator); `0` for a
+    /// single sample.
+    pub stddev: f64,
+    /// Half-width of the 95 % Student-t interval; infinite below two
+    /// samples.
+    pub half_width95: f64,
+}
+
+impl SampleSummary {
+    /// The summary as a [`Confidence`] interval, for overlap gating.
+    pub fn confidence(&self) -> Confidence {
+        Confidence {
+            mean: self.mean,
+            half_width: self.half_width95,
+        }
+    }
+}
+
+/// Summarizes per-seed samples of one metric: mean, sample standard
+/// deviation and the 95 % confidence half-width of [`confidence95`].
+pub fn summarize95(samples: &[f64]) -> SampleSummary {
+    let stats = RunningStats::from_slice(samples);
+    let n = stats.count();
+    // Sample (n-1) standard deviation, matching the variance the
+    // confidence interval is built from — not the population one
+    // `RunningStats::std_dev` returns.
+    let stddev = if n < 2 {
+        0.0
+    } else {
+        stats.sample_variance().sqrt()
+    };
+    SampleSummary {
+        n,
+        mean: stats.mean(),
+        stddev,
+        half_width95: confidence95(samples).half_width,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,6 +174,28 @@ mod tests {
         assert!(b.separated_from(&a));
         let c = confidence95(&[1.0, 5.0, 3.0, 2.5]);
         assert!(!a.separated_from(&c));
+    }
+
+    #[test]
+    fn summary_matches_confidence95() {
+        let samples = [3.0, 5.0, 5.0, 7.0];
+        let s = summarize95(&samples);
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.stddev - (8.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.half_width95, confidence95(&samples).half_width);
+        assert_eq!(s.confidence(), confidence95(&samples));
+    }
+
+    #[test]
+    fn summary_degenerate_sizes() {
+        let one = summarize95(&[4.5]);
+        assert_eq!(one.n, 1);
+        assert_eq!(one.mean, 4.5);
+        assert_eq!(one.stddev, 0.0);
+        assert!(one.half_width95.is_infinite());
+        let none = summarize95(&[]);
+        assert_eq!(none.n, 0);
     }
 
     #[test]

@@ -1,0 +1,142 @@
+//! A minimal, deterministic CSV writer for sweep/figure artifacts.
+//!
+//! Hand-rolled (the workspace is dependency-free) and *stable*: fields
+//! are written in insertion order with RFC-4180 quoting, floats are
+//! rendered with Rust's shortest-round-trip `Display` (so identical
+//! bits always produce identical bytes), and non-finite values become
+//! empty fields (CSV has no NaN/inf literal consumers agree on).
+
+/// A CSV document builder: one header row plus data rows, all the same
+/// width.
+///
+/// # Example
+///
+/// ```
+/// use rcast_metrics::CsvTable;
+///
+/// let mut t = CsvTable::new(&["scheme", "energy_j"]);
+/// t.row(vec!["Rcast".into(), CsvTable::num(39820.125)]);
+/// assert_eq!(t.render(), "scheme,energy_j\nRcast,39820.125\n");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsvTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl CsvTable {
+    /// A table with the given column names.
+    pub fn new(header: &[&str]) -> Self {
+        CsvTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width must match header"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// A float cell: shortest round-trip decimal; empty when not
+    /// finite.
+    pub fn num(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v}")
+        } else {
+            String::new()
+        }
+    }
+
+    /// Renders the document with `\n` line endings and RFC-4180
+    /// quoting (fields containing `,`, `"` or newlines are quoted,
+    /// inner quotes doubled).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let line = |cells: &[String], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if cell.contains([',', '"', '\n', '\r']) {
+                    out.push('"');
+                    out.push_str(&cell.replace('"', "\"\""));
+                    out.push('"');
+                } else {
+                    out.push_str(cell);
+                }
+            }
+            out.push('\n');
+        };
+        line(&self.header, &mut out);
+        for row in &self.rows {
+            line(row, &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_header_and_rows() {
+        let mut t = CsvTable::new(&["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["x".into(), "y".into()]);
+        assert_eq!(t.render(), "a,b\n1,2\nx,y\n");
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn quoting_follows_rfc_4180() {
+        let mut t = CsvTable::new(&["v"]);
+        t.row(vec!["plain".into()]);
+        t.row(vec!["with,comma".into()]);
+        t.row(vec!["with\"quote".into()]);
+        t.row(vec!["with\nnewline".into()]);
+        assert_eq!(
+            t.render(),
+            "v\nplain\n\"with,comma\"\n\"with\"\"quote\"\n\"with\nnewline\"\n"
+        );
+    }
+
+    #[test]
+    fn num_is_shortest_round_trip_and_empty_when_non_finite() {
+        assert_eq!(CsvTable::num(0.1), "0.1");
+        assert_eq!(CsvTable::num(40884.0), "40884");
+        assert_eq!(CsvTable::num(f64::INFINITY), "");
+        assert_eq!(CsvTable::num(f64::NAN), "");
+        // Round trip: the rendered text parses back to the same bits.
+        let v = 0.001140079_f64;
+        assert_eq!(CsvTable::num(v).parse::<f64>().unwrap(), v);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn width_mismatch_panics() {
+        let mut t = CsvTable::new(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+}

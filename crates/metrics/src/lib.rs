@@ -17,6 +17,7 @@
 #![deny(missing_docs)]
 
 mod confidence;
+mod csv;
 mod delivery;
 mod histogram;
 mod energy;
@@ -25,7 +26,8 @@ mod stats;
 mod table;
 mod timeseries;
 
-pub use confidence::{confidence95, t_critical_95, Confidence};
+pub use confidence::{confidence95, summarize95, t_critical_95, Confidence, SampleSummary};
+pub use csv::CsvTable;
 pub use delivery::DeliveryTracker;
 pub use histogram::Histogram;
 pub use energy::EnergyReport;

@@ -1,0 +1,300 @@
+//! Stable `rcast-sweep/v1` artifacts: JSON and CSV renderings of a
+//! [`SweepReport`].
+//!
+//! Hand-rolled and canonical, like the `rcast-bench/v1` document: fixed
+//! key order, shortest-round-trip number rendering, no timestamps, no
+//! host or thread-count fields. Two runs of the same spec — at any
+//! `--threads` width — render **byte-identical** files, so artifacts can
+//! be checked in and diffed, and CI can `cmp` them against goldens.
+
+use rcast_core::{FaultsConfig, RoutingKind, FIGURE_METRICS};
+use rcast_metrics::CsvTable;
+
+use crate::run::SweepReport;
+
+/// A JSON number: shortest round-trip `Display` for finite values,
+/// `null` otherwise (JSON has no NaN/infinity).
+fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// A JSON array of numbers.
+fn num_array(xs: &[f64]) -> String {
+    let mut s = String::from("[");
+    for (i, &x) in xs.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&num(x));
+    }
+    s.push(']');
+    s
+}
+
+/// A JSON array of strings (no escaping needed: every value here is a
+/// scheme label or fault spec, both escape-free by construction).
+fn str_array<S: AsRef<str>>(xs: &[S]) -> String {
+    let mut s = String::from("[");
+    for (i, x) in xs.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push('"');
+        s.push_str(x.as_ref());
+        s.push('"');
+    }
+    s.push(']');
+    s
+}
+
+/// The axis label of one fault plan: `none` for the empty plan, its
+/// `--faults` spec string otherwise.
+///
+/// # Panics
+///
+/// Panics on a scripted plan — normalization rejects those before a
+/// report can exist.
+fn fault_label(f: &FaultsConfig) -> String {
+    if f.is_none() {
+        "none".to_string()
+    } else {
+        f.spec_string()
+            .expect("normalization rejects scripted fault plans")
+    }
+}
+
+fn routing_label(r: RoutingKind) -> &'static str {
+    match r {
+        RoutingKind::Dsr => "dsr",
+        RoutingKind::Aodv => "aodv",
+    }
+}
+
+/// Renders the `rcast-sweep/v1` JSON document. See the
+/// [module docs](self) for the stability contract.
+pub fn to_json(report: &SweepReport) -> String {
+    let spec = &report.spec;
+    let mut s = String::from("{\n  \"schema\": \"rcast-sweep/v1\",\n");
+    s.push_str(&format!("  \"name\": \"{}\",\n", spec.name));
+    s.push_str(&format!("  \"pairing\": \"{}\",\n", spec.pairing.label()));
+    s.push_str(&format!(
+        "  \"seeds\": {},\n",
+        num_array(&spec.seeds.iter().map(|&x| x as f64).collect::<Vec<_>>())
+    ));
+    s.push_str("  \"axes\": {\n");
+    s.push_str(&format!(
+        "    \"schemes\": {},\n",
+        str_array(&spec.schemes.iter().map(|x| x.label()).collect::<Vec<_>>())
+    ));
+    s.push_str(&format!("    \"rates_pps\": {},\n", num_array(&spec.rates)));
+    s.push_str(&format!("    \"pauses_s\": {},\n", num_array(&spec.pauses)));
+    s.push_str(&format!(
+        "    \"nodes\": {},\n",
+        num_array(&spec.nodes.iter().map(|&x| f64::from(x)).collect::<Vec<_>>())
+    ));
+    s.push_str(&format!(
+        "    \"fault_plans\": {}\n",
+        str_array(&spec.faults.iter().map(fault_label).collect::<Vec<_>>())
+    ));
+    s.push_str("  },\n");
+    s.push_str(&format!(
+        "  \"base\": {{\"routing\": \"{}\", \"duration_s\": {}, \"flows\": {}, \
+\"packet_bytes\": {}, \"area_m\": [{}, {}]}},\n",
+        routing_label(spec.base.routing),
+        num(spec.base.duration.as_secs_f64()),
+        spec.base.traffic.flows,
+        spec.base.traffic.packet_bytes,
+        num(spec.base.area.width()),
+        num(spec.base.area.height()),
+    ));
+    s.push_str(&format!("  \"total_runs\": {},\n", report.total_runs));
+    s.push_str("  \"cells\": [\n");
+    for (i, cell) in report.cells.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"scheme\": \"{}\", \"rate_pps\": {}, \"pause_s\": {}, \
+\"nodes\": {}, \"fault_plan\": \"{}\", \"runs\": {},\n",
+            cell.cell.scheme.label(),
+            num(cell.cell.rate_pps),
+            num(cell.cell.pause_s),
+            cell.cell.nodes,
+            fault_label(&spec.faults[cell.cell.fault_index]),
+            cell.runs,
+        ));
+        s.push_str("     \"metrics\": {");
+        for (j, (name, m)) in
+            FIGURE_METRICS.iter().zip(&cell.metrics).enumerate()
+        {
+            if j > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!(
+                "\"{name}\": {{\"mean\": {}, \"stddev\": {}, \"ci95\": {}}}",
+                num(m.mean),
+                num(m.stddev),
+                num(m.half_width95),
+            ));
+        }
+        s.push('}');
+        if let Some(curve) = &cell.per_node_energy_j {
+            s.push_str(&format!(
+                ",\n     \"per_node_energy_j\": {}",
+                num_array(curve)
+            ));
+        }
+        s.push_str(&format!(
+            "}}{}\n",
+            if i + 1 < report.cells.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Renders the CSV table: one row per cell, scalar summaries only
+/// (per-node curves live in the JSON document). Columns are the cell
+/// coordinates followed by `mean`/`stddev`/`ci95` triples per
+/// [`FIGURE_METRICS`](rcast_core::FIGURE_METRICS) column.
+pub fn to_csv(report: &SweepReport) -> String {
+    let mut header: Vec<String> = [
+        "name", "scheme", "rate_pps", "pause_s", "nodes", "fault_plan", "runs",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    for name in FIGURE_METRICS {
+        header.push(format!("{name}_mean"));
+        header.push(format!("{name}_stddev"));
+        header.push(format!("{name}_ci95"));
+    }
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = CsvTable::new(&header_refs);
+    for cell in &report.cells {
+        let mut row = vec![
+            report.spec.name.clone(),
+            cell.cell.scheme.label().to_string(),
+            CsvTable::num(cell.cell.rate_pps),
+            CsvTable::num(cell.cell.pause_s),
+            cell.cell.nodes.to_string(),
+            fault_label(&report.spec.faults[cell.cell.fault_index]),
+            cell.runs.to_string(),
+        ];
+        for m in &cell.metrics {
+            row.push(CsvTable::num(m.mean));
+            row.push(CsvTable::num(m.stddev));
+            row.push(CsvTable::num(m.half_width95));
+        }
+        table.row(row);
+    }
+    table.render()
+}
+
+/// A human-readable summary table for the terminal: one line per cell
+/// with the headline metrics (mean ± CI95 energy, PDR, delay).
+pub fn human_summary(report: &SweepReport) -> String {
+    let mut s = format!(
+        "sweep {}: {} cells x {} seeds = {} runs ({} simulated seconds)\n",
+        report.spec.name,
+        report.cells.len(),
+        report.spec.seeds.len(),
+        report.total_runs,
+        report.total_sim_seconds,
+    );
+    s.push_str(&format!(
+        "{:<32} {:>16} {:>12} {:>12}\n",
+        "cell", "energy (J)", "PDR", "delay (ms)"
+    ));
+    for cell in &report.cells {
+        let e = cell.metric("energy_j");
+        let p = cell.metric("pdr");
+        let d = cell.metric("delay_s");
+        s.push_str(&format!(
+            "{:<32} {:>9.0} ±{:>5.0} {:>11.1}% {:>12.0}\n",
+            cell.cell.key(),
+            e.mean,
+            e.half_width95,
+            p.mean * 100.0,
+            d.mean * 1e3,
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::run_spec;
+    use crate::spec::SweepSpec;
+    use rcast_core::Scheme;
+    use rcast_engine::SimDuration;
+
+    fn tiny_report() -> SweepReport {
+        let mut spec = SweepSpec::paper_default("artifact-test");
+        spec.base.duration = SimDuration::from_secs(8);
+        spec.base.area = rcast_core::Area::new(600.0, 300.0);
+        spec.base.traffic.flows = 3;
+        spec.schemes = vec![Scheme::Dot11, Scheme::Rcast];
+        spec.rates = vec![0.4];
+        spec.pauses = vec![8.0];
+        spec.nodes = vec![10];
+        spec.seeds = vec![1, 2];
+        spec.per_node = true;
+        run_spec(&spec, 2).expect("tiny sweep runs")
+    }
+
+    #[test]
+    fn json_has_schema_axes_and_every_cell() {
+        let report = tiny_report();
+        let json = to_json(&report);
+        assert!(json.starts_with("{\n  \"schema\": \"rcast-sweep/v1\""));
+        assert!(json.contains("\"name\": \"artifact-test\""));
+        assert!(json.contains("\"schemes\": [\"802.11\", \"Rcast\"]"));
+        assert!(json.contains("\"fault_plans\": [\"none\"]"));
+        assert!(json.contains("\"per_node_energy_j\": ["));
+        assert!(json.contains("\"total_runs\": 4"));
+        for name in FIGURE_METRICS {
+            assert!(json.contains(&format!("\"{name}\": {{\"mean\": ")), "{name}");
+        }
+        assert_eq!(json.matches("\"scheme\": ").count(), 2, "one per cell");
+        assert!(!json.contains("threads"), "no execution-environment fields");
+        assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn csv_is_rectangular_with_one_row_per_cell() {
+        let report = tiny_report();
+        let csv = to_csv(&report);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + report.cells.len());
+        let cols = lines[0].split(',').count();
+        assert_eq!(cols, 7 + 3 * FIGURE_METRICS.len());
+        for line in &lines[1..] {
+            assert_eq!(line.split(',').count(), cols, "{line}");
+        }
+        assert!(lines[0].starts_with("name,scheme,rate_pps"));
+        assert!(lines[1].starts_with("artifact-test,802.11,0.4,8,10,none,2,"));
+    }
+
+    #[test]
+    fn artifacts_are_stable_across_renders_and_widths() {
+        let spec = tiny_report().spec;
+        let a = run_spec(&spec, 1).expect("serial");
+        let b = run_spec(&spec, 8).expect("parallel");
+        assert_eq!(to_json(&a), to_json(&b));
+        assert_eq!(to_csv(&a), to_csv(&b));
+        assert_eq!(to_json(&a), to_json(&a), "rendering is pure");
+    }
+
+    #[test]
+    fn human_summary_lists_every_cell() {
+        let report = tiny_report();
+        let text = human_summary(&report);
+        assert!(text.contains("artifact-test"));
+        for cell in &report.cells {
+            assert!(text.contains(&cell.cell.key()), "{}", cell.cell.key());
+        }
+    }
+}

@@ -244,6 +244,66 @@ fn main() -> ExitCode {
             );
             ExitCode::SUCCESS
         }
+        Ok(Command::Sweep(sweep)) => {
+            // Preset names win; anything else is a spec-file path.
+            let spec = match randomcast::sweep::preset(&sweep.spec) {
+                Some(s) => s,
+                None => {
+                    let text = match std::fs::read_to_string(&sweep.spec) {
+                        Ok(t) => t,
+                        Err(e) => {
+                            eprintln!(
+                                "error: '{}' is neither a preset ({}) nor a readable \
+spec file: {e}",
+                                sweep.spec,
+                                randomcast::sweep::PRESETS.join(", "),
+                            );
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                    match randomcast::sweep::parse_spec(&text) {
+                        Ok(s) => s,
+                        Err(e) => {
+                            eprintln!("error in {}: {e}", sweep.spec);
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+            };
+            let spec = if sweep.smoke { spec.smoke() } else { spec };
+            let threads = sweep
+                .threads
+                .unwrap_or_else(randomcast::engine::pool::available_threads);
+            let report = match randomcast::sweep::run_spec(&spec, threads) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let json = randomcast::sweep::to_json(&report);
+            if let Some(dir) = &sweep.out {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    eprintln!("error: cannot create {dir}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                let base = format!("{dir}/{}", report.spec.name);
+                let csv = randomcast::sweep::to_csv(&report);
+                for (path, content) in
+                    [(format!("{base}.json"), &json), (format!("{base}.csv"), &csv)]
+                {
+                    if let Err(e) = std::fs::write(&path, content) {
+                        eprintln!("error: cannot write {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    eprintln!("rcast sweep: wrote {path}");
+                }
+            } else {
+                print!("{json}");
+            }
+            eprint!("{}", randomcast::sweep::human_summary(&report));
+            ExitCode::SUCCESS
+        }
         Ok(Command::Compare(cmp)) => {
             let threads = cmp
                 .threads

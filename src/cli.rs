@@ -40,8 +40,30 @@ pub enum Command {
     /// (`rcast trace [options] [--filter f] [--interval-range A..B]
     /// [--out <file>]`).
     Trace(TraceArgs),
+    /// Run a declarative sweep campaign and emit `rcast-sweep/v1`
+    /// artifacts
+    /// (`rcast sweep --spec <file|preset> [--threads N] [--out <dir>]
+    /// [--smoke]`).
+    Sweep(SweepArgs),
     /// Print usage.
     Help,
+}
+
+/// Arguments of `rcast sweep`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepArgs {
+    /// A preset name (`fig5`–`fig8`) or a spec-file path; the binary
+    /// resolves presets first.
+    pub spec: String,
+    /// Worker threads for the cell × seed fan-out (`None` = machine
+    /// width). Artifacts are byte-identical at any width.
+    pub threads: Option<usize>,
+    /// Directory to write `<name>.json` and `<name>.csv` into; without
+    /// it the JSON document goes to stdout.
+    pub out: Option<String>,
+    /// Scale the campaign down to the CI smoke grid
+    /// (`SweepSpec::smoke`).
+    pub smoke: bool,
 }
 
 /// Arguments of `rcast trace`.
@@ -165,6 +187,7 @@ USAGE:
     rcast lint [--json] [--root <d>] run the determinism static analyzer
     rcast bench [--smoke] [--out <f>] run the tracked perf benchmark
     rcast trace [options]            run once, export rcast-trace/v1 JSONL
+    rcast sweep --spec <s> [options] run a sweep campaign (rcast-sweep/v1)
     rcast help                       show this text
 
 COMMON OPTIONS (both subcommands):
@@ -199,6 +222,14 @@ trace-ONLY:
     --filter <f>          keep matching events: node=N | flow=N | kind=K
     --interval-range A..B keep beacon intervals [A, B) (half-open)
     --out <file>          write the JSONL to a file instead of stdout
+
+sweep-ONLY:
+    --spec <s>        figure preset (fig5 | fig6 | fig7 | fig8) or a
+                      sweep spec file (required)
+    --threads <n>     worker threads across cells x seeds [machine width]
+                      (artifacts are byte-identical at any width)
+    --out <dir>       write <name>.json + <name>.csv here [stdout JSON]
+    --smoke           scale the campaign to the CI smoke grid
 ";
 
 /// Parses a full argument vector (without the binary name).
@@ -306,6 +337,41 @@ pub fn parse(args: &[String]) -> Result<Command, ParseCliError> {
                 out,
             }))
         }
+        "sweep" => {
+            let mut spec = None;
+            let mut threads = None;
+            let mut out = None;
+            let mut smoke = false;
+            let mut it = rest.iter();
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| -> Result<&String, ParseCliError> {
+                    it.next().ok_or_else(|| err(format!("{name} needs a value")))
+                };
+                match flag.as_str() {
+                    "--spec" => spec = Some(value("--spec")?.clone()),
+                    "--threads" => {
+                        let v = value("--threads")?;
+                        let n = parse_u64("--threads", v)? as usize;
+                        if n == 0 {
+                            return Err(err("--threads must be at least 1"));
+                        }
+                        threads = Some(n);
+                    }
+                    "--out" => out = Some(value("--out")?.clone()),
+                    "--smoke" => smoke = true,
+                    other => return Err(err(format!("unknown option '{other}'"))),
+                }
+            }
+            let spec = spec.ok_or_else(|| {
+                err("sweep needs --spec <fig5|fig6|fig7|fig8|file>")
+            })?;
+            Ok(Command::Sweep(SweepArgs {
+                spec,
+                threads,
+                out,
+                smoke,
+            }))
+        }
         "export-scenario" => {
             let (config, extras) = parse_config(rest)?;
             if let Some(e) = extras.first() {
@@ -376,7 +442,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseCliError> {
         }
         other => Err(err(format!(
             "unknown subcommand '{other}' (expected run, compare, scenario, \
-             export-scenario, lint, bench, trace, help)"
+             export-scenario, lint, bench, trace, sweep, help)"
         ))),
     }
 }
@@ -702,6 +768,51 @@ mod tests {
         assert_eq!(t.filter, Some(crate::obs::TraceFilter::Flow(0)));
         assert!(parse(&args("trace --out")).is_err());
         assert!(parse(&args("trace --bogus 1")).is_err());
+    }
+
+    #[test]
+    fn sweep_flags_parse() {
+        assert_eq!(
+            parse(&args("sweep --spec fig7")).unwrap(),
+            Command::Sweep(SweepArgs {
+                spec: "fig7".into(),
+                threads: None,
+                out: None,
+                smoke: false,
+            })
+        );
+        assert_eq!(
+            parse(&args("sweep --spec grid.sweep --threads 8 --out results --smoke")).unwrap(),
+            Command::Sweep(SweepArgs {
+                spec: "grid.sweep".into(),
+                threads: Some(8),
+                out: Some("results".into()),
+                smoke: true,
+            })
+        );
+    }
+
+    #[test]
+    fn sweep_rejects_bad_flag_combinations() {
+        assert!(parse(&args("sweep")).is_err(), "--spec is required");
+        assert!(parse(&args("sweep --spec")).is_err());
+        assert!(parse(&args("sweep --spec fig7 --threads 0")).is_err());
+        assert!(parse(&args("sweep --spec fig7 --threads many")).is_err());
+        assert!(parse(&args("sweep --spec fig7 --out")).is_err());
+        assert!(parse(&args("sweep --spec fig7 --bogus")).is_err());
+        // Config flags belong in the spec file, not on the sweep line.
+        assert!(parse(&args("sweep --spec fig7 --nodes 50")).is_err());
+    }
+
+    #[test]
+    fn help_text_matches_the_golden_snapshot() {
+        // Regenerate deliberately with:
+        //   cargo run -- help > tests/golden/help.txt
+        let golden = include_str!("../tests/golden/help.txt");
+        assert_eq!(
+            USAGE, golden,
+            "USAGE changed; update tests/golden/help.txt (see comment)"
+        );
     }
 
     #[test]

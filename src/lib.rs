@@ -106,6 +106,13 @@ pub mod obs {
     pub use rcast_obs::*;
 }
 
+/// Sweep campaigns: declarative run matrices over scheme × rate × pause
+/// × nodes × faults, deterministic parallel execution, `rcast-sweep/v1`
+/// artifacts.
+pub mod sweep {
+    pub use rcast_sweep::*;
+}
+
 pub use rcast_core::{
     parse_scenario, run_seeds, run_seeds_parallel, run_sim, write_scenario, AggregateReport,
     FaultCounters, FaultEvent, FaultPlan, FaultsConfig, OdpmConfig, OverhearFactors, PacketTrace,
@@ -113,3 +120,4 @@ pub use rcast_core::{
 };
 pub use rcast_engine::{NodeId, SimDuration, SimTime};
 pub use rcast_obs::{render_jsonl, ObsReport, TraceFilter};
+pub use rcast_sweep::{run_spec, SweepReport, SweepSpec};

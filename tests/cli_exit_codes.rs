@@ -1,0 +1,86 @@
+//! End-to-end exit-code and stream contracts for the `rcast` binary.
+//!
+//! Scripts and CI wrap this binary, so the contract is part of the
+//! public surface: success exits 0, every failure exits non-zero with a
+//! single-line diagnostic on **stderr** that starts with `error`, and
+//! machine-readable output (JSON, CSV) goes to stdout only.
+
+use std::process::{Command, Output};
+
+fn rcast(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_rcast"))
+        .args(args)
+        .output()
+        .expect("spawn rcast")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn help_exits_zero_and_prints_the_usage_golden() {
+    let out = rcast(&["help"]);
+    assert!(out.status.success());
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        include_str!("golden/help.txt"),
+        "help output drifted from tests/golden/help.txt"
+    );
+    assert!(out.stderr.is_empty());
+}
+
+#[test]
+fn unknown_subcommands_and_flags_fail_with_a_diagnostic() {
+    for args in [
+        &["frobnicate"][..],
+        &["run", "--bogus"][..],
+        &["sweep"][..],                      // missing required --spec
+        &["sweep", "--spec"][..],            // dangling value
+        &["sweep", "--spec", "fig7", "--threads", "0"][..],
+        &["run", "--nodes", "not-a-number"][..],
+    ] {
+        let out = rcast(args);
+        assert!(!out.status.success(), "{args:?} unexpectedly succeeded");
+        assert!(
+            stderr(&out).starts_with("error"),
+            "{args:?}: stderr was {:?}",
+            stderr(&out)
+        );
+    }
+}
+
+#[test]
+fn sweep_rejects_a_spec_that_is_neither_preset_nor_file() {
+    let out = rcast(&["sweep", "--spec", "no-such-spec-anywhere"]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    // The diagnostic must list the presets so the misspelling is fixable.
+    assert!(err.contains("fig5") && err.contains("fig8"), "stderr: {err}");
+}
+
+#[test]
+fn sweep_reports_spec_file_errors_with_line_numbers() {
+    let dir = std::env::temp_dir().join("rcast-cli-exit-codes");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("bad.sweep");
+    std::fs::write(&path, "schemes rcast\nrate 0.4\n").expect("write spec");
+    let out = rcast(&["sweep", "--spec", path.to_str().expect("utf-8 path")]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    // `rate` is the banned singular form; the parser points at line 2.
+    assert!(err.contains("line 2") && err.contains("rates"), "stderr: {err}");
+}
+
+#[test]
+fn sweep_smoke_succeeds_and_keeps_json_on_stdout() {
+    let out = rcast(&["sweep", "--spec", "fig7", "--smoke", "--threads", "2"]);
+    assert!(out.status.success());
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        json.starts_with("{\n  \"schema\": \"rcast-sweep/v1\","),
+        "stdout must carry the artifact"
+    );
+    // The human summary stays on stderr, out of the artifact stream.
+    assert!(stderr(&out).contains("fig7-smoke"));
+}

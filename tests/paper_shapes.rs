@@ -1,189 +1,287 @@
-//! Integration tests asserting the paper's headline result *shapes*
-//! on a scaled-down testbed, averaged over seeds so single-run noise
-//! cannot flip an ordering.
+//! Paper-figure reproduction suite, driven by the sweep campaign engine.
+//!
+//! One scaled-down fig7-style grid (4 schemes × 2 rates × 5 seeds) is
+//! executed once through `rcast_sweep::run_spec` and shared by every
+//! shape test. Orderings are gated on **95 % confidence-interval
+//! separation**, not raw means: an ordering only fails the suite when
+//! the intervals do not overlap, so single-seed noise cannot flip a
+//! figure shape, and a genuine regression (which moves the whole
+//! interval) still trips it.
 
-use randomcast::{AggregateReport, Scheme, SimConfig, SimDuration};
+use std::sync::OnceLock;
 
-const SEEDS: [u64; 3] = [11, 22, 33];
+use randomcast::metrics::SampleSummary;
+use randomcast::sweep::{run_spec, CellSummary, SweepReport, SweepSpec};
+use randomcast::{Scheme, SimDuration};
 
-fn aggregate(scheme: Scheme, rate: f64, pause: f64) -> AggregateReport {
-    let mut cfg = SimConfig::paper(scheme, 0, rate, pause);
-    cfg.nodes = 60;
-    cfg.area = randomcast::mobility::Area::new(1100.0, 300.0);
-    cfg.duration = SimDuration::from_secs(180);
-    cfg.traffic.flows = 12;
-    // The parallel runner is byte-identical to the serial path (see
-    // tests/determinism.rs), so shape tests can use it for speed.
-    AggregateReport::from_parallel(
-        &cfg,
-        &SEEDS,
-        randomcast::engine::pool::available_threads(),
-    )
-    .expect("valid config")
+const SEEDS: [u64; 5] = [11, 22, 33, 44, 55];
+const RATES: [f64; 2] = [0.4, 2.0];
+const PAUSE: f64 = 600.0;
+const DURATION_S: f64 = 180.0;
+
+/// The scaled-down paper grid: the `fig7` axes (all four figure schemes,
+/// both traffic corners) on the 60-node 1100 × 300 m testbed, with
+/// per-node energy curves on so Fig. 5 assertions read the same report.
+fn grid() -> &'static SweepReport {
+    static GRID: OnceLock<SweepReport> = OnceLock::new();
+    GRID.get_or_init(|| {
+        let mut spec = SweepSpec::paper_default("paper-shapes");
+        spec.base.duration = SimDuration::from_secs(DURATION_S as u64);
+        spec.base.area = randomcast::mobility::Area::new(1100.0, 300.0);
+        spec.base.traffic.flows = 12;
+        spec.schemes = vec![Scheme::Dot11, Scheme::Psm, Scheme::Odpm, Scheme::Rcast];
+        spec.rates = RATES.to_vec();
+        spec.pauses = vec![PAUSE];
+        spec.nodes = vec![60];
+        spec.seeds = SEEDS.to_vec();
+        spec.per_node = true;
+        run_spec(&spec, randomcast::engine::pool::available_threads())
+            .expect("the paper-shapes grid runs")
+    })
+}
+
+fn cell(scheme: Scheme, rate: f64) -> &'static CellSummary {
+    grid()
+        .find_cell(scheme, rate, PAUSE)
+        .unwrap_or_else(|| panic!("{scheme} at {rate} pps missing from the grid"))
+}
+
+/// `a` is significantly below `b`: the 95 % intervals do not overlap.
+fn significantly_less(a: &SampleSummary, b: &SampleSummary) -> bool {
+    a.confidence().high() < b.confidence().low()
+}
+
+/// `a` is significantly below `b - margin` — a one-sided tolerance band.
+fn significantly_below_by(a: &SampleSummary, b: &SampleSummary, margin: f64) -> bool {
+    a.confidence().high() < b.confidence().low() - margin
 }
 
 /// Abstract: Rcast is "highly energy-efficient compared to the original
-/// IEEE 802.11 PSM and ODPM" — the total-energy ordering of Fig. 7.
+/// IEEE 802.11 PSM and ODPM" — the total-energy ordering of Fig. 7 at
+/// every rate point: Rcast < PSM ≤ 802.11 and Rcast < ODPM. The wide
+/// Rcast gaps must be CI-separated; PSM ≤ 802.11 is overlap-gated
+/// because at 2 pps PSM almost never sleeps, so its interval brushes
+/// the deterministic always-on line — the shape fails only on a
+/// significant inversion.
 #[test]
-fn energy_ordering_802_11_psm_odpm_rcast() {
-    for rate in [0.4, 2.0] {
-        let dot11 = aggregate(Scheme::Dot11, rate, 600.0);
-        let psm = aggregate(Scheme::Psm, rate, 600.0);
-        let odpm = aggregate(Scheme::Odpm, rate, 600.0);
-        let rcast = aggregate(Scheme::Rcast, rate, 600.0);
+fn energy_ordering_holds_at_every_rate_point() {
+    for rate in RATES {
+        let dot11 = cell(Scheme::Dot11, rate).metric("energy_j");
+        let psm = cell(Scheme::Psm, rate).metric("energy_j");
+        let odpm = cell(Scheme::Odpm, rate).metric("energy_j");
+        let rcast = cell(Scheme::Rcast, rate).metric("energy_j");
         assert!(
-            dot11.mean_total_energy_j > psm.mean_total_energy_j,
-            "rate {rate}: 802.11 {} !> PSM {}",
-            dot11.mean_total_energy_j,
-            psm.mean_total_energy_j
+            psm.mean < dot11.mean && !significantly_less(dot11, psm),
+            "rate {rate}: PSM {} !<= 802.11 {}",
+            psm.confidence(),
+            dot11.confidence()
         );
         assert!(
-            psm.mean_total_energy_j > rcast.mean_total_energy_j,
-            "rate {rate}: PSM {} !> Rcast {}",
-            psm.mean_total_energy_j,
-            rcast.mean_total_energy_j
+            significantly_less(rcast, psm),
+            "rate {rate}: Rcast {} !< PSM {}",
+            rcast.confidence(),
+            psm.confidence()
         );
         assert!(
-            odpm.mean_total_energy_j > rcast.mean_total_energy_j,
-            "rate {rate}: ODPM {} !> Rcast {}",
-            odpm.mean_total_energy_j,
-            rcast.mean_total_energy_j
+            significantly_less(rcast, odpm),
+            "rate {rate}: Rcast {} !< ODPM {}",
+            rcast.confidence(),
+            odpm.confidence()
         );
     }
 }
 
-/// Abstract: Rcast saves "28% to 131%" vs ODPM. We assert the gap is at
-/// least 20 % at both traffic corners (shape, not the exact band).
+/// Abstract: Rcast saves "28% to 131%" vs ODPM. The gap must be
+/// significant *and* at least 20 % in the mean at both traffic corners.
 #[test]
 fn rcast_beats_odpm_by_a_wide_margin() {
-    for rate in [0.4, 2.0] {
-        let odpm = aggregate(Scheme::Odpm, rate, 600.0);
-        let rcast = aggregate(Scheme::Rcast, rate, 600.0);
-        let gap = odpm.mean_total_energy_j / rcast.mean_total_energy_j - 1.0;
+    for rate in RATES {
+        let odpm = cell(Scheme::Odpm, rate).metric("energy_j");
+        let rcast = cell(Scheme::Rcast, rate).metric("energy_j");
+        assert!(significantly_less(rcast, odpm), "rate {rate}");
+        let gap = odpm.mean / rcast.mean - 1.0;
         assert!(gap > 0.20, "rate {rate}: gap only {:.0} %", gap * 100.0);
     }
 }
 
 /// Fig. 6: ODPM's per-node energy variance dwarfs Rcast's (the paper
-/// quotes a 4x improvement).
+/// quotes a 4x improvement); significant at every rate point, with the
+/// mean at least doubling.
 #[test]
 fn energy_balance_odpm_variance_exceeds_rcast() {
-    for rate in [0.4, 2.0] {
-        let odpm = aggregate(Scheme::Odpm, rate, 600.0);
-        let rcast = aggregate(Scheme::Rcast, rate, 600.0);
+    for rate in RATES {
+        let odpm = cell(Scheme::Odpm, rate).metric("energy_variance");
+        let rcast = cell(Scheme::Rcast, rate).metric("energy_variance");
         assert!(
-            odpm.mean_energy_variance > 2.0 * rcast.mean_energy_variance,
-            "rate {rate}: ODPM var {} vs Rcast var {}",
-            odpm.mean_energy_variance,
-            rcast.mean_energy_variance
+            significantly_less(rcast, odpm),
+            "rate {rate}: Rcast var {} !< ODPM var {}",
+            rcast.confidence(),
+            odpm.confidence()
         );
+        assert!(odpm.mean > 2.0 * rcast.mean, "rate {rate}");
     }
 }
 
-/// Fig. 7(b)/(e): all three schemes keep PDR high; Rcast's reduction is
-/// small (the paper says at most ~3 %; we allow a slightly wider band
-/// at reduced scale).
+/// Fig. 7(b)/(e): all three paper schemes keep PDR high. CI-gated: a
+/// scheme fails only when its whole interval sits below the band.
 #[test]
 fn delivery_ratios_stay_high() {
     for scheme in Scheme::PAPER_FIGURES {
-        let agg = aggregate(scheme, 0.4, 600.0);
+        let pdr = cell(scheme, 0.4).metric("pdr");
         assert!(
-            agg.mean_pdr > 0.88,
-            "{scheme}: PDR {:.1} %",
-            agg.mean_pdr * 100.0
+            pdr.confidence().high() > 0.88,
+            "{scheme}: PDR {} entirely below the 88 % band",
+            pdr.confidence()
+        );
+        assert!(pdr.mean > 0.85, "{scheme}: mean PDR {:.1} %", pdr.mean * 100.0);
+    }
+}
+
+/// Section 3.3 / Fig. 7(b): dropping overhearing must not cost
+/// delivery — Rcast's PDR is not significantly more than 5 points below
+/// always-on 802.11 at the paper's nominal rate.
+#[test]
+fn rcast_delivery_tracks_802_11() {
+    let dot11 = cell(Scheme::Dot11, 0.4).metric("pdr");
+    let rcast = cell(Scheme::Rcast, 0.4).metric("pdr");
+    assert!(
+        !significantly_below_by(rcast, dot11, 0.05),
+        "Rcast PDR {} vs 802.11 {}",
+        rcast.confidence(),
+        dot11.confidence()
+    );
+}
+
+/// Fig. 8(a)/(c): the latency ordering — Rcast pays ATIM-window delay
+/// that always-on 802.11 and ODPM (which stays awake on demand) do not.
+/// Significant at every rate point, and the scales match the paper's:
+/// milliseconds for 802.11, a beacon-interval multiple for Rcast.
+#[test]
+fn latency_ordering_and_scale() {
+    for rate in RATES {
+        let dot11 = cell(Scheme::Dot11, rate).metric("delay_s");
+        let odpm = cell(Scheme::Odpm, rate).metric("delay_s");
+        let rcast = cell(Scheme::Rcast, rate).metric("delay_s");
+        assert!(
+            significantly_less(dot11, rcast),
+            "rate {rate}: 802.11 {} !< Rcast {}",
+            dot11.confidence(),
+            rcast.confidence()
+        );
+        assert!(
+            significantly_less(odpm, rcast),
+            "rate {rate}: ODPM {} !< Rcast {}",
+            odpm.confidence(),
+            rcast.confidence()
+        );
+    }
+    assert!(cell(Scheme::Dot11, 0.4).metric("delay_s").mean < 0.1);
+    let rcast = cell(Scheme::Rcast, 0.4).metric("delay_s").mean;
+    assert!((0.25..2.5).contains(&rcast), "{rcast}");
+}
+
+/// Section 3.3: Rcast's randomized overhearing pays significantly less
+/// energy per delivered bit than PSM's unconditional overhearing, at
+/// both traffic corners.
+#[test]
+fn rcast_energy_per_bit_below_unconditional_psm() {
+    for rate in RATES {
+        let psm = cell(Scheme::Psm, rate).metric("epb_j_per_bit");
+        let rcast = cell(Scheme::Rcast, rate).metric("epb_j_per_bit");
+        assert!(
+            significantly_less(rcast, psm),
+            "rate {rate}: Rcast EPB {} !< PSM EPB {}",
+            rcast.confidence(),
+            psm.confidence()
         );
     }
 }
 
-/// Fig. 8(a)/(c): delay smallest for 802.11 and ODPM; Rcast pays about
-/// half a beacon interval per hop.
+/// Fig. 5, from the sweep's per-node curves: the 802.11 baseline burns
+/// exactly `P_idle × duration` on every node (the flat line), and
+/// Rcast's sorted curve sits below it at every node position.
 #[test]
-fn delay_ordering_and_scale() {
-    let dot11 = aggregate(Scheme::Dot11, 0.4, 600.0);
-    let odpm = aggregate(Scheme::Odpm, 0.4, 600.0);
-    let rcast = aggregate(Scheme::Rcast, 0.4, 600.0);
-    assert!(rcast.mean_delay_s > odpm.mean_delay_s);
-    assert!(rcast.mean_delay_s > dot11.mean_delay_s);
-    // 802.11 delivers in milliseconds; Rcast in hundreds of them.
-    assert!(dot11.mean_delay_s < 0.1, "{}", dot11.mean_delay_s);
+fn fig5_per_node_curves() {
+    let dot11 = cell(Scheme::Dot11, 0.4)
+        .per_node_energy_j
+        .as_ref()
+        .expect("grid records per-node curves");
+    let expect = 1.15 * DURATION_S;
+    for &j in dot11 {
+        assert!((j - expect).abs() < 1e-6, "{j} vs {expect}");
+    }
+    assert_eq!(cell(Scheme::Dot11, 0.4).metric("energy_variance").mean, 0.0);
+
+    let rcast = cell(Scheme::Rcast, 0.4)
+        .per_node_energy_j
+        .as_ref()
+        .expect("grid records per-node curves");
+    assert_eq!(rcast.len(), dot11.len());
+    for (i, (&r, &d)) in rcast.iter().zip(dot11).enumerate() {
+        assert!(r < d, "node position {i}: Rcast {r} !< 802.11 {d}");
+    }
+}
+
+/// Static scenarios (T_pause ≥ duration) must produce significantly
+/// less routing overhead than mobile ones — Fig. 8(b) vs 8(d). Runs its
+/// own two-cell sweep over the pause axis.
+#[test]
+fn mobility_drives_routing_overhead() {
+    let mut spec = SweepSpec::paper_default("overhead-pause-axis");
+    spec.base.duration = SimDuration::from_secs(DURATION_S as u64);
+    spec.base.area = randomcast::mobility::Area::new(1100.0, 300.0);
+    spec.base.traffic.flows = 12;
+    spec.schemes = vec![Scheme::Rcast];
+    spec.rates = vec![0.4];
+    spec.pauses = vec![60.0, 100_000.0];
+    spec.nodes = vec![60];
+    spec.seeds = SEEDS.to_vec();
+    let report = run_spec(&spec, randomcast::engine::pool::available_threads())
+        .expect("pause-axis sweep runs");
+    let mobile = report
+        .find_cell(Scheme::Rcast, 0.4, 60.0)
+        .expect("mobile cell")
+        .metric("overhead");
+    let static_ = report
+        .find_cell(Scheme::Rcast, 0.4, 100_000.0)
+        .expect("static cell")
+        .metric("overhead");
     assert!(
-        rcast.mean_delay_s > 0.25 && rcast.mean_delay_s < 2.5,
-        "{}",
-        rcast.mean_delay_s
+        significantly_less(static_, mobile),
+        "static {} !< mobile {}",
+        static_.confidence(),
+        mobile.confidence()
     );
 }
 
 /// Fig. 9: randomization counteracts preferential attachment — Rcast's
-/// maximum role number stays below ODPM's. (At the highest rate the
-/// maxima come out comparable in this reproduction — see
-/// EXPERIMENTS.md — so the shape is asserted at the paper's low rate.)
+/// maximum role number stays below ODPM's. Role numbers are aggregated
+/// per node (not a sweep scalar), so this reads `AggregateReport`
+/// directly, at the paper's low rate (see EXPERIMENTS.md for why the
+/// high-rate maxima come out comparable in this reproduction).
 #[test]
 fn role_number_maximum_smaller_under_rcast() {
-    let odpm = aggregate(Scheme::Odpm, 0.4, 600.0);
-    let rcast = aggregate(Scheme::Rcast, 0.4, 600.0);
+    use randomcast::{AggregateReport, SimConfig};
+    let aggregate = |scheme| {
+        let mut cfg = SimConfig::paper(scheme, 0, 0.4, PAUSE);
+        cfg.nodes = 60;
+        cfg.area = randomcast::mobility::Area::new(1100.0, 300.0);
+        cfg.duration = SimDuration::from_secs(DURATION_S as u64);
+        cfg.traffic.flows = 12;
+        AggregateReport::from_parallel(
+            &cfg,
+            &SEEDS[..3],
+            randomcast::engine::pool::available_threads(),
+        )
+        .expect("valid config")
+    };
+    let odpm = aggregate(Scheme::Odpm);
+    let rcast = aggregate(Scheme::Rcast);
     assert!(
         rcast.roles.max_role() < odpm.roles.max_role(),
         "Rcast max {} vs ODPM max {}",
         rcast.roles.max_role(),
         odpm.roles.max_role()
-    );
-}
-
-/// The 802.11 baseline burns exactly `P_idle x duration` on every node —
-/// the flat line of Fig. 5 (1.15 W x 1125 s = 1293.75 J at paper scale).
-#[test]
-fn dot11_energy_is_exactly_flat() {
-    let agg = aggregate(Scheme::Dot11, 0.4, 600.0);
-    let expect = 1.15 * 180.0;
-    for &j in &agg.mean_per_node_energy_j {
-        assert!((j - expect).abs() < 1e-6, "{j} vs {expect}");
-    }
-    assert_eq!(agg.mean_energy_variance, 0.0);
-}
-
-/// Static scenarios (T_pause = duration) must produce less routing
-/// overhead than mobile ones — Fig. 8(b) vs 8(d).
-#[test]
-fn mobility_drives_routing_overhead() {
-    let mobile = aggregate(Scheme::Rcast, 0.4, 60.0);
-    let static_ = aggregate(Scheme::Rcast, 0.4, 100_000.0);
-    assert!(
-        mobile.mean_overhead > static_.mean_overhead,
-        "mobile {} vs static {}",
-        mobile.mean_overhead,
-        static_.mean_overhead
-    );
-}
-
-/// Section 3.3: Rcast's randomized overhearing pays less energy per
-/// delivered bit than PSM's unconditional overhearing, at both traffic
-/// corners.
-#[test]
-fn rcast_energy_per_bit_below_unconditional_psm() {
-    for rate in [0.4, 2.0] {
-        let psm = aggregate(Scheme::Psm, rate, 600.0);
-        let rcast = aggregate(Scheme::Rcast, rate, 600.0);
-        assert!(
-            rcast.mean_epb < psm.mean_epb,
-            "rate {rate}: Rcast EPB {} !< PSM EPB {}",
-            rcast.mean_epb,
-            psm.mean_epb
-        );
-    }
-}
-
-/// Section 3.3 / Fig. 7(b): dropping overhearing must not cost
-/// delivery — Rcast's PDR stays within a few points of always-on
-/// 802.11 at the paper's nominal rate.
-#[test]
-fn rcast_delivery_tracks_802_11() {
-    let dot11 = aggregate(Scheme::Dot11, 0.4, 600.0);
-    let rcast = aggregate(Scheme::Rcast, 0.4, 600.0);
-    assert!(
-        rcast.mean_pdr > dot11.mean_pdr - 0.05,
-        "Rcast PDR {:.1} % vs 802.11 {:.1} %",
-        rcast.mean_pdr * 100.0,
-        dot11.mean_pdr * 100.0
     );
 }
 

@@ -1,0 +1,75 @@
+//! Golden-artifact conformance for the sweep campaign engine.
+//!
+//! The `rcast-sweep/v1` artifacts for the pinned `fig7 --smoke` grid are
+//! checked in under `tests/golden/` and must be **byte-identical** at
+//! every thread width. Any intentional engine change that moves a
+//! number shows up here as a reviewable golden diff; an unintentional
+//! one fails CI. `ci.sh` additionally diffs the binary's `--out` files
+//! against the same goldens.
+
+use randomcast::sweep::{preset, run_spec, to_csv, to_json};
+
+const GOLDEN_JSON: &str = include_str!("golden/fig7-smoke.json");
+const GOLDEN_CSV: &str = include_str!("golden/fig7-smoke.csv");
+const REGEN_HINT: &str =
+    "regenerate with: cargo test --release --test sweep_determinism -- --ignored";
+
+fn artifacts(threads: usize) -> (String, String) {
+    let spec = preset("fig7").expect("built-in preset").smoke();
+    let report = run_spec(&spec, threads).expect("the smoke grid runs");
+    (to_json(&report), to_csv(&report))
+}
+
+/// The contract the artifact schema exists for: same spec, same seeds
+/// → same bytes, no matter how the work-stealing pool interleaves the
+/// 24 runs. Widths 1 (serial reference), 2 (minimal stealing), and 8
+/// (more workers than some axes have cells) all reproduce the goldens.
+#[test]
+fn artifacts_match_the_goldens_at_every_thread_width() {
+    for threads in [1, 2, 8] {
+        let (json, csv) = artifacts(threads);
+        assert!(
+            json == GOLDEN_JSON,
+            "JSON drifted from tests/golden/fig7-smoke.json at {threads} thread(s); {REGEN_HINT}"
+        );
+        assert!(
+            csv == GOLDEN_CSV,
+            "CSV drifted from tests/golden/fig7-smoke.csv at {threads} thread(s); {REGEN_HINT}"
+        );
+    }
+}
+
+/// The goldens themselves stay well-formed: pinned schema tag, one CSV
+/// row per cell, and no environment-dependent fields (nothing about
+/// threads, timing, or dates may ever leak into an artifact).
+#[test]
+fn goldens_are_schema_tagged_and_environment_free() {
+    assert!(GOLDEN_JSON.starts_with("{\n  \"schema\": \"rcast-sweep/v1\","));
+    assert!(GOLDEN_JSON.ends_with("}\n"));
+    for banned in ["thread", "wall", "time\"", "date", "duration_wall"] {
+        assert!(
+            !GOLDEN_JSON.contains(banned),
+            "artifact leaks execution environment: {banned}"
+        );
+    }
+    // Header + 12 cells (3 schemes x 2 rates x 2 pauses) + trailing \n.
+    assert_eq!(GOLDEN_CSV.lines().count(), 13);
+    assert!(GOLDEN_CSV.ends_with('\n'));
+    let header = GOLDEN_CSV.lines().next().expect("header row");
+    assert_eq!(header.split(',').count(), 25);
+}
+
+/// Rewrites the goldens from the current engine. Kept `#[ignore]`d so
+/// it only runs on request, after a deliberate behavior change:
+///
+/// ```sh
+/// cargo test --release --test sweep_determinism -- --ignored
+/// ```
+#[test]
+#[ignore = "regenerates tests/golden/fig7-smoke.{json,csv} from the current engine"]
+fn regenerate_golden_artifacts() {
+    let (json, csv) = artifacts(8);
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    std::fs::write(dir.join("fig7-smoke.json"), json).expect("write golden JSON");
+    std::fs::write(dir.join("fig7-smoke.csv"), csv).expect("write golden CSV");
+}
