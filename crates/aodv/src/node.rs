@@ -216,6 +216,7 @@ impl AodvNode {
     /// stale sequence numbers), the RREQ id stays monotone, and the
     /// cumulative counters survive. Returns the `(flow, seq)` ids of
     /// the buffered data packets that died with the node.
+    // det: cold — fault-rejoin lifecycle event: rebuilds node state outside the settled loop
     pub fn reboot(&mut self, now: SimTime) -> Vec<(u32, u64)> {
         let lost = self.buffer.iter().map(|b| (b.flow, b.seq)).collect();
         self.table = RoutingTable::new(self.cfg.active_route_timeout);
@@ -247,6 +248,7 @@ impl AodvNode {
     // ------------------------------------------------------------------
 
     /// The application asks to send `payload_bytes` to `dst`.
+    // det: hot-ok — origination allocates per traffic event, not per idle interval
     pub fn originate(
         &mut self,
         flow: u32,
@@ -349,6 +351,7 @@ impl AodvNode {
     // ------------------------------------------------------------------
 
     /// Advances protocol timers; call at least once per beacon interval.
+    // det: hot-ok — timer path: allocates only when a discovery ring or hello deadline fires
     pub fn tick(&mut self, now: SimTime) -> Vec<AodvAction> {
         let mut out = Vec::new();
 
@@ -466,6 +469,7 @@ impl AodvNode {
         })
     }
 
+    // det: hot-ok — link-breakage repair path, driven by MAC failure events
     fn break_link(&mut self, neighbor: NodeId, now: SimTime) -> Vec<AodvAction> {
         let broken = self.table.invalidate_via(neighbor, now);
         // RFC 3561 §6.11: a RERR advertises only routes *in use* —
@@ -513,6 +517,7 @@ impl AodvNode {
         self.receive(packet.clone(), from, now)
     }
 
+    // det: hot-ok — route-discovery control path, absent from the settled steady state
     fn receive_rreq(&mut self, r: AodvRreq, from: NodeId, now: SimTime) -> Vec<AodvAction> {
         let mut out = Vec::new();
         if r.origin == self.id || !self.seen_rreq.insert((r.origin, r.id)) {
@@ -582,6 +587,7 @@ impl AodvNode {
         out
     }
 
+    // det: hot-ok — route-discovery control path, absent from the settled steady state
     fn receive_rrep(&mut self, r: AodvRrep, from: NodeId, now: SimTime) -> Vec<AodvAction> {
         let mut out = Vec::new();
         if r.is_hello() {
@@ -616,6 +622,7 @@ impl AodvNode {
         out
     }
 
+    // det: hot-ok — error-propagation path, driven by link-failure events
     fn receive_rerr(&mut self, e: AodvRerr, from: NodeId, now: SimTime) -> Vec<AodvAction> {
         let mut cascaded = Vec::new();
         for &(dst, seq) in &e.unreachable {
@@ -638,6 +645,7 @@ impl AodvNode {
         self.emit_rerr(cascaded, now).into_iter().collect()
     }
 
+    // det: hot-ok — per-packet data-plane event, outside the quiet-interval zero-alloc contract (crates/bench/tests/zero_alloc.rs)
     fn receive_data(&mut self, d: AodvData, from: NodeId, now: SimTime) -> Vec<AodvAction> {
         let mut out = Vec::new();
         if d.dst == self.id {
@@ -723,6 +731,7 @@ impl AodvNode {
         out
     }
 
+    // det: hot-ok — flushes buffered packets when a route materializes, a discovery-completion event
     fn drain_buffer(&mut self, now: SimTime) -> Vec<AodvAction> {
         let mut out = Vec::new();
         let mut remaining = Vec::with_capacity(self.buffer.len());

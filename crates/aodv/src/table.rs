@@ -65,6 +65,7 @@ impl RoutingTable {
     /// update rule: accept when the incoming sequence number is newer,
     /// or equal with a shorter hop count, or the existing entry expired.
     /// Returns `true` when the table changed.
+    // det: hot-ok — precursor lists grow on route-learning events only
     pub fn update(
         &mut self,
         dst: NodeId,
@@ -155,6 +156,7 @@ impl RoutingTable {
     /// break), bumping their sequence numbers as RFC 3561 requires.
     /// Returns the affected `(destination, new_seq, precursors)` list
     /// for RERR construction.
+    // det: hot-ok — link-breakage repair path, driven by MAC failure events
     pub fn invalidate_via(
         &mut self,
         neighbor: NodeId,

@@ -7,8 +7,8 @@
 //! past its high-water marks, then steps the remaining intervals and
 //! asserts the process-wide allocation counter did not move. Any
 //! reintroduced `Vec::new`/`clone`/`to_vec` on the hot path fails this
-//! test with an exact count (the lint rule D006 catches the same class
-//! statically; this is the dynamic proof).
+//! test with an exact count (the lint rule D007 catches the same class
+//! statically by call-graph reachability; this is the dynamic proof).
 
 use rcast_bench::alloc_probe;
 use rcast_core::{Scheme, SimConfig, Simulation};

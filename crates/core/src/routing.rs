@@ -271,7 +271,7 @@ impl RouterNode {
                 .into_iter()
                 .filter_map(from_dsr)
                 .collect(),
-            (RouterNode::Aodv(_), NetPacket::Aodv(_)) => Vec::new(),
+            (RouterNode::Aodv(_), NetPacket::Aodv(_)) => Vec::new(), // det: hot-ok — empty Vec literal, never touches the allocator
             _ => panic!("routing protocol mismatch"),
         }
     }
@@ -306,6 +306,7 @@ impl RouterNode {
     /// table, buffers, duplicate suppression, timers), preserving the
     /// cumulative counters. Returns the `(flow, seq)` ids of buffered
     /// data packets lost with the node.
+    // det: cold — fault-rejoin lifecycle event: rebuilds node state outside the settled loop
     pub fn reboot(&mut self, now: SimTime) -> Vec<(u32, u64)> {
         match self {
             RouterNode::Dsr(n) => n.reboot(),

@@ -249,6 +249,7 @@ impl Simulation {
     /// # Errors
     ///
     /// Returns the configuration error, if any.
+    // det: cold — construction: runs once per (config, seed) before the interval loop
     pub fn with_seed(cfg: Arc<SimConfig>, seed: u64) -> Result<Self, String> {
         cfg.validate()?;
         let n = cfg.nodes as usize;

@@ -159,6 +159,7 @@ impl PathCache {
     /// Invalidates the (undirected) link `a ↔ b`: every path using it is
     /// truncated just before the break; prefixes that still form a route
     /// (≥ 2 nodes) survive. Returns the number of affected entries.
+    // det: hot-ok — link-breakage repair path, driven by failure events
     pub fn remove_link(&mut self, a: NodeId, b: NodeId) -> usize {
         let mut affected = 0;
         let mut kept = Vec::with_capacity(self.entries.len());
@@ -194,6 +195,7 @@ impl PathCache {
 
     /// The cached paths (metrics: role numbers are counted over cache
     /// contents).
+    // det: hot-ok — link-cache fallback for the role sampler; the default path-cache strategy uses the allocation-free for_each_path
     pub fn paths(&self) -> Vec<SourceRoute> {
         self.entries.iter().map(|e| e.path.clone()).collect()
     }

@@ -231,6 +231,7 @@ impl DsrNode {
     /// remember pre-crash `(origin, id)` pairs never mistake a fresh
     /// discovery for a duplicate. Returns the `(flow, seq)` ids of the
     /// buffered data packets that died with the node.
+    // det: cold — fault-rejoin lifecycle event: rebuilds node state outside the settled loop
     pub fn reboot(&mut self) -> Vec<(u32, u64)> {
         let lost = self.send_buffer.iter().map(|b| (b.flow, b.seq)).collect();
         self.cache = RouteCache::new(self.id, self.cfg.cache);
@@ -249,6 +250,7 @@ impl DsrNode {
     /// Inserts `route` (which must start at or contain this node) and its
     /// reverse; emits `RouteCached` for new entries and drains any
     /// now-routable buffered packets.
+    // det: hot-ok — caches a route only when new topology information appears
     fn learn_route(&mut self, route: &SourceRoute, now: SimTime, out: &mut Vec<DsrAction>) {
         for candidate in [route.clone(), route.reversed()] {
             // RouteCache::insert normalizes to start at the owner and
@@ -269,6 +271,7 @@ impl DsrNode {
 
     /// Learns from an *overheard* route the node is not on: extend it
     /// through the overheard transmitter, which is known reachable.
+    // det: hot-ok — caches a route only when new topology information appears
     fn learn_via_transmitter(
         &mut self,
         transmitter: NodeId,
@@ -302,6 +305,7 @@ impl DsrNode {
 
     /// Sends every buffered packet that now has a route; completes
     /// discoveries whose target became reachable.
+    // det: hot-ok — flushes buffered packets when a route materializes, a discovery-completion event
     fn drain_send_buffer(&mut self, now: SimTime, out: &mut Vec<DsrAction>) {
         if self.send_buffer.is_empty() {
             return;
@@ -333,6 +337,7 @@ impl DsrNode {
     // ------------------------------------------------------------------
 
     /// The application asks to send `payload_bytes` to `dst`.
+    // det: hot-ok — origination allocates per traffic event, not per idle interval
     pub fn originate(
         &mut self,
         flow: u32,
@@ -445,6 +450,7 @@ impl DsrNode {
     // ------------------------------------------------------------------
 
     /// Advances protocol timers (call at least once per beacon interval).
+    // det: hot-ok — timer path: allocates only when a ring-search deadline fires
     pub fn tick(&mut self, now: SimTime) -> Vec<DsrAction> {
         let mut out = Vec::new();
 
@@ -539,6 +545,7 @@ impl DsrNode {
         }
     }
 
+    // det: hot-ok — route-discovery control path, absent from the settled steady state
     fn receive_rreq(&mut self, r: &Rreq, from: NodeId, now: SimTime) -> Vec<DsrAction> {
         let mut out = Vec::new();
         if r.origin == self.id || r.record.contains(&self.id) {
@@ -615,6 +622,7 @@ impl DsrNode {
         out
     }
 
+    // det: hot-ok — route-discovery control path, absent from the settled steady state
     fn receive_rrep(&mut self, r: Rrep, now: SimTime) -> Vec<DsrAction> {
         let mut out = Vec::new();
         self.learn_route(&r.route.clone(), now, &mut out);
@@ -634,6 +642,7 @@ impl DsrNode {
         out
     }
 
+    // det: hot-ok — error-propagation path, driven by link-failure events
     fn receive_rerr(&mut self, e: Rerr, now: SimTime) -> Vec<DsrAction> {
         let mut out = Vec::new();
         self.cache.remove_link(e.broken_from, e.broken_to);
@@ -651,6 +660,7 @@ impl DsrNode {
         out
     }
 
+    // det: hot-ok — per-packet data-plane event, outside the quiet-interval zero-alloc contract (crates/bench/tests/zero_alloc.rs)
     fn receive_data(&mut self, d: DataPacket, now: SimTime) -> Vec<DsrAction> {
         let mut out = Vec::new();
         if d.dst() == self.id {
@@ -688,6 +698,7 @@ impl DsrNode {
     /// Handles a packet this node overheard from `transmitter` without
     /// being addressed. This is where DSR's eavesdropping-based route
     /// learning — the subject of the paper — happens.
+    // det: hot-ok — promiscuous overhearing allocates per packet event, outside the quiet-interval zero-alloc contract
     pub fn overhear(
         &mut self,
         packet: &DsrPacket,
@@ -730,6 +741,7 @@ impl DsrNode {
 
     /// The MAC reports that `next_hop` is unreachable and returns the
     /// undeliverable packet.
+    // det: hot-ok — link-breakage repair path, driven by MAC failure events
     pub fn link_failure(
         &mut self,
         next_hop: NodeId,

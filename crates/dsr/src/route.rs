@@ -91,6 +91,7 @@ impl SourceRoute {
 
     /// The reversed route (valid under DSR's bidirectional-link
     /// assumption).
+    // det: hot-ok — route surgery materializes a new path on repair/learning events only
     pub fn reversed(&self) -> SourceRoute {
         let mut nodes = self.nodes.clone();
         nodes.reverse();
@@ -99,6 +100,7 @@ impl SourceRoute {
 
     /// The sub-route from `node` to the destination, if `node` is on the
     /// route and not the destination itself.
+    // det: hot-ok — route surgery materializes a new path on repair/learning events only
     pub fn suffix_from(&self, node: NodeId) -> Option<SourceRoute> {
         let i = self.position_of(node)?;
         SourceRoute::new(self.nodes[i..].to_vec())
@@ -106,6 +108,7 @@ impl SourceRoute {
 
     /// The sub-route from the origin to `node`, if `node` is on the
     /// route and not the origin itself.
+    // det: hot-ok — route surgery materializes a new path on repair/learning events only
     pub fn prefix_to(&self, node: NodeId) -> Option<SourceRoute> {
         let i = self.position_of(node)?;
         SourceRoute::new(self.nodes[..=i].to_vec())
@@ -120,6 +123,7 @@ impl SourceRoute {
 
     /// Concatenates `self` with `tail`, which must start where `self`
     /// ends. Returns `None` when the splice would introduce a loop.
+    // det: hot-ok — route surgery materializes a new path on repair/learning events only
     pub fn spliced_with(&self, tail: &SourceRoute) -> Option<SourceRoute> {
         if self.destination() != tail.origin() {
             return None;

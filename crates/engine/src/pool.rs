@@ -223,6 +223,7 @@ mod tests {
     fn every_item_is_processed_exactly_once() {
         let calls = AtomicU32::new(0);
         let out = ScopedPool::new(4).map((0..50u32).collect(), |_, x| {
+            // det: shared-ok — commutative counter: the test asserts coverage, not order
             calls.fetch_add(1, Ordering::Relaxed);
             x
         });
@@ -274,6 +275,7 @@ mod tests {
     fn map_grid_claims_every_pair_once() {
         let calls = AtomicU32::new(0);
         let out = ScopedPool::new(8).map_grid(&[0u8; 5], 7, |_, _, _| {
+            // det: shared-ok — commutative counter: the test asserts coverage, not order
             calls.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(out.iter().map(Vec::len).sum::<usize>(), 35);

@@ -7,14 +7,20 @@
 //! wall-clock read, one environment-seeded hasher, and every figure
 //! reproduced from the paper is invalid without any test necessarily
 //! noticing. This crate enforces those invariants mechanically instead
-//! of by code review. It is std-only and offline, lexing every `.rs`
-//! file in the workspace with a small hand-rolled tokenizer (no parser
-//! dependencies) and applying the project ruleset described in
-//! [`rules`] (D001–D005, H001–H002) and DESIGN.md §9.
+//! of by code review. It is std-only and offline: a small hand-rolled
+//! tokenizer ([`lexer`]) feeds both the per-file rules and an
+//! item-level parser ([`parser`]) that extracts `fn` items with their
+//! `impl`/`trait` context, from which a name-resolved workspace call
+//! graph ([`callgraph`]) is built. The ruleset ([`rules`],
+//! DESIGN.md §9 and §13) spans token-level checks (D001–D005,
+//! H001–H002) and semantic checks over the graph: D007
+//! allocation-reachability from the steady-state entry points, D008
+//! parallel-closure race surface, D009 float-reduction ordering.
 //!
 //! Two entry points ship: the standalone binary
 //! (`cargo run -p rcast-lint`) and the `rcast lint` CLI subcommand; CI
-//! runs the gate before any test step.
+//! runs the gate before any test step and diffs the `--sarif` output
+//! against a golden.
 //!
 //! # Example
 //!
@@ -37,32 +43,110 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod callgraph;
 pub mod lexer;
+pub mod parser;
 pub mod project;
 pub mod rules;
 
 use std::io;
 use std::path::Path;
 
+pub use callgraph::{CallGraph, HOT_ENTRY_POINTS};
 pub use project::{classify, collect_rust_files, find_workspace_root, FileClass, FileKind};
-pub use rules::{check_file, sort_findings, Finding, RULES};
+pub use rules::{check_file, check_sources, sort_findings, Finding, RULES};
 
 /// Lints every `.rs` file under `root` (a workspace root) and returns
 /// the findings in stable report order (path, line, column, rule).
+/// Runs the full ruleset: per-file rules plus the workspace-level
+/// call-graph analysis (D007).
 ///
 /// # Errors
 ///
 /// Propagates I/O failures from walking or reading the tree.
 pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
     let files = collect_rust_files(root)?;
-    let mut findings = Vec::new();
+    let mut sources = Vec::with_capacity(files.len());
     for rel in files {
         let source = std::fs::read_to_string(root.join(&rel))?;
-        let class = classify(&rel);
-        findings.extend(check_file(&rel, &source, &class));
+        sources.push((rel, source));
     }
-    sort_findings(&mut findings);
-    Ok(findings)
+    Ok(check_sources(&sources))
+}
+
+/// One baseline suppression: a rule id and a workspace-relative path
+/// whose findings for that rule are accepted debt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Rule id, e.g. `D007`.
+    pub rule: String,
+    /// Workspace-relative `/`-separated path the suppression covers.
+    pub path: String,
+}
+
+/// Parses a `lint.baseline` file: one `RULE path` pair per line, `#`
+/// comments and blank lines ignored. The format is deliberately
+/// line-per-debt so diffs show suppressions being paid down.
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed line (not two
+/// whitespace-separated fields, or a rule id not in [`RULES`]).
+pub fn parse_baseline(text: &str) -> Result<Vec<BaselineEntry>, String> {
+    let mut entries = Vec::new();
+    for (n, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(rule), Some(path), None) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(format!(
+                "baseline line {}: expected `RULE path`, got `{line}`",
+                n + 1
+            ));
+        };
+        if !RULES.iter().any(|(id, _)| *id == rule) {
+            return Err(format!("baseline line {}: unknown rule `{rule}`", n + 1));
+        }
+        entries.push(BaselineEntry {
+            rule: rule.to_string(),
+            path: path.to_string(),
+        });
+    }
+    Ok(entries)
+}
+
+/// Drops findings covered by `baseline`, returning the survivors and
+/// the entries that matched nothing (stale debt that should be deleted
+/// from the file).
+pub fn apply_baseline(
+    findings: Vec<Finding>,
+    baseline: &[BaselineEntry],
+) -> (Vec<Finding>, Vec<BaselineEntry>) {
+    let mut used = vec![false; baseline.len()];
+    let kept = findings
+        .into_iter()
+        .filter(|f| {
+            let hit = baseline
+                .iter()
+                .position(|b| b.rule == f.rule && b.path == f.path);
+            match hit {
+                Some(i) => {
+                    used[i] = true;
+                    false
+                }
+                None => true,
+            }
+        })
+        .collect();
+    let stale = baseline
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !used[*i])
+        .map(|(_, b)| b.clone())
+        .collect();
+    (kept, stale)
 }
 
 /// Renders findings as `file:line:col [RULE] message` lines, one per
@@ -102,6 +186,54 @@ pub fn render_json(findings: &[Finding]) -> String {
     out
 }
 
+/// Renders findings as a SARIF 2.1.0 document with fully stable field
+/// and element order (findings in report order, rule metadata in
+/// [`RULES`] order, no timestamps or absolute paths), so the output is
+/// golden-pinnable exactly like [`render_json`].
+pub fn render_sarif(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"rcast-lint\",\n");
+    out.push_str("          \"version\": \"1\",\n");
+    out.push_str("          \"rules\": [");
+    for (i, (id, what)) in RULES.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n            {{\"id\": {}, \"shortDescription\": {{\"text\": {}}}}}",
+            json_string(id),
+            json_string(what),
+        ));
+    }
+    out.push_str("\n          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n        {{\"ruleId\": {}, \"level\": \"error\", \"message\": {{\"text\": {}}}, \
+             \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": {}}}, \
+             \"region\": {{\"startLine\": {}, \"startColumn\": {}}}}}}}]}}",
+            json_string(f.rule),
+            json_string(&f.message),
+            json_string(&f.path),
+            f.line,
+            f.col,
+        ));
+    }
+    if !findings.is_empty() {
+        out.push_str("\n      ");
+    }
+    out.push_str("]\n    }\n  ]\n}\n");
+    out
+}
+
 /// Escapes `s` as a JSON string literal.
 fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -137,5 +269,61 @@ mod tests {
         let json = render_json(&[]);
         assert!(json.contains("\"findings\": []"));
         assert!(json.contains("\"count\": 0"));
+        let sarif = render_sarif(&[]);
+        assert!(sarif.contains("\"results\": []"));
+        assert!(sarif.contains("\"version\": \"2.1.0\""));
+    }
+
+    #[test]
+    fn sarif_lists_every_rule_and_each_finding_once() {
+        let findings = vec![Finding {
+            path: "crates/x/src/lib.rs".into(),
+            line: 3,
+            col: 7,
+            rule: "D002",
+            message: "quote \"here\"".into(),
+        }];
+        let sarif = render_sarif(&findings);
+        for (id, _) in RULES {
+            assert!(sarif.contains(&format!("\"id\": \"{id}\"")), "{id} missing");
+        }
+        assert!(sarif.contains("\"ruleId\": \"D002\""));
+        assert!(sarif.contains("\"startLine\": 3, \"startColumn\": 7"));
+        assert!(sarif.contains("quote \\\"here\\\""));
+    }
+
+    #[test]
+    fn baseline_parses_suppresses_and_reports_stale() {
+        let text = "# accepted debt\nD002 crates/x/src/lib.rs\nD007 crates/gone.rs # stale\n";
+        let entries = parse_baseline(text).unwrap();
+        assert_eq!(entries.len(), 2);
+        let findings = vec![
+            Finding {
+                path: "crates/x/src/lib.rs".into(),
+                line: 1,
+                col: 1,
+                rule: "D002",
+                message: "m".into(),
+            },
+            Finding {
+                path: "crates/x/src/lib.rs".into(),
+                line: 9,
+                col: 1,
+                rule: "D001",
+                message: "m".into(),
+            },
+        ];
+        let (kept, stale) = apply_baseline(findings, &entries);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].rule, "D001");
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].path, "crates/gone.rs");
+    }
+
+    #[test]
+    fn baseline_rejects_malformed_lines() {
+        assert!(parse_baseline("D002\n").is_err());
+        assert!(parse_baseline("D999 path.rs\n").is_err());
+        assert!(parse_baseline("D002 a.rs b.rs\n").is_err());
     }
 }

@@ -1,0 +1,378 @@
+//! Item-level parsing over the token stream.
+//!
+//! The semantic rules (D007–D009) need one step more structure than the
+//! lexer gives: *which function does this token belong to*, and *what
+//! does that function call*. This module extracts exactly that — `fn`
+//! items with their enclosing `impl`/`trait` context and body spans —
+//! from the token stream, std-only and without a full grammar. It is
+//! deliberately not a Rust parser: generics, patterns and expressions
+//! are skipped with bracket matching, which is all the call-graph
+//! construction needs. The soundness limits this implies are documented
+//! in DESIGN.md §13.
+
+use crate::lexer::{Token, TokenKind};
+
+/// One `fn` item with a body, as extracted from a file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// 1-based line of the name token.
+    pub line: u32,
+    /// 1-based column of the name token.
+    pub col: u32,
+    /// The enclosing `impl` block's self type (last path segment, e.g.
+    /// `Simulation` for `impl Simulation` or `impl Display for
+    /// Simulation`), `None` for free functions and trait declarations.
+    pub self_type: Option<String>,
+    /// The implemented trait's name (last path segment) for
+    /// `impl Trait for Type` blocks, or the trait's own name for
+    /// default methods declared inside `trait Name { … }`.
+    pub trait_name: Option<String>,
+    /// `true` when the parameter list carries a `self` receiver.
+    pub has_self: bool,
+    /// Half-open range of **code-token indices** (see
+    /// [`code_indices`]) spanning the body, braces included.
+    pub body: (usize, usize),
+}
+
+/// Indices of the non-comment tokens in `tokens` — the shared "code
+/// view" every semantic pass works on, so body spans recorded by the
+/// parser line up with the rules' own scans.
+pub fn code_indices(tokens: &[Token]) -> Vec<usize> {
+    tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.kind != TokenKind::Comment)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// The keywords that can directly precede `(` without being calls, plus
+/// everything that must never be treated as a callee name.
+pub const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "false", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move",
+    "mut", "pub", "ref", "return", "static", "struct", "super", "trait", "true", "type", "unsafe",
+    "use", "where", "while", "yield",
+];
+
+/// One `impl`/`trait` block on the context stack while scanning.
+#[derive(Debug, Clone)]
+struct BlockCtx {
+    self_type: Option<String>,
+    trait_name: Option<String>,
+    /// Brace depth *after* the block's `{` was pushed; a `}` returning
+    /// the depth below this value pops the context.
+    depth: usize,
+}
+
+/// Extracts every `fn` item with a body from `tokens`. `code` must be
+/// [`code_indices`]`(tokens)`; body ranges index into it.
+pub fn parse_fns(tokens: &[Token], code: &[usize]) -> Vec<FnItem> {
+    let tok = |i: usize| -> &Token { &tokens[code[i]] };
+    let n = code.len();
+    let mut out = Vec::new();
+    let mut ctx: Vec<BlockCtx> = Vec::new();
+    let mut depth = 0usize;
+    let mut i = 0usize;
+    while i < n {
+        let t = tok(i);
+        if t.is_punct('{') {
+            depth += 1;
+            i += 1;
+            continue;
+        }
+        if t.is_punct('}') {
+            depth = depth.saturating_sub(1);
+            while ctx.last().is_some_and(|c| depth < c.depth) {
+                ctx.pop();
+            }
+            i += 1;
+            continue;
+        }
+        if t.is_word("impl") || t.is_word("trait") {
+            if let Some((block, open)) = parse_block_header(tokens, code, i) {
+                ctx.push(BlockCtx { depth: depth + 1, ..block });
+                depth += 1;
+                i = open + 1;
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+        if t.is_word("fn") {
+            if let Some(item) = parse_fn(tokens, code, i, ctx.last()) {
+                let next = item.body.0 + 1; // descend into the body
+                let skip_to = if item.body.1 > item.body.0 { next } else { i + 1 };
+                depth += 1; // the body `{` we are stepping over
+                out.push(item);
+                i = skip_to;
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Parses the header of an `impl`/`trait` block starting at `start`
+/// (the keyword token). Returns the context and the code index of the
+/// opening `{`, or `None` for headerless forms (`impl Trait + …` in
+/// type position, a `trait` bound alias, or a bodiless declaration).
+fn parse_block_header(
+    tokens: &[Token],
+    code: &[usize],
+    start: usize,
+) -> Option<(BlockCtx, usize)> {
+    let tok = |i: usize| -> &Token { &tokens[code[i]] };
+    let is_trait = tok(start).is_word("trait");
+    let mut angle = 0i32;
+    let mut paren = 0i32;
+    // Idents seen at angle-depth 0, split around a top-level `for`.
+    let mut before_for: Option<String> = None;
+    let mut after_for: Option<String> = None;
+    let mut saw_for = false;
+    let mut i = start + 1;
+    while i < code.len() {
+        let t = tok(i);
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            angle -= 1;
+        } else if t.is_punct('(') {
+            paren += 1;
+        } else if t.is_punct(')') {
+            paren -= 1;
+        } else if t.is_punct('{') && angle <= 0 && paren == 0 {
+            let (self_type, trait_name) = if is_trait {
+                (None, before_for.clone())
+            } else if saw_for {
+                (after_for.clone(), before_for.clone())
+            } else {
+                (before_for.clone(), None)
+            };
+            return Some((BlockCtx { self_type, trait_name, depth: 0 }, i));
+        } else if t.is_punct(';') || t.is_punct('=') {
+            return None; // `trait Alias = …;`, bodiless forms
+        } else if angle <= 0 && paren == 0 {
+            if t.is_word("for") {
+                saw_for = true;
+            } else if t.kind == TokenKind::Ident && !KEYWORDS.contains(&t.text.as_str()) {
+                let slot = if saw_for { &mut after_for } else { &mut before_for };
+                *slot = Some(t.text.clone());
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Parses one `fn` item starting at `start` (the `fn` keyword).
+/// Returns `None` for bodiless signatures (trait method declarations,
+/// `extern` blocks).
+fn parse_fn(
+    tokens: &[Token],
+    code: &[usize],
+    start: usize,
+    ctx: Option<&BlockCtx>,
+) -> Option<FnItem> {
+    let tok = |i: usize| -> &Token { &tokens[code[i]] };
+    let name_tok = tok(start + 1);
+    if name_tok.kind != TokenKind::Ident && name_tok.kind != TokenKind::RawIdent {
+        return None;
+    }
+    let name = name_tok.text.clone();
+    let (line, col) = (name_tok.line, name_tok.col);
+    // Find the parameter list: the first `(` at angle-depth 0 (generic
+    // parameter lists may contain `Fn(…)` bounds, hence the tracking).
+    let mut i = start + 2;
+    let mut angle = 0i32;
+    while i < code.len() {
+        let t = tok(i);
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            angle -= 1;
+        } else if t.is_punct('(') && angle <= 0 {
+            break;
+        } else if t.is_punct(';') || t.is_punct('{') {
+            return None; // malformed; bail before misattributing a body
+        }
+        i += 1;
+    }
+    if i >= code.len() {
+        return None;
+    }
+    // Scan the parameter list for a `self` receiver at paren-depth 1.
+    let mut paren = 0i32;
+    let mut has_self = false;
+    while i < code.len() {
+        let t = tok(i);
+        if t.is_punct('(') {
+            paren += 1;
+        } else if t.is_punct(')') {
+            paren -= 1;
+            if paren == 0 {
+                break;
+            }
+        } else if paren == 1 && t.is_word("self") {
+            has_self = true;
+        }
+        i += 1;
+    }
+    // Return type / where clause up to the body `{` or a `;`.
+    let mut angle = 0i32;
+    i += 1;
+    while i < code.len() {
+        let t = tok(i);
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            angle -= 1;
+        } else if t.is_punct(';') && angle <= 0 {
+            return None; // bodiless signature
+        } else if t.is_punct('{') && angle <= 0 {
+            break;
+        }
+        i += 1;
+    }
+    if i >= code.len() {
+        return None;
+    }
+    let open = i;
+    let mut depth = 0i32;
+    while i < code.len() {
+        let t = tok(i);
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(FnItem {
+                    name,
+                    line,
+                    col,
+                    self_type: ctx.and_then(|c| c.self_type.clone()),
+                    trait_name: ctx.and_then(|c| c.trait_name.clone()),
+                    has_self,
+                    body: (open, i + 1),
+                });
+            }
+        }
+        i += 1;
+    }
+    // Unterminated body (truncated input): span to end of file.
+    Some(FnItem {
+        name,
+        line,
+        col,
+        self_type: ctx.and_then(|c| c.self_type.clone()),
+        trait_name: ctx.and_then(|c| c.trait_name.clone()),
+        has_self,
+        body: (open, code.len()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> Vec<FnItem> {
+        let tokens = lex(src);
+        let code = code_indices(&tokens);
+        parse_fns(&tokens, &code)
+    }
+
+    #[test]
+    fn free_fns_and_methods_are_distinguished() {
+        let items = parse(
+            "fn free(x: u32) -> u32 { x }\n\
+             struct S;\n\
+             impl S {\n\
+                 fn method(&mut self) {}\n\
+                 fn assoc() -> S { S }\n\
+             }\n",
+        );
+        assert_eq!(items.len(), 3);
+        assert_eq!((items[0].name.as_str(), items[0].has_self, items[0].self_type.clone()), ("free", false, None));
+        assert_eq!((items[1].name.as_str(), items[1].has_self), ("method", true));
+        assert_eq!(items[1].self_type.as_deref(), Some("S"));
+        assert_eq!((items[2].name.as_str(), items[2].has_self), ("assoc", false));
+        assert_eq!(items[2].self_type.as_deref(), Some("S"));
+    }
+
+    #[test]
+    fn trait_impls_carry_both_names() {
+        let items = parse(
+            "impl std::fmt::Display for Report {\n\
+                 fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result { Ok(()) }\n\
+             }\n",
+        );
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].self_type.as_deref(), Some("Report"));
+        assert_eq!(items[0].trait_name.as_deref(), Some("Display"));
+        assert!(items[0].has_self);
+    }
+
+    #[test]
+    fn trait_declarations_keep_default_bodies_only() {
+        let items = parse(
+            "trait Tick {\n\
+                 fn required(&self);\n\
+                 fn defaulted(&self) -> u32 { 1 }\n\
+             }\n",
+        );
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].name, "defaulted");
+        assert_eq!(items[0].trait_name.as_deref(), Some("Tick"));
+        assert_eq!(items[0].self_type, None);
+    }
+
+    #[test]
+    fn generic_headers_and_fn_bounds_do_not_confuse_the_scan() {
+        let items = parse(
+            "impl<'a, T: Clone> Holder<'a, T> {\n\
+                 fn apply<F: Fn(u32) -> u32>(&self, f: F) -> u32 { f(1) }\n\
+             }\n",
+        );
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].name, "apply");
+        assert_eq!(items[0].self_type.as_deref(), Some("Holder"));
+        assert!(items[0].has_self);
+    }
+
+    #[test]
+    fn nested_fns_are_extracted_with_outer_bodies_intact() {
+        let items = parse(
+            "fn outer() -> u32 {\n\
+                 fn inner(x: u32) -> u32 { x + 1 }\n\
+                 inner(2)\n\
+             }\n",
+        );
+        let names: Vec<_> = items.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["outer", "inner"]);
+        // The outer body must span past the inner fn to its own brace.
+        assert!(items[0].body.1 > items[1].body.1);
+    }
+
+    #[test]
+    fn impl_context_pops_at_the_closing_brace() {
+        let items = parse(
+            "impl A { fn ma(&self) {} }\n\
+             fn free_after() {}\n",
+        );
+        assert_eq!(items[0].self_type.as_deref(), Some("A"));
+        assert_eq!(items[1].self_type, None);
+    }
+
+    #[test]
+    fn self_in_body_is_not_a_receiver() {
+        let items = parse("fn helper(report: &Report) -> u32 { report.count(self_like()) }\n");
+        assert!(!items.is_empty());
+        assert!(!items[0].has_self);
+    }
+}

@@ -24,15 +24,33 @@
 //! * **D005** — `println!`-family output from library code corrupts the
 //!   CSV/JSON streams the figure pipeline parses; printing belongs to
 //!   the binaries and the bench/report layer.
-//! * **D006** — heap allocation (`Vec::new()`, `.to_vec()`, `.clone()`)
-//!   inside the named per-interval hot functions of simulation crates
-//!   erodes the zero-allocation steady state DESIGN.md §10 pins down;
-//!   deliberate cold-path or warm-up allocations carry a
-//!   `// det: hot-ok — <reason>` pragma.
+//! * **D007** — heap allocation (`Vec::new()`, `.to_vec()`, `.clone()`)
+//!   anywhere **reachable from the declared steady-state entry points**
+//!   through the workspace call graph (see [`crate::callgraph`])
+//!   erodes the zero-allocation steady state DESIGN.md §10 pins down.
+//!   This is the semantic successor of PR 4's D006, which guarded a
+//!   hand-maintained hot-function name list; the list is gone and the
+//!   closure is computed. Audited event-path allocations carry a
+//!   `// det: hot-ok — <reason>` pragma (on the site or the `fn`
+//!   declaration); construction/teardown functions are cut out of the
+//!   closure entirely with `// det: cold — <reason>` on the `fn` line.
+//! * **D008** — shared mutable state (`Mutex`, `RwLock`, `RefCell`,
+//!   `Cell`, `Atomic*`, `static mut`, their order-sensitive methods)
+//!   or unordered-map iteration captured inside a closure passed to
+//!   `ScopedPool::run`/`map`/`map_grid` makes worker scheduling
+//!   observable. Deliberately order-free uses (commutative counters)
+//!   carry a `// det: shared-ok — <reason>` pragma.
+//! * **D009** — `f64` accumulation (`.sum()`, `.fold()`, `.product()`,
+//!   `+=` in loops) over an unordered source, or into an accumulator
+//!   captured across the pool seam: float addition is not associative,
+//!   so the reduction order silently leaks into `summarize95` and the
+//!   sweep artifacts. Canonically-ordered reductions that trip the
+//!   detector carry a `// det: reduce-ok — <reason>` pragma.
 //! * **H001** — `#[ignore]` without a reason string hides dead tests.
 //! * **H002** — crate roots must keep `#![deny(missing_docs)]` (or
 //!   carry a `// lint: allow missing_docs — <reason>` pragma).
 
+use crate::callgraph::{CallGraph, HOT_ENTRY_POINTS};
 use crate::lexer::{lex, Token, TokenKind};
 use crate::project::{FileClass, FileKind, SIM_CRATES, WALL_CLOCK_ALLOWED};
 
@@ -92,32 +110,37 @@ const D003_IDENTS: &[&str] = &[
 /// Macros banned by D005 in simulation-library code.
 const PRINT_MACROS: &[&str] = &["println", "eprintln", "print", "eprint", "dbg"];
 
-/// The per-interval hot functions D006 guards: the steady-state loop in
-/// `rcast_core::sim`, the MAC/channel interval machinery, and the
-/// routing/mobility helpers they call every beacon interval. Keep in
-/// sync with DESIGN.md §10.
-const HOT_FUNCTIONS: &[&str] = &[
-    "step_interval",
-    "run_interval_into",
-    "process_delivery",
-    "dispatch",
-    "send_unicast",
-    "send_broadcast",
-    "transmit",
-    "advance",
-    "apply_faults",
-    "account_energy",
-    "suppress_reply_storm",
-    "receive_ref",
-    "destinations_into",
-    "try_reserve",
-    "snapshot_into",
-    "run_interval_observed",
-    "record_event",
-    "record_span",
-    "end_interval",
-    "run_cell_seed",
+/// Shared-state *type* names D008 bans inside parallel closures.
+const D008_TYPES: &[&str] = &[
+    "Mutex", "RwLock", "RefCell", "Cell", "UnsafeCell", "OnceCell", "OnceLock", "LazyCell",
+    "LazyLock",
 ];
+
+/// Order-sensitive *method* names D008 bans inside parallel closures:
+/// the atomic RMW family plus lock/borrow acquisition. These catch a
+/// captured `AtomicU32`/`Mutex` whose type name only appears at the
+/// declaration site outside the closure.
+const D008_METHODS: &[&str] = &[
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "lock",
+    "try_lock",
+    "borrow_mut",
+];
+
+/// Float-reduction method names D009 watches.
+const REDUCE_METHODS: &[&str] = &["sum", "product", "fold"];
+
+/// Pool methods whose argument list is a parallel seam. `map_grid` is
+/// unambiguous; `run` and `map` additionally require a pool-shaped
+/// receiver (see [`pool_receiver`]) so iterator `map` stays untouched.
+const POOL_METHODS: &[&str] = &["run", "map", "map_grid"];
 
 /// Per-file line facts needed for pragma resolution.
 struct LineFacts {
@@ -131,6 +154,12 @@ struct LineFacts {
     unsafe_pragma: Vec<bool>,
     /// Lines holding a well-formed `det: hot-ok` pragma.
     hot_pragma: Vec<bool>,
+    /// Lines holding a well-formed `det: cold` pragma.
+    cold_pragma: Vec<bool>,
+    /// Lines holding a well-formed `det: shared-ok` pragma.
+    shared_pragma: Vec<bool>,
+    /// Lines holding a well-formed `det: reduce-ok` pragma.
+    reduce_pragma: Vec<bool>,
     /// Lines holding a well-formed `lint: allow missing_docs` pragma.
     docs_pragma: Vec<bool>,
 }
@@ -144,6 +173,9 @@ impl LineFacts {
             det_pragma: vec![false; last + 2],
             unsafe_pragma: vec![false; last + 2],
             hot_pragma: vec![false; last + 2],
+            cold_pragma: vec![false; last + 2],
+            shared_pragma: vec![false; last + 2],
+            reduce_pragma: vec![false; last + 2],
             docs_pragma: vec![false; last + 2],
         };
         for t in tokens {
@@ -158,6 +190,15 @@ impl LineFacts {
                 }
                 if pragma_reason(&t.text, "det: hot-ok") {
                     f.hot_pragma[l] = true;
+                }
+                if pragma_reason(&t.text, "det: cold") {
+                    f.cold_pragma[l] = true;
+                }
+                if pragma_reason(&t.text, "det: shared-ok") {
+                    f.shared_pragma[l] = true;
+                }
+                if pragma_reason(&t.text, "det: reduce-ok") {
+                    f.reduce_pragma[l] = true;
                 }
                 if pragma_reason(&t.text, "lint: allow missing_docs") {
                     f.docs_pragma[l] = true;
@@ -182,6 +223,18 @@ impl LineFacts {
 
     fn hot_covers(&self, line: u32) -> bool {
         self.covers(&self.hot_pragma, line)
+    }
+
+    fn cold_covers(&self, line: u32) -> bool {
+        self.covers(&self.cold_pragma, line)
+    }
+
+    fn shared_covers(&self, line: u32) -> bool {
+        self.covers(&self.shared_pragma, line)
+    }
+
+    fn reduce_covers(&self, line: u32) -> bool {
+        self.covers(&self.reduce_pragma, line)
     }
 
     fn docs_covers(&self, line: u32) -> bool {
@@ -224,10 +277,12 @@ fn pragma_reason(text: &str, head: &str) -> bool {
     reason.is_some_and(|r| !r.trim().is_empty())
 }
 
-/// Runs every applicable rule over one file's source.
+/// Runs every per-file rule over one file's source.
 ///
 /// `path` is used only for reporting; `class` decides which rules
-/// apply. This is the unit the fixture tests drive directly.
+/// apply. This is the unit the fixture tests drive directly. The
+/// workspace-level D007 (allocation reachability) needs the cross-file
+/// call graph and therefore lives in [`check_sources`].
 pub fn check_file(path: &str, source: &str, class: &FileClass) -> Vec<Finding> {
     let tokens = lex(source);
     let facts = LineFacts::build(&tokens);
@@ -237,9 +292,27 @@ pub fn check_file(path: &str, source: &str, class: &FileClass) -> Vec<Finding> {
     d003_environment_randomness(path, &tokens, &mut out);
     d004_unsafe(path, &tokens, class, &facts, &mut out);
     d005_print(path, &tokens, class, &mut out);
-    d006_hot_alloc(path, &tokens, class, &facts, &mut out);
+    d008_parallel_closure(path, &tokens, class, &facts, &mut out);
+    d009_float_reduction(path, &tokens, class, &facts, &mut out);
     h001_ignore_reason(path, &tokens, &mut out);
     h002_missing_docs(path, &tokens, class, &facts, &mut out);
+    sort_findings(&mut out);
+    out.dedup();
+    out
+}
+
+/// Runs the whole ruleset — per-file rules plus the call-graph D007 —
+/// over a set of `(workspace-relative path, source)` pairs, returning
+/// findings in stable report order. This is what `lint_workspace` and
+/// the fixture-workspace tests drive.
+pub fn check_sources(sources: &[(String, String)]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (path, source) in sources {
+        let class = crate::project::classify(path);
+        out.extend(check_file(path, source, &class));
+    }
+    let graph = CallGraph::build(sources);
+    d007_alloc_reachability(&graph, &mut out);
     sort_findings(&mut out);
     out.dedup();
     out
@@ -249,45 +322,10 @@ fn code_tokens(tokens: &[Token]) -> Vec<&Token> {
     tokens.iter().filter(|t| t.kind != TokenKind::Comment).collect()
 }
 
-fn d001_wall_clock(path: &str, tokens: &[Token], class: &FileClass, out: &mut Vec<Finding>) {
-    if WALL_CLOCK_ALLOWED.contains(&class.crate_name.as_str()) {
-        return;
-    }
-    for t in tokens {
-        if t.is_word("Instant") || t.is_word("SystemTime") {
-            out.push(Finding {
-                path: path.to_string(),
-                line: t.line,
-                col: t.col,
-                rule: "D001",
-                message: format!(
-                    "wall-clock type `{}` outside the allowlisted crates ({}); \
-                     simulation results must be a pure function of (config, seed)",
-                    t.text,
-                    WALL_CLOCK_ALLOWED.join(", "),
-                ),
-            });
-        }
-    }
-}
-
-/// D002 works in two passes over the code tokens: first it collects the
-/// names declared with a `HashMap`/`HashSet` type (field/binding
-/// annotations `name: …HashMap<…>` and inferred `let name = HashMap::…`
-/// initializers), then it flags any iteration-order-observing use of
-/// those names — `name.iter()`-style calls and `for … in` expressions
-/// mentioning the name — that no pragma covers.
-fn d002_hash_iteration(
-    path: &str,
-    tokens: &[Token],
-    class: &FileClass,
-    facts: &LineFacts,
-    out: &mut Vec<Finding>,
-) {
-    if !class.is_sim_crate() {
-        return;
-    }
-    let code = code_tokens(tokens);
+/// The names declared with a `HashMap`/`HashSet` type in this file:
+/// field/binding annotations `name: …HashMap<…>` and inferred
+/// `let name = HashMap::…` initializers. Shared by D002/D008/D009.
+fn collect_hash_names(code: &[&Token]) -> Vec<String> {
     let mut hash_names: Vec<String> = Vec::new();
     for (i, t) in code.iter().enumerate() {
         if !(t.is_word("HashMap") || t.is_word("HashSet")) {
@@ -329,6 +367,102 @@ fn d002_hash_iteration(
             }
         }
     }
+    hash_names
+}
+
+/// The names in this file with visible floating-point evidence: a
+/// `: … f64/f32 …` annotation (including container value types like
+/// `HashMap<u32, f64>`) or a float-literal initializer (`= 0.0`,
+/// `= 1f64`). D009's accumulation detectors only fire on these —
+/// integer counters are exactly associative and must stay silent.
+/// Cross-file field types are invisible to this heuristic; that
+/// soundness limit is documented in DESIGN.md §13.
+fn collect_float_names(code: &[&Token]) -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    for (i, t) in code.iter().enumerate() {
+        let float_type = t.is_word("f64") || t.is_word("f32");
+        let float_literal = t.kind == TokenKind::Number
+            && (t.text.contains('.') || t.text.ends_with("f64") || t.text.ends_with("f32"));
+        if float_type {
+            // Walk back through the type to the annotation colon.
+            let mut j = i;
+            while j > 0 {
+                j -= 1;
+                let b = code[j];
+                if b.is_punct(':') {
+                    if j > 0 && code[j - 1].is_punct(':') {
+                        j -= 1;
+                        continue;
+                    }
+                    if j > 0 && code[j - 1].kind == TokenKind::Ident {
+                        names.push(code[j - 1].text.clone());
+                    }
+                    break;
+                }
+                let type_ish = b.kind == TokenKind::Ident
+                    || b.is_punct('<')
+                    || b.is_punct('>')
+                    || b.is_punct(',')
+                    || b.is_punct('(')
+                    || b.is_punct(')')
+                    || b.is_punct('[')
+                    || b.is_punct(']')
+                    || b.is_punct('&')
+                    || b.kind == TokenKind::Lifetime;
+                if !type_ish {
+                    break;
+                }
+            }
+        } else if float_literal
+            && i >= 2
+            && code[i - 1].is_punct('=')
+            && code[i - 2].kind == TokenKind::Ident
+        {
+            names.push(code[i - 2].text.clone());
+        }
+    }
+    names
+}
+
+fn d001_wall_clock(path: &str, tokens: &[Token], class: &FileClass, out: &mut Vec<Finding>) {
+    if WALL_CLOCK_ALLOWED.contains(&class.crate_name.as_str()) {
+        return;
+    }
+    for t in tokens {
+        if t.is_word("Instant") || t.is_word("SystemTime") {
+            out.push(Finding {
+                path: path.to_string(),
+                line: t.line,
+                col: t.col,
+                rule: "D001",
+                message: format!(
+                    "wall-clock type `{}` outside the allowlisted crates ({}); \
+                     simulation results must be a pure function of (config, seed)",
+                    t.text,
+                    WALL_CLOCK_ALLOWED.join(", "),
+                ),
+            });
+        }
+    }
+}
+
+/// D002 works in two passes over the code tokens: first it collects the
+/// names declared with a `HashMap`/`HashSet` type, then it flags any
+/// iteration-order-observing use of those names — `name.iter()`-style
+/// calls and `for … in` expressions mentioning the name — that no
+/// pragma covers.
+fn d002_hash_iteration(
+    path: &str,
+    tokens: &[Token],
+    class: &FileClass,
+    facts: &LineFacts,
+    out: &mut Vec<Finding>,
+) {
+    if !class.is_sim_crate() {
+        return;
+    }
+    let code = code_tokens(tokens);
+    let hash_names = collect_hash_names(&code);
     if hash_names.is_empty() {
         return;
     }
@@ -357,15 +491,7 @@ fn d002_hash_iteration(
         if facts.det_covers(line) {
             return true;
         }
-        let mut j = idx;
-        while j > 0 {
-            let t = code[j - 1];
-            if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
-                break;
-            }
-            j -= 1;
-        }
-        facts.det_covers(code[j].line)
+        facts.det_covers(code[statement_start(code, idx)].line)
     };
 
     for (i, t) in code.iter().enumerate() {
@@ -393,6 +519,20 @@ fn d002_hash_iteration(
             }
         }
     }
+}
+
+/// The index of the first token of the statement `code[idx]` belongs
+/// to (the token after the previous `;`/`{`/`}`, or 0).
+fn statement_start(code: &[&Token], idx: usize) -> usize {
+    let mut j = idx;
+    while j > 0 {
+        let t = code[j - 1];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            break;
+        }
+        j -= 1;
+    }
+    j
 }
 
 /// If `code[idx]` sits in the header of a `for … in header {` loop,
@@ -539,77 +679,71 @@ fn d005_print(path: &str, tokens: &[Token], class: &FileClass, out: &mut Vec<Fin
     }
 }
 
-/// D006 tracks the enclosing function with a brace stack: a `fn NAME`
-/// arms a pending frame (disarmed by `;`, i.e. a bodyless trait
-/// signature), the next `{` pushes it, `}` pops. Code is "hot" while
-/// any frame on the stack names a [`HOT_FUNCTIONS`] entry, so closures
-/// and nested blocks inside a hot function are covered too. Within hot
-/// code, `Vec::new(`, `.to_vec(` and `.clone(` are flagged unless a
-/// `// det: hot-ok — <reason>` pragma covers the line.
-fn d006_hot_alloc(
-    path: &str,
-    tokens: &[Token],
-    class: &FileClass,
-    facts: &LineFacts,
-    out: &mut Vec<Finding>,
-) {
-    if !class.is_sim_crate() || class.kind != FileKind::Lib {
-        return;
-    }
-    let code = code_tokens(tokens);
-    let mut report = |t: &Token, what: &str| {
-        if facts.hot_covers(t.line) {
-            return;
-        }
-        out.push(Finding {
-            path: path.to_string(),
-            line: t.line,
-            col: t.col,
-            rule: "D006",
-            message: format!(
-                "{what} inside a per-interval hot function; the steady-state \
-                 loop must not allocate (DESIGN.md §10) — reuse cleared scratch \
-                 storage, or annotate a deliberate cold/warm-up allocation with \
-                 `// det: hot-ok — <reason>`",
-            ),
-        });
-    };
-    let mut stack: Vec<bool> = Vec::new();
-    let mut hot_depth = 0usize;
-    let mut pending: Option<bool> = None;
-    for (i, t) in code.iter().enumerate() {
-        if t.is_word("fn") {
-            if let Some(name) = code.get(i + 1) {
-                if name.kind == TokenKind::Ident {
-                    pending = Some(HOT_FUNCTIONS.contains(&name.text.as_str()));
-                }
-            }
-        } else if t.is_punct(';') {
-            pending = None;
-        } else if t.is_punct('{') {
-            let hot = pending.take().unwrap_or(false);
-            stack.push(hot);
-            hot_depth += usize::from(hot);
-        } else if t.is_punct('}') {
-            if let Some(hot) = stack.pop() {
-                hot_depth -= usize::from(hot);
-            }
-        }
-        if hot_depth == 0 {
+/// D007: allocation reachability over the workspace call graph. Every
+/// allocation pattern (`Vec::new(`, `.to_vec(`, `.clone(`) inside a
+/// function reachable from [`HOT_ENTRY_POINTS`] is flagged unless a
+/// `// det: hot-ok — <reason>` pragma covers the allocation line *or*
+/// the function's declaration line (an audited event-path handler).
+/// Functions whose declaration carries `// det: cold — <reason>`
+/// (construction, teardown, rare lifecycle work) are boundaries the
+/// closure never enters. The finding message carries one shortest
+/// witness chain from an entry point so the hot-path claim is
+/// checkable by eye.
+fn d007_alloc_reachability(graph: &CallGraph, out: &mut Vec<Finding>) {
+    let facts: Vec<LineFacts> = graph
+        .files
+        .iter()
+        .map(|f| LineFacts::build(&f.tokens))
+        .collect();
+    let cold: std::collections::BTreeSet<usize> = graph
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| facts[n.file].cold_covers(n.item.line))
+        .map(|(id, _)| id)
+        .collect();
+    let reach = graph.reachable_from_excluding(HOT_ENTRY_POINTS, &cold);
+    for &id in &reach.reached {
+        let node = &graph.nodes[id];
+        if facts[node.file].hot_covers(node.item.line) {
             continue;
         }
-        if t.is_word("Vec")
-            && code.get(i + 1).is_some_and(|w| w.is_punct(':'))
-            && code.get(i + 2).is_some_and(|w| w.is_punct(':'))
-            && code.get(i + 3).is_some_and(|w| w.is_word("new"))
-            && code.get(i + 4).is_some_and(|w| w.is_punct('('))
-        {
-            report(t, "`Vec::new()`");
-        }
-        if t.is_punct('.')
-            && code.get(i + 2).is_some_and(|w| w.is_punct('('))
-        {
-            if let Some(m) = code.get(i + 1) {
+        let file = &graph.files[node.file];
+        let file_facts = &facts[node.file];
+        let tok = |i: usize| -> &Token { &file.tokens[file.code[i]] };
+        let (start, end) = node.item.body;
+        let end = end.min(file.code.len());
+        let chain = graph.witness_chain(&reach, id);
+        let mut report = |t: &Token, what: &str| {
+            if file_facts.hot_covers(t.line) {
+                return;
+            }
+            out.push(Finding {
+                path: file.path.clone(),
+                line: t.line,
+                col: t.col,
+                rule: "D007",
+                message: format!(
+                    "{what} on the steady-state hot path (`{chain}`); the \
+                     per-interval loop must not allocate (DESIGN.md §10) — \
+                     reuse cleared scratch storage, or annotate a deliberate \
+                     cold/warm-up allocation with `// det: hot-ok — <reason>`",
+                ),
+            });
+        };
+        for i in start..end {
+            let t = tok(i);
+            if t.is_word("Vec")
+                && i + 4 < end
+                && tok(i + 1).is_punct(':')
+                && tok(i + 2).is_punct(':')
+                && tok(i + 3).is_word("new")
+                && tok(i + 4).is_punct('(')
+            {
+                report(t, "`Vec::new()`");
+            }
+            if t.is_punct('.') && i + 2 < end && tok(i + 2).is_punct('(') {
+                let m = tok(i + 1);
                 if m.is_word("to_vec") {
                     report(m, "`.to_vec()`");
                 } else if m.is_word("clone") {
@@ -618,6 +752,383 @@ fn d006_hot_alloc(
             }
         }
     }
+}
+
+/// The parallel-seam arg regions of a file: for every call of a
+/// [`POOL_METHODS`] name, the half-open code-token range between its
+/// parentheses. `map`/`run` require a pool-shaped receiver.
+fn pool_call_regions(code: &[&Token]) -> Vec<(usize, usize, &'static str)> {
+    let mut regions = Vec::new();
+    for (i, t) in code.iter().enumerate() {
+        let Some(&method) = POOL_METHODS.iter().find(|m| t.is_word(m)) else {
+            continue;
+        };
+        if i + 1 >= code.len() || !code[i + 1].is_punct('(') {
+            continue;
+        }
+        let is_method_call = i >= 1 && code[i - 1].is_punct('.');
+        if !is_method_call {
+            continue;
+        }
+        if method != "map_grid" && !pool_receiver(code, i - 1) {
+            continue;
+        }
+        // Match the call's parentheses.
+        let open = i + 1;
+        let mut depth = 0i32;
+        let mut close = open;
+        for (j, u) in code.iter().enumerate().skip(open) {
+            if u.is_punct('(') {
+                depth += 1;
+            } else if u.is_punct(')') {
+                depth -= 1;
+                if depth == 0 {
+                    close = j;
+                    break;
+                }
+            }
+        }
+        if close > open {
+            regions.push((open + 1, close, method));
+        }
+    }
+    regions
+}
+
+/// `true` when the receiver ending right before the `.` at `dot` looks
+/// like a worker pool: an identifier whose name contains `pool`, or a
+/// call chain rooted in `ScopedPool::…` (e.g. `ScopedPool::new(n)`).
+fn pool_receiver(code: &[&Token], dot: usize) -> bool {
+    if dot == 0 {
+        return false;
+    }
+    let prev = code[dot - 1];
+    if prev.kind == TokenKind::Ident {
+        return prev.text.to_ascii_lowercase().contains("pool");
+    }
+    if prev.is_punct(')') {
+        // Walk back to the matching `(` and inspect the tokens before
+        // it for `ScopedPool :: name`.
+        let mut depth = 0i32;
+        let mut j = dot - 1;
+        loop {
+            let t = code[j];
+            if t.is_punct(')') {
+                depth += 1;
+            } else if t.is_punct('(') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            if j == 0 {
+                return false;
+            }
+            j -= 1;
+        }
+        let lookback = j.saturating_sub(4);
+        return code[lookback..j].iter().any(|t| t.is_word("ScopedPool"));
+    }
+    false
+}
+
+/// D008: shared mutable state captured inside a parallel closure. See
+/// the module docs for the banned surface; `// det: shared-ok — <reason>`
+/// escapes a deliberately order-free use.
+fn d008_parallel_closure(
+    path: &str,
+    tokens: &[Token],
+    class: &FileClass,
+    facts: &LineFacts,
+    out: &mut Vec<Finding>,
+) {
+    if !class.is_sim_crate() {
+        return;
+    }
+    let code = code_tokens(tokens);
+    let hash_names = collect_hash_names(&code);
+    let mut report = |t: &Token, what: &str, method: &str| {
+        if facts.shared_covers(t.line) {
+            return;
+        }
+        out.push(Finding {
+            path: path.to_string(),
+            line: t.line,
+            col: t.col,
+            rule: "D008",
+            message: format!(
+                "{what} inside a closure passed to the parallel `{method}` seam \
+                 in simulation crate `{}`; worker scheduling must stay \
+                 unobservable for thread-width byte-identity — make the work \
+                 per-item pure, or annotate a provably order-free use with \
+                 `// det: shared-ok — <reason>`",
+                class.crate_name,
+            ),
+        });
+    };
+    for (start, end, method) in pool_call_regions(&code) {
+        let mut i = start;
+        while i < end {
+            let t = code[i];
+            if t.kind == TokenKind::Ident {
+                if D008_TYPES.contains(&t.text.as_str()) || t.text.starts_with("Atomic") {
+                    report(t, &format!("shared-state type `{}`", t.text), method);
+                } else if D008_METHODS.contains(&t.text.as_str())
+                    && i >= 1
+                    && code[i - 1].is_punct('.')
+                    && i + 1 < end
+                    && code[i + 1].is_punct('(')
+                {
+                    report(t, &format!("order-sensitive call `.{}()`", t.text), method);
+                } else if hash_names.iter().any(|n| n == &t.text)
+                    && i + 3 < end
+                    && code[i + 1].is_punct('.')
+                    && ITER_METHODS.contains(&code[i + 2].text.as_str())
+                    && code[i + 3].is_punct('(')
+                {
+                    report(
+                        code[i + 2],
+                        &format!("unordered iteration of `HashMap`/`HashSet` value `{}`", t.text),
+                        method,
+                    );
+                }
+            } else if t.is_word("static") && i + 1 < end && code[i + 1].is_word("mut") {
+                report(t, "`static mut`", method);
+            }
+            i += 1;
+        }
+    }
+}
+
+/// `true` when `code[i]` (an ident) is called: followed by `(` directly
+/// or through one turbofish (`sum::<f64>(…)`).
+fn is_called(code: &[&Token], i: usize) -> bool {
+    if code.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+        return true;
+    }
+    if code.get(i + 1).is_some_and(|t| t.is_punct(':'))
+        && code.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        && code.get(i + 3).is_some_and(|t| t.is_punct('<'))
+    {
+        let mut depth = 0i32;
+        let mut j = i + 3;
+        while j < code.len() {
+            let t = code[j];
+            if t.is_punct('<') {
+                depth += 1;
+            } else if t.is_punct('>') {
+                depth -= 1;
+                if depth == 0 {
+                    return code.get(j + 1).is_some_and(|t| t.is_punct('('));
+                }
+            } else if t.is_punct(';') || t.is_punct('{') {
+                return false;
+            }
+            j += 1;
+        }
+    }
+    false
+}
+
+/// D009: float-reduction ordering. Three detectors, all escaped by
+/// `// det: reduce-ok — <reason>`:
+///
+/// 1. a reduction method (`sum`/`product`/`fold`) in a statement that
+///    also mentions a `HashMap`/`HashSet` value earlier in the chain;
+/// 2. a compound accumulation (`+=`/`-=`/`*=`/`/=`) inside a `for` loop
+///    whose header iterates a `HashMap`/`HashSet` value;
+/// 3. a compound accumulation inside a parallel closure whose target is
+///    captured (not `let`-bound in the region, not a closure
+///    parameter) — accumulation across the pool seam.
+///
+/// All three require floating-point evidence (see
+/// [`collect_float_names`]): integer accumulation is exactly
+/// associative and never reported.
+fn d009_float_reduction(
+    path: &str,
+    tokens: &[Token],
+    class: &FileClass,
+    facts: &LineFacts,
+    out: &mut Vec<Finding>,
+) {
+    if !class.is_sim_crate() {
+        return;
+    }
+    let code = code_tokens(tokens);
+    let hash_names = collect_hash_names(&code);
+    let float_names = collect_float_names(&code);
+    let is_float = |name: &str| float_names.iter().any(|n| n == name);
+    let mut report = |t: &Token, what: &str, why: &str| {
+        if facts.reduce_covers(t.line) {
+            return;
+        }
+        out.push(Finding {
+            path: path.to_string(),
+            line: t.line,
+            col: t.col,
+            rule: "D009",
+            message: format!(
+                "{what} {why}; float addition is not associative, so the \
+                 reduction order would leak into summarize95 and the sweep \
+                 artifacts — reduce in canonical order (sorted keys, input \
+                 order) or annotate with `// det: reduce-ok — <reason>`",
+            ),
+        });
+    };
+
+    // (1) reductions over a hash-container chain.
+    if !hash_names.is_empty() {
+        for (i, t) in code.iter().enumerate() {
+            let reduces = t.kind == TokenKind::Ident
+                && REDUCE_METHODS.contains(&t.text.as_str())
+                && i >= 1
+                && code[i - 1].is_punct('.')
+                && is_called(&code, i);
+            if !reduces {
+                continue;
+            }
+            let start = statement_start(&code, i);
+            let unordered = code[start..i]
+                .iter()
+                .any(|u| u.kind == TokenKind::Ident && hash_names.iter().any(|n| n == &u.text));
+            // Only float reductions are order-sensitive: require float
+            // evidence in the statement — a float-typed name before the
+            // call, or an `f64`/`f32` turbofish just after it.
+            let floaty = code[start..(i + 6).min(code.len())].iter().any(|u| {
+                u.is_word("f64")
+                    || u.is_word("f32")
+                    || (u.kind == TokenKind::Ident && is_float(&u.text))
+            });
+            if unordered && floaty {
+                report(
+                    t,
+                    &format!("reduction `.{}()`", t.text),
+                    "over a `HashMap`/`HashSet` iteration",
+                );
+            }
+        }
+    }
+
+    // (2) compound accumulation in `for` loops over hash containers.
+    if !hash_names.is_empty() {
+        let mut i = 0usize;
+        while i < code.len() {
+            if !code[i].is_word("for") {
+                i += 1;
+                continue;
+            }
+            // Header: `for <pat> in <expr> {`.
+            let mut j = i + 1;
+            let mut saw_in = None;
+            while j < code.len() && !code[j].is_punct('{') && !code[j].is_punct(';') {
+                if code[j].is_word("in") && saw_in.is_none() {
+                    saw_in = Some(j);
+                }
+                j += 1;
+            }
+            let (Some(in_idx), true) = (saw_in, j < code.len() && code[j].is_punct('{')) else {
+                i += 1;
+                continue;
+            };
+            let over_hash = code[in_idx..j]
+                .iter()
+                .any(|u| u.kind == TokenKind::Ident && hash_names.iter().any(|n| n == &u.text));
+            if !over_hash {
+                i = j + 1;
+                continue;
+            }
+            // Body: matching braces from `j`.
+            let mut depth = 0i32;
+            let mut k = j;
+            let mut close = j;
+            while k < code.len() {
+                if code[k].is_punct('{') {
+                    depth += 1;
+                } else if code[k].is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = k;
+                        break;
+                    }
+                }
+                k += 1;
+            }
+            for a in compound_assigns(&code, j + 1, close) {
+                // Integer counters are exactly associative; only flag
+                // accumulators with float evidence.
+                let target_is_float = a > 0
+                    && code[a - 1].kind == TokenKind::Ident
+                    && is_float(&code[a - 1].text);
+                if target_is_float {
+                    report(
+                        code[a],
+                        "compound accumulation",
+                        "inside a `for` loop over a `HashMap`/`HashSet`",
+                    );
+                }
+            }
+            i = j + 1;
+        }
+    }
+
+    // (3) captured accumulators across the pool seam.
+    for (start, end, method) in pool_call_regions(&code) {
+        // Closure parameters: the idents between the first `|` pair.
+        let mut params: Vec<&str> = Vec::new();
+        if let Some(p0) = (start..end).find(|&k| code[k].is_punct('|')) {
+            if let Some(p1) = (p0 + 1..end).find(|&k| code[k].is_punct('|')) {
+                params = code[p0 + 1..p1]
+                    .iter()
+                    .filter(|t| t.kind == TokenKind::Ident)
+                    .map(|t| t.text.as_str())
+                    .collect();
+            }
+        }
+        for a in compound_assigns(&code, start, end) {
+            let Some(target) = (a > start)
+                .then(|| code[a - 1])
+                .filter(|t| t.kind == TokenKind::Ident)
+            else {
+                continue;
+            };
+            let local = params.iter().any(|p| *p == target.text)
+                || (start..a).any(|k| {
+                    code[k].is_word("let")
+                        && code[k + 1..a.min(k + 3)]
+                            .iter()
+                            .any(|t| t.kind == TokenKind::Ident && t.text == target.text)
+                });
+            if !local && is_float(&target.text) {
+                report(
+                    target,
+                    &format!("captured accumulation `{} {}=`", target.text, code[a].text),
+                    &format!("across the parallel `{method}` seam"),
+                );
+            }
+        }
+    }
+}
+
+/// Indices of compound-assign operators (`+=` `-=` `*=` `/=`) in
+/// `code[start..end)`, pointing at the operator's first token.
+fn compound_assigns(code: &[&Token], start: usize, end: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let end = end.min(code.len());
+    let mut i = start;
+    while i + 1 < end {
+        let op = &code[i];
+        let is_op = op.is_punct('+') || op.is_punct('-') || op.is_punct('*') || op.is_punct('/');
+        if is_op && code[i + 1].is_punct('=') {
+            // Exclude `==`-family by construction (first token differs)
+            // and `->`/`=>` (second token differs). `a + = b` is not
+            // valid Rust, so adjacency in the code stream is enough.
+            out.push(i);
+            i += 2;
+            continue;
+        }
+        i += 1;
+    }
+    out
 }
 
 fn h001_ignore_reason(path: &str, tokens: &[Token], out: &mut Vec<Finding>) {
@@ -667,14 +1178,17 @@ fn h002_missing_docs(
     });
 }
 
-/// Rule ids in report order, for `--explain`-style listings and tests.
+/// Rule ids in report order, for `--explain`-style listings, SARIF
+/// metadata and tests.
 pub const RULES: &[(&str, &str)] = &[
     ("D001", "no wall-clock time sources outside bench/testkit"),
     ("D002", "no unordered HashMap/HashSet iteration in simulation crates"),
     ("D003", "no environment-seeded hashing or external RNGs"),
     ("D004", "forbid(unsafe_code) at every crate root; no unsafe anywhere"),
     ("D005", "no println!-family output from simulation library code"),
-    ("D006", "no Vec::new/to_vec/clone inside per-interval hot functions"),
+    ("D007", "no allocation reachable from the steady-state entry points"),
+    ("D008", "no shared state captured inside parallel pool closures"),
+    ("D009", "no float reduction over unordered sources or across pool seams"),
     ("H001", "no #[ignore] without a reason string"),
     ("H002", "deny(missing_docs) at every crate root"),
 ];

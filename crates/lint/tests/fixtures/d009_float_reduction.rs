@@ -1,0 +1,45 @@
+//! D009 fixture: float accumulation over unordered sources and across
+//! the pool seam; slice-ordered reductions and pragma'd sites stay
+//! silent.
+
+use std::collections::HashMap;
+
+fn unordered_sum(weights: &HashMap<u32, f64>) -> f64 {
+    weights.values().sum()
+}
+
+fn unordered_fold(weights: &HashMap<u32, f64>) -> f64 {
+    let mut total = 0.0;
+    for (_k, w) in weights.iter() {
+        total += w;
+    }
+    total
+}
+
+fn seam(pool: &ScopedPool, xs: &[f64]) -> f64 {
+    let mut grand = 0.0;
+    pool.run(|i| {
+        grand += xs[i];
+    });
+    grand
+}
+
+fn ordered(xs: &[f64]) -> f64 {
+    // Slice iteration order is canonical: no finding.
+    xs.iter().sum()
+}
+
+fn local_per_item(pool: &ScopedPool, xs: &[f64]) {
+    pool.run(|i| {
+        // A let-bound accumulator stays inside one worker item: silent.
+        let mut acc = 0.0;
+        acc += xs[i];
+        let _ = acc;
+    });
+}
+
+fn excused(weights: &HashMap<u32, f64>) -> f64 {
+    // det: ordered — values are re-read in sorted-key order upstream
+    // det: reduce-ok — reduction runs over a sorted snapshot
+    weights.values().sum()
+}

@@ -1,0 +1,21 @@
+//! Lexer regression fixture: byte / C / raw-byte string literals must
+//! lex as single string tokens — never identifier-plus-string — so the
+//! rule-triggering names smuggled inside stay invisible to every
+//! identifier-based rule.
+
+fn literals() -> usize {
+    let plain = b"Instant SystemTime";
+    let escaped = b"quote \" and backslash \\";
+    let raw = br#"HashMap iteration " with quotes"#;
+    let raw_plain = br"thread_rng";
+    let c_str = c"RandomState";
+    let byte = b'\'';
+    let hashes = br##"nested "# hash guards"##;
+    plain.len()
+        + escaped.len()
+        + raw.len()
+        + raw_plain.len()
+        + c_str.to_bytes().len()
+        + (byte as usize)
+        + hashes.len()
+}

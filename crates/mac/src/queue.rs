@@ -129,6 +129,7 @@ impl<P> TxQueue<P> {
     }
 
     /// Removes every frame bound for `dest`, preserving FIFO order.
+    // det: hot-ok — link-failure eviction: runs when ATIM retries exhaust, not per settled interval
     pub fn remove_all_for(&mut self, dest: Destination) -> Vec<Queued<P>> {
         let mut kept = VecDeque::with_capacity(self.items.len());
         let mut out = Vec::new();

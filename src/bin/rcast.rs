@@ -114,6 +114,8 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Ok(Command::Lint(lint)) => {
+            // Lint contract: 0 clean, 1 findings, 2 usage or I/O error.
+            let io_error = ExitCode::from(2);
             let root = match lint.root {
                 Some(r) => std::path::PathBuf::from(r),
                 None => {
@@ -121,31 +123,56 @@ fn main() -> ExitCode {
                         Ok(d) => d,
                         Err(e) => {
                             eprintln!("error: cannot determine current directory: {e}");
-                            return ExitCode::FAILURE;
+                            return io_error;
                         }
                     };
                     match rcast_lint::find_workspace_root(&cwd) {
                         Some(r) => r,
                         None => {
                             eprintln!("error: no workspace Cargo.toml above {}", cwd.display());
-                            return ExitCode::FAILURE;
+                            return io_error;
                         }
                     }
                 }
             };
-            match rcast_lint::lint_workspace(&root) {
-                Ok(findings) => {
-                    if lint.json {
-                        print!("{}", rcast_lint::render_json(&findings));
-                    } else {
-                        print!("{}", rcast_lint::render_text(&findings));
-                        if findings.is_empty() {
-                            eprintln!("rcast lint: clean ({})", root.display());
-                        } else {
-                            eprintln!("rcast lint: {} finding(s)", findings.len());
+            let baseline = match &lint.baseline {
+                Some(path) => {
+                    let text = match std::fs::read_to_string(path) {
+                        Ok(t) => t,
+                        Err(e) => {
+                            eprintln!("error: cannot read {path}: {e}");
+                            return io_error;
+                        }
+                    };
+                    match rcast_lint::parse_baseline(&text) {
+                        Ok(b) => b,
+                        Err(e) => {
+                            eprintln!("error in {path}: {e}");
+                            return io_error;
                         }
                     }
-                    if findings.is_empty() {
+                }
+                None => Vec::new(),
+            };
+            match rcast_lint::lint_workspace(&root) {
+                Ok(findings) => {
+                    let (kept, stale) = rcast_lint::apply_baseline(findings, &baseline);
+                    for s in &stale {
+                        eprintln!("rcast lint: stale baseline entry '{} {}'", s.rule, s.path);
+                    }
+                    if lint.json {
+                        print!("{}", rcast_lint::render_json(&kept));
+                    } else if lint.sarif {
+                        print!("{}", rcast_lint::render_sarif(&kept));
+                    } else {
+                        print!("{}", rcast_lint::render_text(&kept));
+                        if kept.is_empty() {
+                            eprintln!("rcast lint: clean ({})", root.display());
+                        } else {
+                            eprintln!("rcast lint: {} finding(s)", kept.len());
+                        }
+                    }
+                    if kept.is_empty() {
                         ExitCode::SUCCESS
                     } else {
                         ExitCode::FAILURE
@@ -153,7 +180,7 @@ fn main() -> ExitCode {
                 }
                 Err(e) => {
                     eprintln!("error: {e}");
-                    ExitCode::FAILURE
+                    io_error
                 }
             }
         }
@@ -346,7 +373,12 @@ spec file: {e}",
         Err(e) => {
             eprintln!("error: {e}\n");
             eprint!("{}", cli::USAGE);
-            ExitCode::FAILURE
+            // Lint reserves exit 1 for findings; its usage errors are 2.
+            if args.first().is_some_and(|a| a == "lint") {
+                ExitCode::from(2)
+            } else {
+                ExitCode::FAILURE
+            }
         }
     }
 }

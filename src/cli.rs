@@ -94,9 +94,15 @@ pub struct BenchArgs {
 pub struct LintArgs {
     /// Emit the machine-readable JSON report instead of text lines.
     pub json: bool,
+    /// Emit a SARIF 2.1.0 log instead of text lines (exclusive with
+    /// `json`).
+    pub sarif: bool,
     /// Workspace root to lint; `None` finds the nearest `[workspace]`
     /// manifest above the current directory.
     pub root: Option<String>,
+    /// Baseline file of `RULE path` suppressions; stale entries are
+    /// reported on stderr.
+    pub baseline: Option<String>,
 }
 
 /// Arguments of `rcast run`.
@@ -184,7 +190,8 @@ USAGE:
     rcast compare [options]          sweep schemes x rates
     rcast scenario <file> [--csv]    run a saved scenario file
     rcast export-scenario [options]  print a scenario file for the flags
-    rcast lint [--json] [--root <d>] run the determinism static analyzer
+    rcast lint [--json | --sarif] [--root <d>] [--baseline <f>]
+                                     run the determinism static analyzer
     rcast bench [--smoke] [--out <f>] run the tracked perf benchmark
     rcast trace [options]            run once, export rcast-trace/v1 JSONL
     rcast sweep --spec <s> [options] run a sweep campaign (rcast-sweep/v1)
@@ -217,6 +224,14 @@ compare-ONLY:
     --seeds <list>    comma list of seeds        [1,2,3]
     --threads <n>     worker threads per cell    [machine width]
                       (results are identical at any thread count)
+
+lint-ONLY:
+    --json            machine-readable JSON report
+    --sarif           SARIF 2.1.0 log (exclusive with --json)
+    --root <dir>      workspace root to lint       [nearest workspace]
+    --baseline <f>    suppression file of 'RULE path' lines; stale
+                      entries go to stderr
+                      exits 0 clean, 1 findings, 2 usage or I/O error
 
 trace-ONLY:
     --filter <f>          keep matching events: node=N | flow=N | kind=K
@@ -273,12 +288,20 @@ pub fn parse(args: &[String]) -> Result<Command, ParseCliError> {
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--json" => lint.json = true,
+                    "--sarif" => lint.sarif = true,
                     "--root" => {
                         let v = it.next().ok_or_else(|| err("--root needs a directory"))?;
                         lint.root = Some(v.clone());
                     }
+                    "--baseline" => {
+                        let v = it.next().ok_or_else(|| err("--baseline needs a file"))?;
+                        lint.baseline = Some(v.clone());
+                    }
                     other => return Err(err(format!("unknown option '{other}'"))),
                 }
+            }
+            if lint.json && lint.sarif {
+                return Err(err("--json and --sarif are mutually exclusive"));
             }
             Ok(Command::Lint(lint))
         }
@@ -670,18 +693,26 @@ mod tests {
 
     #[test]
     fn lint_flags_parse() {
-        assert_eq!(
-            parse(&args("lint")).unwrap(),
-            Command::Lint(LintArgs { json: false, root: None })
-        );
+        assert_eq!(parse(&args("lint")).unwrap(), Command::Lint(LintArgs::default()));
         assert_eq!(
             parse(&args("lint --json --root /tmp/ws")).unwrap(),
             Command::Lint(LintArgs {
                 json: true,
-                root: Some("/tmp/ws".into())
+                root: Some("/tmp/ws".into()),
+                ..LintArgs::default()
             })
         );
+        assert_eq!(
+            parse(&args("lint --sarif --baseline lint.baseline")).unwrap(),
+            Command::Lint(LintArgs {
+                sarif: true,
+                baseline: Some("lint.baseline".into()),
+                ..LintArgs::default()
+            })
+        );
+        assert!(parse(&args("lint --json --sarif")).is_err(), "exclusive outputs");
         assert!(parse(&args("lint --root")).is_err());
+        assert!(parse(&args("lint --baseline")).is_err());
         assert!(parse(&args("lint --bogus")).is_err());
     }
 
