@@ -51,14 +51,36 @@ for scheme in 802.11 psm psm-none odpm rcast; do
         > /dev/null
 done
 
-echo "==> bench smoke: tracked perf suite + ledger-overhead gate (release)"
-# Perf suite is a liveness gate only — timing thresholds are not
-# asserted in CI. The checked-in BENCH_rcast.json is regenerated
-# deliberately with `rcast bench --out BENCH_rcast.json`, never
-# overwritten here. With --smoke the binary additionally enforces the
-# DESIGN.md §11 ledger budget: zero steady-state allocations with the
-# ledger off AND on, and < 10% wall overhead when it is on.
-./target/release/rcast bench --smoke > /dev/null
+echo "==> bench smoke: tracked perf suite + regression check (release)"
+# The checked-in BENCH_rcast.json is regenerated deliberately with
+# `rcast bench --out BENCH_rcast.json`, never overwritten here.
+# --check compares the smoke run's points against that baseline on the
+# (workload, scheme) intersection: wall speed may not fall below 75% of
+# the recorded figure (absorbing shared-host noise) and the per-interval
+# allocation count may not rise at all (it is deterministic). With
+# --smoke the binary additionally enforces the DESIGN.md §11 ledger
+# budget: zero steady-state allocations with the ledger off AND on, and
+# < 10% wall overhead when it is on.
+./target/release/rcast bench --smoke --check BENCH_rcast.json > /dev/null
+
+echo "==> shard smoke: serial vs parallel interval loop (release)"
+# The sharded hot loop must produce byte-identical reports at any
+# width (the determinism suite proves that); here CI prints the
+# wall-clock ratio so a parallel-path pessimization is visible in the
+# log. Informational only: single-core CI boxes legitimately see ~1x.
+shard_t1_start_ms=$(( $(date +%s%N) / 1000000 ))
+./target/release/rcast run --scheme rcast --nodes 150 --area 1800x360 \
+    --duration 60 --flows 30 --seed 11 --threads 1 > /dev/null
+shard_t1_end_ms=$(( $(date +%s%N) / 1000000 ))
+shard_t8_start_ms=$(( $(date +%s%N) / 1000000 ))
+./target/release/rcast run --scheme rcast --nodes 150 --area 1800x360 \
+    --duration 60 --flows 30 --seed 11 --threads 8 > /dev/null
+shard_t8_end_ms=$(( $(date +%s%N) / 1000000 ))
+shard_t1_ms=$(( shard_t1_end_ms - shard_t1_start_ms ))
+shard_t8_ms=$(( shard_t8_end_ms - shard_t8_start_ms ))
+[ "$shard_t8_ms" -gt 0 ] || shard_t8_ms=1
+echo "    --threads 1: ${shard_t1_ms} ms, --threads 8: ${shard_t8_ms} ms," \
+    "speedup $(awk "BEGIN { printf \"%.2fx\", $shard_t1_ms / $shard_t8_ms }")"
 
 echo "==> trace smoke: rcast-trace/v1 export matches the checked-in golden"
 # The same pinned workload the determinism suite locks down at widths

@@ -75,9 +75,30 @@ fn workloads(smoke: bool) -> Vec<Workload> {
 /// the paper's contribution.
 const SCHEMES: &[Scheme] = &[Scheme::Dot11, Scheme::Psm, Scheme::Rcast];
 
+/// Wall-clock noise on a shared host dwarfs real regressions for the
+/// sub-second cells, so every tracked point reports the best
+/// (minimum-wall) of this many runs. Allocation counts are
+/// deterministic — every repeat measures the same figure — so the
+/// first run's count is kept regardless of which repeat was fastest.
+const BENCH_REPS: usize = 3;
+
+/// Runs one workload cell [`BENCH_REPS`] times and keeps the fastest.
+fn run_cell(workload: &'static str, cfg: SimConfig) -> BenchResult {
+    let mut best = run_cell_once(workload, cfg.clone());
+    let allocs = best.allocs_per_interval;
+    for _ in 1..BENCH_REPS {
+        let rerun = run_cell_once(workload, cfg.clone());
+        if rerun.wall_seconds < best.wall_seconds {
+            best = rerun;
+        }
+    }
+    best.allocs_per_interval = allocs;
+    best
+}
+
 /// Runs one workload cell: step the whole run, timing it, and count
 /// allocations over the post-warm-up intervals.
-fn run_cell(workload: &'static str, cfg: SimConfig) -> BenchResult {
+fn run_cell_once(workload: &'static str, cfg: SimConfig) -> BenchResult {
     let scheme = cfg.scheme.label();
     let nodes = cfg.nodes;
     let sim_seconds = cfg.duration.as_secs_f64();
@@ -135,17 +156,40 @@ pub fn run_suite(smoke: bool) -> Vec<BenchResult> {
 /// One sweep-campaign throughput point: the `fig7` CI smoke grid
 /// (3 schemes × 2 rates × 2 pauses × 2 seeds = 24 runs) executed at
 /// machine width through `rcast_sweep::run_spec`. Tracks the
-/// cell × seed work-stealing path end to end; per-interval allocation
-/// counting is meaningless across worker threads, so that field stays
-/// `None`.
+/// cell × seed work-stealing path end to end. The allocation probe is
+/// process-global, so the reported figure is the campaign-wide mean —
+/// every allocation on every worker (including per-run construction;
+/// there is no warm-up window to subtract across runs) divided by the
+/// total intervals executed. Like the workload cells, the wall figure
+/// is the best of [`BENCH_REPS`] runs with the first run's allocation
+/// count.
 fn sweep_point() -> BenchResult {
+    let mut best = sweep_point_once();
+    let allocs = best.allocs_per_interval;
+    for _ in 1..BENCH_REPS {
+        let rerun = sweep_point_once();
+        if rerun.wall_seconds < best.wall_seconds {
+            best = rerun;
+        }
+    }
+    best.allocs_per_interval = allocs;
+    best
+}
+
+fn sweep_point_once() -> BenchResult {
     let spec = rcast_sweep::preset("fig7")
         .expect("built-in preset")
         .smoke();
     let threads = rcast_engine::pool::available_threads();
+    let allocs_before = alloc_probe::allocations();
     let started = Instant::now();
     let report = rcast_sweep::run_spec(&spec, threads).expect("smoke grid runs");
     let wall_seconds = started.elapsed().as_secs_f64();
+    let allocs_per_interval = if alloc_probe::is_installed() && report.total_intervals > 0 {
+        Some((alloc_probe::allocations() - allocs_before) as f64 / report.total_intervals as f64)
+    } else {
+        None
+    };
     BenchResult {
         workload: "sweep",
         scheme: "mixed",
@@ -155,7 +199,7 @@ fn sweep_point() -> BenchResult {
         wall_seconds,
         intervals_per_sec: report.total_intervals as f64 / wall_seconds,
         ms_per_sim_second: wall_seconds * 1e3 / report.total_sim_seconds,
-        allocs_per_interval: None,
+        allocs_per_interval,
     }
 }
 
@@ -302,9 +346,190 @@ pub fn to_json(results: &[BenchResult]) -> String {
     s
 }
 
+/// One point of a parsed `rcast-bench/v1` baseline document — the
+/// fields `--check` compares.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselinePoint {
+    /// Workload name.
+    pub workload: String,
+    /// Scheme label.
+    pub scheme: String,
+    /// Baseline throughput.
+    pub intervals_per_sec: f64,
+    /// Baseline allocation rate (`None` when the document says `null`).
+    pub allocs_per_interval: Option<f64>,
+}
+
+/// Allowed `intervals_per_sec` regression before `--check` fails:
+/// wall-clock noise is real, a quarter of the throughput is not.
+pub const CHECK_SPEED_TOLERANCE: f64 = 0.25;
+
+/// Slack absorbing the baseline document's two-decimal formatting when
+/// comparing `allocs_per_interval` (which is otherwise deterministic —
+/// any real increase fails).
+const CHECK_ALLOC_EPSILON: f64 = 0.005;
+
+/// Parses the points of an `rcast-bench/v1` document. The format is
+/// this crate's own hand-rolled [`to_json`] output — one point per
+/// line, fixed key order — so a line scan is exact, not heuristic.
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed line, or the missing
+/// schema header.
+pub fn parse_baseline(json: &str) -> Result<Vec<BaselinePoint>, String> {
+    if !json.contains("\"schema\": \"rcast-bench/v1\"") {
+        return Err("baseline is not an rcast-bench/v1 document".into());
+    }
+    fn str_field(line: &str, name: &str) -> Option<String> {
+        let tail = line.split_once(&format!("\"{name}\": \""))?.1;
+        Some(tail.split_once('"')?.0.to_string())
+    }
+    fn raw_field(line: &str, name: &str) -> Option<String> {
+        let tail = line.split_once(&format!("\"{name}\": "))?.1;
+        Some(
+            tail.split_once([',', '}'])
+                .map_or(tail, |(head, _)| head)
+                .trim()
+                .to_string(),
+        )
+    }
+    let mut out = Vec::new();
+    for line in json.lines().filter(|l| l.contains("\"workload\"")) {
+        let point = (|| {
+            let workload = str_field(line, "workload")?;
+            let scheme = str_field(line, "scheme")?;
+            let ips: f64 = raw_field(line, "intervals_per_sec")?.parse().ok()?;
+            let allocs = match raw_field(line, "allocs_per_interval")?.as_str() {
+                "null" => None,
+                n => Some(n.parse().ok()?),
+            };
+            Some(BaselinePoint {
+                workload,
+                scheme,
+                intervals_per_sec: ips,
+                allocs_per_interval: allocs,
+            })
+        })();
+        match point {
+            Some(p) => out.push(p),
+            None => return Err(format!("malformed baseline point: {}", line.trim())),
+        }
+    }
+    if out.is_empty() {
+        return Err("baseline has no points".into());
+    }
+    Ok(out)
+}
+
+/// Diffs `current` against a parsed baseline: every current point with
+/// a matching `(workload, scheme)` baseline point must not regress more
+/// than [`CHECK_SPEED_TOLERANCE`] in `intervals_per_sec`, and must not
+/// increase `allocs_per_interval` at all. Points present on only one
+/// side are skipped (a `--smoke` run checks against a full baseline).
+/// Returns the failure messages; empty means the check passed.
+pub fn check_against(current: &[BenchResult], baseline: &[BaselinePoint]) -> Vec<String> {
+    let mut failures = Vec::new();
+    for r in current {
+        let Some(b) = baseline
+            .iter()
+            .find(|b| b.workload == r.workload && b.scheme == r.scheme)
+        else {
+            continue;
+        };
+        let floor = (1.0 - CHECK_SPEED_TOLERANCE) * b.intervals_per_sec;
+        if r.intervals_per_sec < floor {
+            failures.push(format!(
+                "{}/{}: intervals_per_sec {:.1} is below {:.1} \
+(baseline {:.1} − {:.0}% tolerance)",
+                r.workload,
+                r.scheme,
+                r.intervals_per_sec,
+                floor,
+                b.intervals_per_sec,
+                CHECK_SPEED_TOLERANCE * 100.0,
+            ));
+        }
+        if let (Some(cur), Some(base)) = (r.allocs_per_interval, b.allocs_per_interval) {
+            if cur > base + CHECK_ALLOC_EPSILON {
+                failures.push(format!(
+                    "{}/{}: allocs_per_interval rose {:.2} → {:.2} \
+(any increase fails)",
+                    r.workload, r.scheme, base, cur,
+                ));
+            }
+        }
+    }
+    failures
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn point(workload: &'static str, scheme: &'static str, ips: f64, allocs: Option<f64>) -> BenchResult {
+        BenchResult {
+            workload,
+            scheme,
+            nodes: 50,
+            sim_seconds: 120.0,
+            intervals: 480,
+            wall_seconds: 480.0 / ips,
+            intervals_per_sec: ips,
+            ms_per_sim_second: 1.0,
+            allocs_per_interval: allocs,
+        }
+    }
+
+    #[test]
+    fn baseline_round_trips_through_to_json() {
+        let results = vec![
+            point("small", "Rcast", 9704.4, Some(47.71)),
+            point("sweep", "mixed", 170004.1, None),
+        ];
+        let parsed = parse_baseline(&to_json(&results)).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].workload, "small");
+        assert_eq!(parsed[0].scheme, "Rcast");
+        assert!((parsed[0].intervals_per_sec - 9704.4).abs() < 1e-9);
+        assert_eq!(parsed[0].allocs_per_interval, Some(47.71));
+        assert_eq!(parsed[1].allocs_per_interval, None);
+    }
+
+    #[test]
+    fn baseline_rejects_junk() {
+        assert!(parse_baseline("{}").is_err(), "missing schema");
+        assert!(
+            parse_baseline("{\"schema\": \"rcast-bench/v1\", \"points\": []}").is_err(),
+            "no points"
+        );
+        let bad = "{\n  \"schema\": \"rcast-bench/v1\",\n  \
+{\"workload\": \"small\", \"scheme\": \"Rcast\"}\n}";
+        assert!(parse_baseline(bad).is_err(), "point missing fields");
+    }
+
+    #[test]
+    fn check_flags_regressions_and_tolerates_noise() {
+        let baseline =
+            parse_baseline(&to_json(&[point("small", "Rcast", 1000.0, Some(50.0))])).unwrap();
+        // Within tolerance, allocs flat: clean.
+        assert!(check_against(&[point("small", "Rcast", 800.0, Some(50.0))], &baseline)
+            .is_empty());
+        // Faster and fewer allocs: clean.
+        assert!(check_against(&[point("small", "Rcast", 2000.0, Some(10.0))], &baseline)
+            .is_empty());
+        // >25% slower: fails.
+        let f = check_against(&[point("small", "Rcast", 700.0, Some(50.0))], &baseline);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].contains("intervals_per_sec"), "{f:?}");
+        // Any alloc increase: fails.
+        let f = check_against(&[point("small", "Rcast", 1000.0, Some(50.1))], &baseline);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].contains("allocs_per_interval"), "{f:?}");
+        // Unmatched points are skipped both ways.
+        assert!(check_against(&[point("medium", "Rcast", 1.0, Some(9e9))], &baseline)
+            .is_empty());
+    }
 
     #[test]
     fn smoke_suite_runs_and_renders() {
@@ -328,7 +553,11 @@ mod tests {
         assert_eq!(sweep.scheme, "mixed");
         // 12 cells × 2 seeds × (60 s / 250 ms) intervals.
         assert_eq!(sweep.intervals, 24 * 240);
-        assert_eq!(sweep.allocs_per_interval, None);
+        // allocs_per_interval is None unless the probe is installed —
+        // which a sibling unit test may have flipped; accept both.
+        if let Some(a) = sweep.allocs_per_interval {
+            assert!(a.is_finite() && a >= 0.0);
+        }
         let json = to_json(&results);
         assert!(json.starts_with("{\n  \"schema\": \"rcast-bench/v1\""));
         assert_eq!(json.matches("\"workload\"").count(), results.len());

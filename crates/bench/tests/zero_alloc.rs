@@ -70,6 +70,28 @@ fn steady_state_interval_loop_does_not_allocate() {
     );
 }
 
+/// The *loaded* steady state: the full smoke testbed — moving nodes,
+/// real CBR traffic, route discoveries and repairs — may allocate only
+/// where genuinely new route state is stored. This pins a hard mean
+/// per-interval budget so traffic-path regressions (packet clones,
+/// per-arrival route materialization, per-interval `Vec` rebuilds)
+/// fail loudly instead of hiding behind the quiet-state zero gate.
+/// The run is seeded and deterministic, so the measured count is exact;
+/// the budget leaves headroom only for allocator-library drift.
+#[test]
+fn loaded_steady_state_stays_within_the_allocation_budget() {
+    const BUDGET_PER_INTERVAL: f64 = 60.0;
+    let allocs = steady_state_allocs(SimConfig::smoke(Scheme::Rcast, 3));
+    let intervals = 240.0; // the measured second half of the run
+    let per_interval = allocs as f64 / intervals;
+    assert!(
+        per_interval <= BUDGET_PER_INTERVAL,
+        "loaded steady-state allocations {per_interval:.2}/interval \
+         exceed the {BUDGET_PER_INTERVAL}/interval budget \
+         ({allocs} over {intervals} intervals)",
+    );
+}
+
 /// DESIGN.md §11: turning the event ledger on must not reintroduce
 /// steady-state allocations — every ring buffer, span lane and series
 /// row is pre-sized at construction, and overflow increments a counter

@@ -177,7 +177,13 @@ impl RouterNode {
     /// Creates the engine of the configured kind.
     pub fn new(kind: RoutingKind, id: NodeId, dsr: DsrConfig, aodv: AodvConfig) -> Self {
         match kind {
-            RoutingKind::Dsr => RouterNode::Dsr(DsrNode::new(id, dsr)),
+            RoutingKind::Dsr => {
+                let mut node = DsrNode::new(id, dsr);
+                // `from_dsr` drops RouteCached actions (role numbers
+                // sample the cache directly), so don't build them.
+                node.set_route_cached_reports(false);
+                RouterNode::Dsr(node)
+            }
             RoutingKind::Aodv => RouterNode::Aodv(AodvNode::new(id, aodv)),
         }
     }

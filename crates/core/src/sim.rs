@@ -164,6 +164,11 @@ struct Scratch {
     batch: Vec<Pending>,
     /// The MAC interval outcome, refilled by `run_interval_into`.
     outcome: IntervalOutcome<PacketHandle>,
+    /// Fan-out buffer for the immediate (active-mode) channel path —
+    /// holds one transmission's recipients/overhearers at a time.
+    imm_fanout: Vec<NodeId>,
+    /// Per-shard link-churn counts for the sharded neighbor scan.
+    churn: Vec<Vec<usize>>,
     /// `committed_awake` substitute for the non-PSM (802.11) path: every
     /// node awake for the full beacon interval. Built once.
     flat_committed: Vec<SimDuration>,
@@ -222,6 +227,9 @@ pub struct Simulation {
     /// Incrementally maintained neighbor index (current + previous
     /// table, double-buffered).
     neighbors: NeighborIndex,
+    /// Intra-interval shard pool: width 1 (the default) is the serial
+    /// path; [`set_shard_width`](Self::set_shard_width) widens it.
+    pool: rcast_engine::pool::ScopedPool,
     scratch: Scratch,
     /// The next beacon interval to execute.
     k: u64,
@@ -309,6 +317,7 @@ impl Simulation {
             fault_counters: FaultCounters::default(),
             snap,
             neighbors,
+            pool: rcast_engine::pool::ScopedPool::new(1),
             scratch,
             k: 0,
             next_arrival,
@@ -320,6 +329,24 @@ impl Simulation {
     /// The configuration driving this run.
     pub fn config(&self) -> &SimConfig {
         &self.cfg
+    }
+
+    /// Sets the intra-interval shard width: how many node shards the
+    /// MAC resolver's prepass/post-pass and the neighbor-churn scan are
+    /// split into. Runtime-only — it is deliberately *not* part of
+    /// [`SimConfig`], because results are byte-identical at every width
+    /// (the shard merge re-serializes in canonical node/delivery
+    /// order); only wall-clock time changes. Width 1 (the default) is
+    /// the plain serial path.
+    pub fn set_shard_width(&mut self, width: usize) {
+        let width = width.max(1);
+        self.pool = rcast_engine::pool::ScopedPool::new(width);
+        self.mac.set_shard_width(width);
+    }
+
+    /// The current intra-interval shard width.
+    pub fn shard_width(&self) -> usize {
+        self.pool.threads()
     }
 
     /// Runs the simulation to completion and reports.
@@ -346,6 +373,7 @@ impl Simulation {
         let mut obs = self.obs.take();
         let work = &mut scratch.work;
         let batch = &mut scratch.batch;
+        let imm_fanout = &mut scratch.imm_fanout;
 
         if k > 0 {
             self.mobility.snapshot_into(t, &mut self.snap);
@@ -355,12 +383,39 @@ impl Simulation {
             self.apply_faults(t, &mut neighbors, &mut obs);
         }
         if k > 0 {
-            for i in 0..n {
-                let id = NodeId::new(i as u32);
-                let changes = neighbors
-                    .current()
-                    .link_changes_since(neighbors.previous(), id);
-                self.rcast.note_link_changes(id, changes);
+            // The per-node link-churn scan is pure reads over the
+            // double-buffered tables; shard it, then feed the decider
+            // serially in node order so its state evolves identically
+            // at every width.
+            let shards = self.pool.threads().min(n.max(1));
+            if shards <= 1 {
+                for i in 0..n {
+                    let id = NodeId::new(i as u32);
+                    let changes = neighbors
+                        .current()
+                        .link_changes_since(neighbors.previous(), id);
+                    self.rcast.note_link_changes(id, changes);
+                }
+            } else {
+                let chunk = n.div_ceil(shards).max(1);
+                scratch.churn.resize_with(shards, Vec::new);
+                let (cur, prev) = (neighbors.current(), neighbors.previous());
+                self.pool.map_shards(&mut scratch.churn, |s, lane| {
+                    lane.clear();
+                    let lo = (s * chunk).min(n);
+                    let hi = ((s + 1) * chunk).min(n);
+                    for i in lo..hi {
+                        lane.push(cur.link_changes_since(prev, NodeId::new(i as u32)));
+                    }
+                });
+                let mut i = 0u32;
+                for lane in &scratch.churn {
+                    for &changes in lane {
+                        self.rcast.note_link_changes(NodeId::new(i), changes);
+                        i += 1;
+                    }
+                }
+                debug_assert_eq!(i as usize, n);
             }
         }
         let nt = neighbors.current();
@@ -375,7 +430,7 @@ impl Simulation {
                 work.push_back((id, t, a));
             }
         }
-        self.dispatch(work, batch, nt, &mut obs);
+        self.dispatch(work, batch, imm_fanout, nt, &mut obs);
 
         // 2. The PSM beacon interval.
         let used_psm = self.cfg.scheme.uses_psm_path();
@@ -404,7 +459,7 @@ impl Simulation {
                 }
             }
             for d in scratch.outcome.deliveries.drain(..) {
-                self.process_delivery(d, work, batch, &mut obs);
+                self.process_delivery(d, &scratch.outcome.fanout, work, batch, &mut obs);
             }
             for f in scratch.outcome.failures.drain(..) {
                 if self.faults_active
@@ -423,7 +478,7 @@ impl Simulation {
                     work.push_back((f.sender, f.at, a));
                 }
             }
-            self.dispatch(work, batch, nt, &mut obs);
+            self.dispatch(work, batch, imm_fanout, nt, &mut obs);
         }
 
         // 3. This interval's traffic arrivals.
@@ -484,7 +539,7 @@ impl Simulation {
             for act in actions {
                 work.push_back((a.src, a.at, act));
             }
-            self.dispatch(work, batch, nt, &mut obs);
+            self.dispatch(work, batch, imm_fanout, nt, &mut obs);
             self.next_arrival = self.schedule.next();
         }
 
@@ -709,16 +764,17 @@ impl Simulation {
         &mut self,
         work: &mut VecDeque<Pending>,
         batch: &mut Vec<Pending>,
+        fanout: &mut Vec<NodeId>,
         nt: &NeighborTable,
         obs: &mut Option<Ledger>,
     ) {
         while let Some((node, at, action)) = work.pop_front() {
             match action {
                 RouteAction::Unicast { next_hop, packet } => {
-                    self.send_unicast(node, next_hop, packet, at, nt, work, batch, obs);
+                    self.send_unicast(node, next_hop, packet, at, nt, work, batch, fanout, obs);
                 }
                 RouteAction::Broadcast { packet } => {
-                    self.send_broadcast(node, packet, at, nt, work, batch, obs);
+                    self.send_broadcast(node, packet, at, nt, work, batch, fanout, obs);
                 }
                 RouteAction::Delivered(info) => {
                     self.tracker.record_delivered(info.generated_at, at);
@@ -781,6 +837,7 @@ impl Simulation {
         nt: &NeighborTable,
         work: &mut VecDeque<Pending>,
         batch: &mut Vec<Pending>,
+        fanout: &mut Vec<NodeId>,
         obs: &mut Option<Ledger>,
     ) {
         let level = self.cfg.scheme.level_for_net(&packet);
@@ -790,13 +847,22 @@ impl Simulation {
         if self.immediate_path(from, next_hop, at) {
             let scheme = self.cfg.scheme;
             let odpm = &self.odpm;
-            let result = self.channel.transmit(at, from, frame, nt, |x| match scheme {
-                Scheme::Dot11 => true,
-                Scheme::Odpm => odpm.is_am(x, at),
-                _ => unreachable!("immediate path is 802.11/ODPM only"),
-            });
+            let result = self.channel.transmit(
+                at,
+                from,
+                frame,
+                nt,
+                |x| match scheme {
+                    Scheme::Dot11 => true,
+                    Scheme::Odpm => odpm.is_am(x, at),
+                    _ => unreachable!("immediate path is 802.11/ODPM only"),
+                },
+                fanout,
+            );
             match result {
-                ImmediateResult::Delivered(d) => self.process_delivery(d, work, batch, obs),
+                ImmediateResult::Delivered(d) => {
+                    self.process_delivery(d, fanout, work, batch, obs)
+                }
                 ImmediateResult::Failed(f) => {
                     if self.faults_active
                         && (self.down[f.receiver.index()]
@@ -839,14 +905,17 @@ impl Simulation {
         nt: &NeighborTable,
         work: &mut VecDeque<Pending>,
         batch: &mut Vec<Pending>,
+        fanout: &mut Vec<NodeId>,
         obs: &mut Option<Ledger>,
     ) {
         let bytes = packet.wire_bytes();
         let handle = self.arena.intern(packet);
         if self.cfg.scheme == Scheme::Dot11 {
             let frame = MacFrame::broadcast(bytes, handle);
-            match self.channel.transmit(at, from, frame, nt, |_| true) {
-                ImmediateResult::Delivered(d) => self.process_delivery(d, work, batch, obs),
+            match self.channel.transmit(at, from, frame, nt, |_| true, fanout) {
+                ImmediateResult::Delivered(d) => {
+                    self.process_delivery(d, fanout, work, batch, obs)
+                }
                 ImmediateResult::Failed(_) => unreachable!("broadcasts never fail"),
             }
         } else {
@@ -874,10 +943,13 @@ impl Simulation {
     fn process_delivery(
         &mut self,
         d: Delivery<PacketHandle>,
+        fanout: &[NodeId],
         work: &mut VecDeque<Pending>,
         batch: &mut Vec<Pending>,
         obs: &mut Option<Ledger>,
     ) {
+        let recipients = d.fanout.recipients(fanout);
+        let overhearers = d.fanout.overhearers(fanout);
         let h = d.frame.payload;
         // Overhead accounting: one on-air transmission. The handle's
         // cached header answers everything without touching the arena.
@@ -913,7 +985,7 @@ impl Simulation {
             }
         }
         if let Some(l) = obs.as_mut() {
-            for &o in &d.overhearers {
+            for &o in overhearers {
                 l.record_event(d.at, o, ObsKind::Overheard { sender: d.sender });
             }
         }
@@ -941,7 +1013,7 @@ impl Simulation {
                     // Route-discovery keep-alive: request recipients stay
                     // active briefly so the reply can race back along the
                     // reverse path — the source of ODPM's low delay.
-                    for &r in &d.recipients {
+                    for &r in recipients {
                         self.odpm.on_rreq(r, d.at);
                     }
                 }
@@ -949,17 +1021,16 @@ impl Simulation {
             }
         }
         // Sender-ID factor bookkeeping.
-        for &x in d
-            .recipients
+        for &x in recipients
             .iter()
-            .chain(d.overhearers.iter())
+            .chain(overhearers.iter())
             .chain(d.receiver.iter())
         {
             self.rcast.note_heard(x, d.sender, d.at);
         }
         // Overhearers first (they only borrow the interned packet).
         let (routers, arena) = (&mut self.routers, &self.arena);
-        for &o in &d.overhearers {
+        for &o in overhearers {
             let actions = routers[o.index()].overhear(arena.get(h), d.sender, d.at);
             for a in actions {
                 work.push_back((o, d.at, a));
@@ -977,7 +1048,7 @@ impl Simulation {
             None => {
                 let is_rreq = h.kind() == PacketKind::Rreq;
                 batch.clear();
-                for &r in &d.recipients {
+                for &r in recipients {
                     let actions = routers[r.index()].receive_ref(arena.get(h), d.sender, d.at);
                     for a in actions {
                         batch.push((r, d.at, a));
@@ -1088,6 +1159,19 @@ impl Simulation {
 /// Returns the configuration error, if any.
 pub fn run_sim(cfg: SimConfig) -> Result<SimReport, String> {
     Ok(Simulation::new(cfg)?.run())
+}
+
+/// Builds and runs one simulation with the interval sharded across
+/// `width` workers ([`Simulation::set_shard_width`]). The report is
+/// byte-identical at any width; only wall-clock time changes.
+///
+/// # Errors
+///
+/// Returns the configuration error, if any.
+pub fn run_sim_with_width(cfg: SimConfig, width: usize) -> Result<SimReport, String> {
+    let mut sim = Simulation::new(cfg)?;
+    sim.set_shard_width(width);
+    Ok(sim.run())
 }
 
 /// Runs the same configuration under `seeds` different seeds, serially.

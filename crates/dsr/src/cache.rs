@@ -24,6 +24,33 @@ struct Entry {
     last_used: SimTime,
 }
 
+/// A deterministic fingerprint of a node sequence (FNV-1a over the raw
+/// ids). The duplicate scan in [`PathCache::observe_path`] runs on
+/// every flood arrival in the network; comparing one `u64` per entry
+/// instead of two node slices is what keeps that scan cheap at
+/// capacity. Fixed constants, no hasher state: identical across runs
+/// and platforms (rcast-lint D002).
+fn path_key(nodes: &[NodeId]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for n in nodes {
+        h ^= n.index() as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A 64-bit presence filter over the node ids on a path (bit `id % 64`).
+/// [`PathCache::find_route`] and [`has_route`](PathCache::has_route)
+/// test the destination's bit before walking an entry's node sequence,
+/// so entries that cannot contain the destination cost one AND instead
+/// of a linear scan. Purely an accelerator: a set bit is always
+/// re-verified against the actual sequence.
+fn node_mask(nodes: &[NodeId]) -> u64 {
+    nodes
+        .iter()
+        .fold(0u64, |m, n| m | 1u64 << (n.index() & 63))
+}
+
 /// Configuration of a [`RouteCache`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CacheConfig {
@@ -54,6 +81,21 @@ pub struct PathCache {
     owner: NodeId,
     cfg: CacheConfig,
     entries: Vec<Entry>,
+    /// `path_key(entries[i].path.nodes())`, index-aligned with
+    /// `entries`. Kept as a separate packed array so the duplicate scan
+    /// — run on every flood arrival — touches 8 bytes per entry
+    /// instead of striding over whole entries.
+    keys: Vec<u64>,
+    /// `node_mask(entries[i].path.nodes())`, index-aligned with
+    /// `entries`; the route-lookup prefilter.
+    masks: Vec<u64>,
+    /// Index of the most recent duplicate hit. Data packets on an
+    /// established route re-teach the same few paths over and over, so
+    /// checking this slot first usually replaces the whole key scan
+    /// with one compare. Purely an accelerator: always verified, falls
+    /// back to the scan when stale, and a deterministic function of the
+    /// call history.
+    last_hit: usize,
 }
 
 impl PathCache {
@@ -68,6 +110,9 @@ impl PathCache {
             owner,
             cfg,
             entries: Vec::new(),
+            keys: Vec::new(),
+            masks: Vec::new(),
+            last_hit: 0,
         }
     }
 
@@ -92,45 +137,98 @@ impl PathCache {
     /// the role-number metric), `false` for duplicates, rejected routes,
     /// and paths subsumed by an identical existing entry.
     pub fn insert(&mut self, route: SourceRoute, now: SimTime) -> bool {
-        let Some(normalized) = self.normalize(route) else {
-            return false;
+        self.observe_path(route.nodes(), now)
+    }
+
+    /// Slice form of [`insert`](Self::insert): observes a path without
+    /// a materialized [`SourceRoute`], touching the allocator only when
+    /// a **new** entry is actually stored. The duplicate case — the
+    /// steady state of a settled network, where every flood arrival
+    /// re-teaches known topology — costs a linear scan and an LRU stamp,
+    /// nothing more (DESIGN.md §10).
+    pub fn observe_path(&mut self, nodes: &[NodeId], now: SimTime) -> bool {
+        // Normalize to start at the owner (truncating any prefix);
+        // paths not containing the owner are rejected.
+        let slice = if nodes.first() == Some(&self.owner) {
+            nodes
+        } else {
+            match nodes.iter().position(|&n| n == self.owner) {
+                Some(pos) => &nodes[pos..],
+                None => return false,
+            }
         };
-        if let Some(e) = self.entries.iter_mut().find(|e| e.path == normalized) {
-            e.last_used = now;
+        if slice.len() < 2 {
+            return false;
+        }
+        let key = path_key(slice);
+        // Most-recently-hit slot first, then the packed-key scan — a
+        // bare `u64` equality search the compiler can vectorize; a key
+        // hit is verified against the sequence. Both run *before*
+        // loop-freedom validation: the cache only ever stores valid
+        // paths, so a byte-equal hit proves the incoming slice valid,
+        // and the dominant duplicate arrival skips the O(n²) check
+        // entirely.
+        let lh = self.last_hit;
+        if lh < self.keys.len() && self.keys[lh] == key && self.entries[lh].path.nodes() == slice {
+            self.entries[lh].last_used = now;
+            return false;
+        }
+        let mut from = 0;
+        while let Some(off) = self.keys[from..].iter().position(|&k| k == key) {
+            let i = from + off;
+            if self.entries[i].path.nodes() == slice {
+                self.entries[i].last_used = now;
+                self.last_hit = i;
+                return false;
+            }
+            from = i + 1;
+        }
+        if !SourceRoute::is_valid_path(slice) {
             return false;
         }
         if self.entries.len() >= self.cfg.capacity {
-            // Evict the least recently used entry.
+            // Evict the least recently used entry — and recycle its
+            // storage for the new path, so a saturated cache (the
+            // steady state of an active node) learns without touching
+            // the allocator.
             let (idx, _) = self
                 .entries
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, e)| e.last_used)
                 .expect("capacity > 0 so entries is non-empty");
-            self.entries.swap_remove(idx);
+            let mut recycled = self.entries.swap_remove(idx);
+            self.keys.swap_remove(idx);
+            self.masks.swap_remove(idx);
+            recycled.path.refill(slice);
+            recycled.inserted_at = now;
+            recycled.last_used = now;
+            self.entries.push(recycled);
+            self.keys.push(key);
+            self.masks.push(node_mask(slice));
+            return true;
         }
         self.entries.push(Entry {
-            path: normalized,
+            // det: hot-ok — materializes the route only while the cache is below capacity
+            path: SourceRoute::new(slice.to_vec()).expect("slice was just validated"),
             inserted_at: now,
             last_used: now,
         });
+        self.keys.push(key);
+        self.masks.push(node_mask(slice));
         true
-    }
-
-    fn normalize(&self, route: SourceRoute) -> Option<SourceRoute> {
-        if route.origin() == self.owner {
-            Some(route)
-        } else {
-            route.suffix_from(self.owner)
-        }
     }
 
     /// The best (shortest, then freshest) cached route from the owner to
     /// `dst`. Touches the entry's LRU stamp.
     pub fn find_route(&mut self, dst: NodeId, now: SimTime) -> Option<SourceRoute> {
         self.purge_expired(now);
+        let dst_bit = 1u64 << (dst.index() & 63);
         let mut best: Option<(usize, usize, SimTime)> = None; // (idx, hops, inserted)
         for (i, e) in self.entries.iter().enumerate() {
+            if self.masks[i] & dst_bit == 0 {
+                continue; // dst is definitely not on this path
+            }
             let Some(pos) = e.path.position_of(dst) else {
                 continue;
             };
@@ -151,9 +249,10 @@ impl PathCache {
 
     /// `true` when a route to `dst` is cached (without touching LRU).
     pub fn has_route(&self, dst: NodeId) -> bool {
-        self.entries
-            .iter()
-            .any(|e| e.path.position_of(dst).is_some_and(|p| p > 0))
+        let dst_bit = 1u64 << (dst.index() & 63);
+        self.entries.iter().enumerate().any(|(i, e)| {
+            self.masks[i] & dst_bit != 0 && e.path.position_of(dst).is_some_and(|p| p > 0)
+        })
     }
 
     /// Invalidates the (undirected) link `a ↔ b`: every path using it is
@@ -161,6 +260,17 @@ impl PathCache {
     /// (≥ 2 nodes) survive. Returns the number of affected entries.
     // det: hot-ok — link-breakage repair path, driven by failure events
     pub fn remove_link(&mut self, a: NodeId, b: NodeId) -> usize {
+        // Most caches don't hold the broken link at all; the mask
+        // prefilter lets those return without rebuilding anything.
+        let ab = (1u64 << (a.index() & 63)) | (1u64 << (b.index() & 63));
+        let any_hit = self
+            .masks
+            .iter()
+            .zip(&self.entries)
+            .any(|(&m, e)| m & ab == ab && e.path.uses_link(a, b));
+        if !any_hit {
+            return 0;
+        }
         let mut affected = 0;
         let mut kept = Vec::with_capacity(self.entries.len());
         for mut e in self.entries.drain(..) {
@@ -183,13 +293,31 @@ impl PathCache {
             }
         }
         self.entries = kept;
+        self.keys.clear();
+        self.keys
+            .extend(self.entries.iter().map(|e| path_key(e.path.nodes())));
+        self.masks.clear();
+        self.masks
+            .extend(self.entries.iter().map(|e| node_mask(e.path.nodes())));
         affected
     }
 
     /// Drops entries older than the configured timeout.
     pub fn purge_expired(&mut self, now: SimTime) {
         if let Some(ttl) = self.cfg.timeout {
-            self.entries.retain(|e| now - e.inserted_at <= ttl);
+            // Order-preserving compaction over both parallel arrays.
+            let mut w = 0;
+            for i in 0..self.entries.len() {
+                if now - self.entries[i].inserted_at <= ttl {
+                    self.entries.swap(w, i);
+                    self.keys.swap(w, i);
+                    self.masks.swap(w, i);
+                    w += 1;
+                }
+            }
+            self.entries.truncate(w);
+            self.keys.truncate(w);
+            self.masks.truncate(w);
         }
     }
 
@@ -286,6 +414,28 @@ impl RouteCache {
         match self {
             RouteCache::Path(c) => c.insert(route, now),
             RouteCache::Link(c) => c.insert(route, now),
+        }
+    }
+
+    /// Slice form of [`insert`](Self::insert), allocating only when the
+    /// path cache actually stores a new entry. The link strategy has no
+    /// slice-level fast path; it materializes the route as `insert`
+    /// does.
+    pub fn observe_path(&mut self, nodes: &[NodeId], now: SimTime) -> bool {
+        match self {
+            RouteCache::Path(c) => c.observe_path(nodes, now),
+            // det: hot-ok — the link strategy is off the paper's default configuration
+            RouteCache::Link(c) => {
+                let owner = c.owner();
+                let Some(pos) = nodes.iter().position(|&n| n == owner) else {
+                    return false;
+                };
+                // det: hot-ok — the link strategy is off the paper's default configuration
+                match SourceRoute::new(nodes[pos..].to_vec()) {
+                    Some(r) => c.insert(r, now),
+                    None => false,
+                }
+            }
         }
     }
 

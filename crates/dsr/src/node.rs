@@ -141,6 +141,76 @@ struct Discovery {
     deadline: SimTime,
 }
 
+/// Duplicate-RREQ filter: per-origin sets of seen request ids, stored
+/// as sorted, disjoint, inclusive ranges.
+///
+/// Request ids are monotone per origin and never reused (a reboot
+/// preserves `next_rreq_id`), so the ids a node has seen from any one
+/// origin compress to a handful of contiguous runs. Membership checks
+/// touch one small sorted `Vec` instead of walking a tree that grows
+/// by one node per flood — the dominant lookup in `receive_rreq`.
+///
+/// Ordered collections only: iteration never depends on hasher state
+/// (rcast-lint D002), and the exact "ever inserted" semantics of the
+/// `BTreeSet<(NodeId, u32)>` it replaces are preserved. Origins live in
+/// a `Vec` sorted by id — binary-searched, cheaper per lookup than
+/// walking tree nodes, and bounded by the network's node count.
+#[derive(Debug, Clone, Default)]
+struct SeenRreq {
+    origins: Vec<(NodeId, Vec<(u32, u32)>)>,
+}
+
+impl SeenRreq {
+    fn new() -> Self {
+        SeenRreq::default()
+    }
+
+    fn clear(&mut self) {
+        self.origins.clear();
+    }
+
+    /// Inserts `(origin, id)`; returns `true` when it was not already
+    /// present (mirrors `BTreeSet::insert`).
+    fn insert(&mut self, origin: NodeId, id: u32) -> bool {
+        use std::cmp::Ordering;
+        let oi = match self.origins.binary_search_by_key(&origin, |&(o, _)| o) {
+            Ok(oi) => oi,
+            Err(oi) => {
+                // det: hot-ok — one slot per RREQ origin (bounded by the node count), not per flood
+                self.origins.insert(oi, (origin, vec![(id, id)]));
+                return true;
+            }
+        };
+        let rs = &mut self.origins[oi].1;
+        let pos = match rs.binary_search_by(|&(lo, hi)| {
+            if id < lo {
+                Ordering::Greater
+            } else if id > hi {
+                Ordering::Less
+            } else {
+                Ordering::Equal
+            }
+        }) {
+            Ok(_) => return false, // inside an existing range: duplicate
+            Err(pos) => pos,
+        };
+        let joins_prev = pos > 0 && rs[pos - 1].1.checked_add(1) == Some(id);
+        let joins_next = pos < rs.len() && id.checked_add(1) == Some(rs[pos].0);
+        match (joins_prev, joins_next) {
+            (true, true) => {
+                // Bridges the gap between two runs: merge them.
+                rs[pos - 1].1 = rs[pos].1;
+                rs.remove(pos);
+            }
+            (true, false) => rs[pos - 1].1 = id,
+            (false, true) => rs[pos].0 = id,
+            // det: hot-ok — a new disjoint run; runs per origin stay near one in practice
+            (false, false) => rs.insert(pos, (id, id)),
+        }
+        true
+    }
+}
+
 /// The DSR protocol engine for one node.
 ///
 /// # Example
@@ -165,13 +235,24 @@ pub struct DsrNode {
     send_buffer: Vec<Buffered>,
     // BTree collections throughout: protocol state iteration must be
     // ordered so results never depend on hasher state (rcast-lint D002).
-    seen_rreq: BTreeSet<(NodeId, u32)>,
+    seen_rreq: SeenRreq,
     replies_sent: BTreeMap<(NodeId, u32), u32>,
     /// Last time a RERR for (broken_to, source) was sent, for suppression.
     recent_rerrs: BTreeMap<(NodeId, NodeId), SimTime>,
     discoveries: BTreeMap<NodeId, Discovery>,
     next_rreq_id: u32,
     counters: DsrCounters,
+    /// Reusable buffer for candidate paths (reversed RREQ records,
+    /// overheard-route splices) observed into the cache by slice —
+    /// always left empty between calls. Keeps the dominant
+    /// duplicate-flood-arrival path off the allocator (DESIGN.md §10).
+    path_scratch: Vec<NodeId>,
+    /// Whether cache insertions materialize [`DsrAction::RouteCached`]
+    /// notifications (the default). The simulation core filters those
+    /// actions out and samples the cache directly for the role-number
+    /// metric, so it disables reporting — which keeps steady-state
+    /// route learning off the allocator.
+    report_cached: bool,
 }
 
 impl DsrNode {
@@ -189,13 +270,25 @@ impl DsrNode {
             cfg,
             cache: RouteCache::new(id, cfg.cache),
             send_buffer: Vec::new(),
-            seen_rreq: BTreeSet::new(),
+            seen_rreq: SeenRreq::new(),
             replies_sent: BTreeMap::new(),
             recent_rerrs: BTreeMap::new(),
             discoveries: BTreeMap::new(),
             next_rreq_id: 0,
             counters: DsrCounters::default(),
+            path_scratch: Vec::new(),
+            report_cached: true,
         }
+    }
+
+    /// Enables or disables [`DsrAction::RouteCached`] notifications.
+    /// Cache behavior — contents, normalization, LRU order — is
+    /// identical either way; only the materialized action is skipped.
+    /// Embedders that ignore those actions (the simulation core reads
+    /// the cache directly) turn them off so route learning does not
+    /// allocate notification routes it will immediately drop.
+    pub fn set_route_cached_reports(&mut self, enabled: bool) {
+        self.report_cached = enabled;
     }
 
     /// This node's id.
@@ -247,25 +340,36 @@ impl DsrNode {
     // Cache plumbing
     // ------------------------------------------------------------------
 
-    /// Inserts `route` (which must start at or contain this node) and its
+    /// Observes `nodes` as a candidate path; when the cache stores a
+    /// genuinely new entry, reports the stored (owner-normalized) route.
+    // det: hot-ok — materializes a route only when new topology information appears
+    fn observe_and_report(&mut self, nodes: &[NodeId], now: SimTime, out: &mut Vec<DsrAction>) {
+        if self.cache.observe_path(nodes, now) && self.report_cached {
+            let pos = nodes
+                .iter()
+                .position(|&n| n == self.id)
+                .expect("a stored path contains its owner");
+            out.push(DsrAction::RouteCached {
+                route: SourceRoute::new(nodes[pos..].to_vec())
+                    .expect("the cache validated this path"),
+            });
+        }
+    }
+
+    /// Learns `route` (which must start at or contain this node) and its
     /// reverse; emits `RouteCached` for new entries and drains any
     /// now-routable buffered packets.
     // det: hot-ok — caches a route only when new topology information appears
     fn learn_route(&mut self, route: &SourceRoute, now: SimTime, out: &mut Vec<DsrAction>) {
-        for candidate in [route.clone(), route.reversed()] {
-            // RouteCache::insert normalizes to start at the owner and
-            // rejects routes that don't contain it.
-            let normalized = if candidate.origin() == self.id {
-                Some(candidate)
-            } else {
-                candidate.suffix_from(self.id)
-            };
-            if let Some(r) = normalized {
-                if self.cache.insert(r.clone(), now) {
-                    out.push(DsrAction::RouteCached { route: r });
-                }
-            }
-        }
+        // RouteCache::observe_path normalizes to start at the owner and
+        // rejects paths that don't contain it.
+        self.observe_and_report(route.nodes(), now, out);
+        let mut rev = std::mem::take(&mut self.path_scratch);
+        rev.clear();
+        rev.extend(route.nodes().iter().rev().copied());
+        self.observe_and_report(&rev, now, out);
+        rev.clear();
+        self.path_scratch = rev;
         self.drain_send_buffer(now, out);
     }
 
@@ -280,56 +384,59 @@ impl DsrNode {
         out: &mut Vec<DsrAction>,
     ) {
         debug_assert!(!route.contains(self.id));
-        let stub = match SourceRoute::new(vec![self.id, transmitter]) {
-            Some(s) => s,
-            None => return, // transmitter == self, nonsensical
+        if transmitter == self.id {
+            return; // nonsensical: we cannot be our own next hop
+        }
+        let nodes = route.nodes();
+        let Some(pos) = nodes.iter().position(|&n| n == transmitter) else {
+            self.drain_send_buffer(now, out);
+            return;
         };
-        // Toward the route's destination.
-        if let Some(suffix) = route.suffix_from(transmitter) {
-            if let Some(r) = stub.spliced_with(&suffix) {
-                if self.cache.insert(r.clone(), now) {
-                    out.push(DsrAction::RouteCached { route: r });
-                }
-            }
+        let mut scratch = std::mem::take(&mut self.path_scratch);
+        // Toward the route's destination: self → transmitter → … → dst.
+        if pos + 1 < nodes.len() {
+            scratch.clear();
+            scratch.push(self.id);
+            scratch.extend_from_slice(&nodes[pos..]);
+            self.observe_and_report(&scratch, now, out);
         }
-        // Toward the route's origin.
-        if let Some(prefix) = route.prefix_to(transmitter) {
-            if let Some(r) = stub.spliced_with(&prefix.reversed()) {
-                if self.cache.insert(r.clone(), now) {
-                    out.push(DsrAction::RouteCached { route: r });
-                }
-            }
+        // Toward the route's origin: self → transmitter → … → origin.
+        if pos >= 1 {
+            scratch.clear();
+            scratch.push(self.id);
+            scratch.extend(nodes[..=pos].iter().rev().copied());
+            self.observe_and_report(&scratch, now, out);
         }
+        scratch.clear();
+        self.path_scratch = scratch;
         self.drain_send_buffer(now, out);
     }
 
     /// Sends every buffered packet that now has a route; completes
-    /// discoveries whose target became reachable.
+    /// discoveries whose target became reachable. Works in place: the
+    /// common no-op drain (empty buffer, or no new routes) never
+    /// rebuilds the buffer.
     // det: hot-ok — flushes buffered packets when a route materializes, a discovery-completion event
     fn drain_send_buffer(&mut self, now: SimTime, out: &mut Vec<DsrAction>) {
-        if self.send_buffer.is_empty() {
-            return;
-        }
-        let mut remaining = Vec::with_capacity(self.send_buffer.len());
-        for b in std::mem::take(&mut self.send_buffer) {
-            match self.cache.find_route(b.dst, now) {
+        let mut i = 0;
+        while i < self.send_buffer.len() {
+            let dst = self.send_buffer[i].dst;
+            match self.cache.find_route(dst, now) {
                 Some(route) => {
-                    let dst = b.dst;
-                    let packet = b.into_packet(route.clone());
+                    let b = self.send_buffer.remove(i);
                     let next_hop = route
                         .next_hop_after(self.id)
                         .expect("route starts at self with >= 1 hop");
                     self.counters.data_sent += 1;
                     out.push(DsrAction::Unicast {
                         next_hop,
-                        packet: DsrPacket::Data(packet),
+                        packet: DsrPacket::Data(b.into_packet(route)),
                     });
                     self.discoveries.remove(&dst);
                 }
-                None => remaining.push(b),
+                None => i += 1,
             }
         }
-        self.send_buffer = remaining;
     }
 
     // ------------------------------------------------------------------
@@ -432,7 +539,7 @@ impl DsrNode {
     fn emit_rreq(&mut self, target: NodeId, ttl: u8) -> DsrAction {
         let id = self.next_rreq_id;
         self.next_rreq_id += 1;
-        self.seen_rreq.insert((self.id, id));
+        self.seen_rreq.insert(self.id, id);
         self.counters.rreq_originated += 1;
         DsrAction::Broadcast {
             packet: DsrPacket::Rreq(Rreq {
@@ -545,22 +652,36 @@ impl DsrNode {
         }
     }
 
-    // det: hot-ok — route-discovery control path, absent from the settled steady state
+    /// The extended record of `r` as seen from this node: `r.record`
+    /// plus our own id. Only built on the paths that transmit it.
+    fn extended_record(&self, r: &Rreq) -> Vec<NodeId> {
+        let mut record = Vec::with_capacity(r.record.len() + 1);
+        record.extend_from_slice(&r.record);
+        record.push(self.id);
+        record
+    }
+
+    // det: hot-ok — route-discovery control path; the dominant duplicate-arrival case stays off the allocator
     fn receive_rreq(&mut self, r: &Rreq, from: NodeId, now: SimTime) -> Vec<DsrAction> {
         let mut out = Vec::new();
         if r.origin == self.id || r.record.contains(&self.id) {
             return out; // our own flood, or a loop
         }
-        let mut record = r.record.clone();
-        record.push(self.id);
 
-        // The accumulated record teaches us the path back to the origin.
-        if let Some(back) = SourceRoute::new(record.iter().rev().copied().collect()) {
-            if self.cache.insert(back.clone(), now) {
-                out.push(DsrAction::RouteCached { route: back });
-            }
+        // The accumulated record teaches us the path back to the
+        // origin. In a flood, every neighbor's rebroadcast re-delivers
+        // the same record; observing it through the reusable scratch
+        // keeps those duplicate arrivals allocation-free.
+        let mut back = std::mem::take(&mut self.path_scratch);
+        back.clear();
+        back.push(self.id);
+        back.extend(r.record.iter().rev().copied());
+        if SourceRoute::is_valid_path(&back) {
+            self.observe_and_report(&back, now, &mut out);
             self.drain_send_buffer(now, &mut out);
         }
+        back.clear();
+        self.path_scratch = back;
 
         if r.target == self.id {
             // Answer every distinct arrival (up to the cap): DSR offers
@@ -568,7 +689,7 @@ impl DsrNode {
             let sent = self.replies_sent.entry((r.origin, r.id)).or_insert(0);
             if *sent < self.cfg.max_replies_per_request {
                 *sent += 1;
-                if let Some(full) = SourceRoute::new(record) {
+                if let Some(full) = SourceRoute::new(self.extended_record(r)) {
                     self.counters.rrep_from_target += 1;
                     out.push(DsrAction::Unicast {
                         next_hop: from,
@@ -583,14 +704,14 @@ impl DsrNode {
             return out;
         }
 
-        if !self.seen_rreq.insert((r.origin, r.id)) {
+        if !self.seen_rreq.insert(r.origin, r.id) {
             return out; // duplicate: already forwarded or answered
         }
 
         // Cached reply by an intermediate node.
         if self.cfg.reply_from_cache {
             if let Some(tail) = self.cache.find_route(r.target, now) {
-                if let Some(prefix) = SourceRoute::new(record.clone()) {
+                if let Some(prefix) = SourceRoute::new(self.extended_record(r)) {
                     if let Some(full) = prefix.spliced_with(&tail) {
                         self.counters.rrep_from_cache += 1;
                         out.push(DsrAction::Unicast {
@@ -615,7 +736,7 @@ impl DsrNode {
                     target: r.target,
                     id: r.id,
                     ttl: r.ttl - 1,
-                    record,
+                    record: self.extended_record(r),
                 }),
             });
         }
@@ -625,7 +746,7 @@ impl DsrNode {
     // det: hot-ok — route-discovery control path, absent from the settled steady state
     fn receive_rrep(&mut self, r: Rrep, now: SimTime) -> Vec<DsrAction> {
         let mut out = Vec::new();
-        self.learn_route(&r.route.clone(), now, &mut out);
+        self.learn_route(&r.route, now, &mut out);
         if r.origin() == self.id {
             // Discovery complete; drain already happened in learn_route.
             self.discoveries.remove(&r.target());
@@ -665,13 +786,13 @@ impl DsrNode {
         let mut out = Vec::new();
         if d.dst() == self.id {
             // Destination also learns the (reverse) route.
-            self.learn_route(&d.route.clone(), now, &mut out);
+            self.learn_route(&d.route, now, &mut out);
             self.counters.data_delivered += 1;
             out.push(DsrAction::Delivered { packet: d });
             return out;
         }
         // Relays learn the route they carry.
-        self.learn_route(&d.route.clone(), now, &mut out);
+        self.learn_route(&d.route, now, &mut out);
         match d.route.next_hop_after(self.id) {
             Some(next_hop) => {
                 self.counters.data_forwarded += 1;
@@ -708,19 +829,17 @@ impl DsrNode {
         let mut out = Vec::new();
         match packet {
             DsrPacket::Data(d) => {
-                let route = d.route.clone();
-                if route.contains(self.id) {
-                    self.learn_route(&route, now, &mut out);
+                if d.route.contains(self.id) {
+                    self.learn_route(&d.route, now, &mut out);
                 } else {
-                    self.learn_via_transmitter(transmitter, &route, now, &mut out);
+                    self.learn_via_transmitter(transmitter, &d.route, now, &mut out);
                 }
             }
             DsrPacket::Rrep(r) => {
-                let route = r.route.clone();
-                if route.contains(self.id) {
-                    self.learn_route(&route, now, &mut out);
+                if r.route.contains(self.id) {
+                    self.learn_route(&r.route, now, &mut out);
                 } else {
-                    self.learn_via_transmitter(transmitter, &route, now, &mut out);
+                    self.learn_via_transmitter(transmitter, &r.route, now, &mut out);
                 }
             }
             DsrPacket::Rerr(e) => {

@@ -27,15 +27,39 @@ impl SourceRoute {
     /// Returns `None` when the sequence is shorter than two nodes or
     /// contains a repeated node (routes must be loop-free).
     pub fn new(nodes: Vec<NodeId>) -> Option<Self> {
-        if nodes.len() < 2 {
+        if !Self::is_valid_path(&nodes) {
             return None;
+        }
+        Some(SourceRoute { nodes })
+    }
+
+    /// `true` when `nodes` would form a valid route (≥ 2 nodes,
+    /// loop-free) — [`new`](Self::new)'s precondition, checkable on a
+    /// borrowed slice without materializing the `Vec`.
+    pub fn is_valid_path(nodes: &[NodeId]) -> bool {
+        if nodes.len() < 2 {
+            return false;
         }
         for (i, a) in nodes.iter().enumerate() {
             if nodes[i + 1..].contains(a) {
-                return None;
+                return false;
             }
         }
-        Some(SourceRoute { nodes })
+        true
+    }
+
+    /// Replaces the node sequence in place, reusing the existing
+    /// allocation — the recycling counterpart of [`new`](Self::new) for
+    /// storage pools like the route cache's eviction slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `nodes` fails [`is_valid_path`](Self::is_valid_path).
+    pub fn refill(&mut self, nodes: &[NodeId]) {
+        assert!(Self::is_valid_path(nodes), "invalid route");
+        self.nodes.clear();
+        // det: hot-ok — reuses the existing storage; grows only when the new path is longer than any predecessor
+        self.nodes.extend_from_slice(nodes);
     }
 
     /// The origin (first node).

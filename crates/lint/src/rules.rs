@@ -137,10 +137,11 @@ const D008_METHODS: &[&str] = &[
 /// Float-reduction method names D009 watches.
 const REDUCE_METHODS: &[&str] = &["sum", "product", "fold"];
 
-/// Pool methods whose argument list is a parallel seam. `map_grid` is
-/// unambiguous; `run` and `map` additionally require a pool-shaped
-/// receiver (see [`pool_receiver`]) so iterator `map` stays untouched.
-const POOL_METHODS: &[&str] = &["run", "map", "map_grid"];
+/// Pool methods whose argument list is a parallel seam. `map_grid` and
+/// `map_shards` are unambiguous; `run` and `map` additionally require a
+/// pool-shaped receiver (see [`pool_receiver`]) so iterator `map` stays
+/// untouched.
+const POOL_METHODS: &[&str] = &["run", "map", "map_grid", "map_shards"];
 
 /// Per-file line facts needed for pragma resolution.
 struct LineFacts {
@@ -770,7 +771,7 @@ fn pool_call_regions(code: &[&Token]) -> Vec<(usize, usize, &'static str)> {
         if !is_method_call {
             continue;
         }
-        if method != "map_grid" && !pool_receiver(code, i - 1) {
+        if matches!(method, "run" | "map") && !pool_receiver(code, i - 1) {
             continue;
         }
         // Match the call's parentheses.

@@ -240,9 +240,10 @@ fn d008_fires_on_captured_shared_state_and_honors_the_pragma() {
     // Line 8: atomic RMW on a captured counter. Line 10: shared-state
     // type constructed in the closure. Line 12: unordered-map iteration
     // (its `det: ordered` escapes D002 but not D008). Line 21: lock
-    // acquisition inside `map_grid`. The iterator `map` in `fine` and
-    // the `shared-ok` site in `excused` stay silent.
-    assert_eq!(lines_of(&findings, "D008"), vec![8, 10, 12, 21]);
+    // acquisition inside `map_grid`. Line 28: atomic RMW inside
+    // `map_shards`. The iterator `map` in `fine` and the `shared-ok`
+    // site in `excused` stay silent.
+    assert_eq!(lines_of(&findings, "D008"), vec![8, 10, 12, 21, 28]);
     assert!(lines_of(&findings, "D002").is_empty());
 }
 

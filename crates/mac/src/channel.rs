@@ -13,7 +13,7 @@ use rcast_radio::Phy;
 
 use crate::config::MacConfig;
 use crate::frame::{Destination, MacFrame};
-use crate::interval::{Delivery, LinkFailure};
+use crate::interval::{Delivery, Fanout, LinkFailure};
 
 /// Maximum random backoff, in slots (802.11 CWmin).
 const CW_MIN_SLOTS: u64 = 31;
@@ -45,8 +45,12 @@ pub enum ImmediateResult<P> {
 /// let nt = NeighborTable::build(&snap, 250.0);
 /// let mut ch = Channel::new(2, MacConfig::default(), Phy::default(), StreamRng::from_seed(3));
 /// let frame = MacFrame::unicast(NodeId::new(1), OverhearingLevel::None, 512, "pkt");
-/// match ch.transmit(SimTime::ZERO, NodeId::new(0), frame, &nt, |_| true) {
-///     ImmediateResult::Delivered(d) => assert_eq!(d.receiver, Some(NodeId::new(1))),
+/// let mut fanout = Vec::new();
+/// match ch.transmit(SimTime::ZERO, NodeId::new(0), frame, &nt, |_| true, &mut fanout) {
+///     ImmediateResult::Delivered(d) => {
+///         assert_eq!(d.receiver, Some(NodeId::new(1)));
+///         assert_eq!(d.fanout.recipients(&fanout), [NodeId::new(1)]);
+///     }
 ///     ImmediateResult::Failed(_) => unreachable!(),
 /// }
 /// ```
@@ -56,6 +60,8 @@ pub struct Channel {
     phy: Phy,
     busy_until: Vec<SimTime>,
     rng: StreamRng,
+    /// Reused per-transmit scratch for the occupied-node set.
+    affected: Vec<NodeId>,
 }
 
 impl Channel {
@@ -66,6 +72,7 @@ impl Channel {
             phy,
             busy_until: vec![SimTime::ZERO; n],
             rng,
+            affected: Vec::new(),
         }
     }
 
@@ -92,18 +99,18 @@ impl Channel {
         self.phy.timings.slot * self.rng.below(CW_MIN_SLOTS + 1)
     }
 
-    fn channel_free_at(&self, nodes: &[NodeId], now: SimTime) -> SimTime {
+    fn channel_free_at(busy_until: &[SimTime], nodes: &[NodeId], now: SimTime) -> SimTime {
         let mut t = now;
         for &n in nodes {
-            t = t.max(self.busy_until[n.index()]);
+            t = t.max(busy_until[n.index()]);
         }
         t
     }
 
-    fn occupy(&mut self, nodes: &[NodeId], until: SimTime) {
+    fn occupy(busy_until: &mut [SimTime], nodes: &[NodeId], until: SimTime) {
         for &n in nodes {
-            if self.busy_until[n.index()] < until {
-                self.busy_until[n.index()] = until;
+            if busy_until[n.index()] < until {
+                busy_until[n.index()] = until;
             }
         }
     }
@@ -114,6 +121,12 @@ impl Channel {
     /// it gates both reception (broadcast) and overhearing. The
     /// addressed receiver of a unicast must be awake, otherwise the
     /// transmission fails after the retry limit.
+    ///
+    /// On delivery, `fanout` is cleared and refilled with the
+    /// recipients-then-overhearers the returned delivery's
+    /// [`Fanout`] ranges index (starting at 0 — the buffer holds one
+    /// transmission at a time, unlike the interval outcome's shared
+    /// buffer).
     pub fn transmit<P>(
         &mut self,
         now: SimTime,
@@ -121,29 +134,36 @@ impl Channel {
         frame: MacFrame<P>,
         nt: &NeighborTable,
         is_awake: impl Fn(NodeId) -> bool,
+        fanout: &mut Vec<NodeId>,
     ) -> ImmediateResult<P> {
         match frame.to {
             Destination::Broadcast => {
                 let dur = self
                     .phy
                     .broadcast_time(frame.bytes + self.cfg.mac_header_bytes);
-                let mut affected = vec![sender];
-                affected.extend_from_slice(nt.neighbors(sender));
-                let start = self.channel_free_at(&affected, now) + self.backoff();
+                self.affected.clear();
+                self.affected.push(sender);
+                self.affected.extend_from_slice(nt.neighbors(sender));
+                let start =
+                    Self::channel_free_at(&self.busy_until, &self.affected, now) + self.backoff();
                 let end = start + dur;
-                self.occupy(&affected, end);
-                let recipients: Vec<NodeId> = nt
-                    .neighbors(sender)
-                    .iter()
-                    .copied()
-                    .filter(|&x| is_awake(x))
-                    .collect();
+                Self::occupy(&mut self.busy_until, &self.affected, end);
+                fanout.clear();
+                let mut rec = 0u32;
+                for &x in nt.neighbors(sender) {
+                    if is_awake(x) {
+                        fanout.push(x);
+                        rec += 1;
+                    }
+                }
                 ImmediateResult::Delivered(Delivery {
                     sender,
                     receiver: None,
-                    recipients,
-                    // det: hot-ok — empty Vec::new never allocates
-                    overhearers: Vec::new(),
+                    fanout: Fanout {
+                        start: 0,
+                        recipients: rec,
+                        overhearers: 0,
+                    },
                     at: end,
                     enqueued_at: now,
                     frame,
@@ -154,15 +174,18 @@ impl Channel {
                 let dur = self
                     .phy
                     .unicast_exchange_time(frame.bytes + self.cfg.mac_header_bytes, self.cfg.ack_bytes);
-                let mut affected = vec![sender, r];
-                affected.extend_from_slice(nt.neighbors(sender));
-                affected.extend_from_slice(nt.neighbors(r));
+                self.affected.clear();
+                self.affected.push(sender);
+                self.affected.push(r);
+                self.affected.extend_from_slice(nt.neighbors(sender));
+                self.affected.extend_from_slice(nt.neighbors(r));
 
                 let mut t = now;
                 for _attempt in 0..SHORT_RETRY_LIMIT {
-                    let start = self.channel_free_at(&affected, t) + self.backoff();
+                    let start =
+                        Self::channel_free_at(&self.busy_until, &self.affected, t) + self.backoff();
                     let end = start + dur;
-                    self.occupy(&affected, end);
+                    Self::occupy(&mut self.busy_until, &self.affected, end);
                     if !reachable {
                         // Attempt burns airtime, then times out.
                         t = end;
@@ -173,17 +196,23 @@ impl Channel {
                         t = end;
                         continue;
                     }
-                    let overhearers: Vec<NodeId> = nt
-                        .neighbors(sender)
-                        .iter()
-                        .copied()
-                        .filter(|&x| x != r && is_awake(x))
-                        .collect();
+                    fanout.clear();
+                    fanout.push(r);
+                    let mut ovh = 0u32;
+                    for &x in nt.neighbors(sender) {
+                        if x != r && is_awake(x) {
+                            fanout.push(x);
+                            ovh += 1;
+                        }
+                    }
                     return ImmediateResult::Delivered(Delivery {
                         sender,
                         receiver: Some(r),
-                        recipients: vec![r],
-                        overhearers,
+                        fanout: Fanout {
+                            start: 0,
+                            recipients: 1,
+                            overhearers: ovh,
+                        },
                         at: end,
                         enqueued_at: now,
                         frame,
@@ -227,7 +256,8 @@ mod tests {
     fn unicast_delivers_quickly() {
         let nt = topology(&[0.0, 100.0]);
         let mut ch = channel(2);
-        match ch.transmit(SimTime::ZERO, NodeId::new(0), uni(1), &nt, |_| true) {
+        let mut buf = Vec::new();
+        match ch.transmit(SimTime::ZERO, NodeId::new(0), uni(1), &nt, |_| true, &mut buf) {
             ImmediateResult::Delivered(d) => {
                 assert_eq!(d.receiver, Some(NodeId::new(1)));
                 // Immediate path: milliseconds, not beacon intervals.
@@ -241,7 +271,8 @@ mod tests {
     fn out_of_range_fails_after_retries() {
         let nt = topology(&[0.0, 1000.0]);
         let mut ch = channel(2);
-        match ch.transmit(SimTime::ZERO, NodeId::new(0), uni(1), &nt, |_| true) {
+        let mut buf = Vec::new();
+        match ch.transmit(SimTime::ZERO, NodeId::new(0), uni(1), &nt, |_| true, &mut buf) {
             ImmediateResult::Failed(f) => {
                 assert_eq!(f.receiver, NodeId::new(1));
                 assert!(f.at > SimTime::ZERO);
@@ -255,7 +286,8 @@ mod tests {
         let nt = topology(&[0.0, 100.0]);
         let mut ch = channel(2);
         let asleep = |x: NodeId| x != NodeId::new(1);
-        match ch.transmit(SimTime::ZERO, NodeId::new(0), uni(1), &nt, asleep) {
+        let mut buf = Vec::new();
+        match ch.transmit(SimTime::ZERO, NodeId::new(0), uni(1), &nt, asleep, &mut buf) {
             ImmediateResult::Failed(f) => assert_eq!(f.receiver, NodeId::new(1)),
             ImmediateResult::Delivered(_) => panic!("receiver is asleep"),
         }
@@ -265,9 +297,11 @@ mod tests {
     fn awake_neighbors_overhear() {
         let nt = topology(&[0.0, 100.0, 200.0]);
         let mut ch = channel(3);
-        match ch.transmit(SimTime::ZERO, NodeId::new(0), uni(1), &nt, |_| true) {
+        let mut buf = Vec::new();
+        match ch.transmit(SimTime::ZERO, NodeId::new(0), uni(1), &nt, |_| true, &mut buf) {
             ImmediateResult::Delivered(d) => {
-                assert_eq!(d.overhearers, vec![NodeId::new(2)]);
+                assert_eq!(d.fanout.recipients(&buf), [NodeId::new(1)]);
+                assert_eq!(d.fanout.overhearers(&buf), [NodeId::new(2)]);
             }
             ImmediateResult::Failed(_) => panic!(),
         }
@@ -278,15 +312,18 @@ mod tests {
         let nt = topology(&[0.0, 100.0, 200.0]);
         let mut ch = channel(3);
         let only_node_1 = |x: NodeId| x == NodeId::new(1);
+        let mut buf = Vec::new();
         match ch.transmit(
             SimTime::ZERO,
             NodeId::new(0),
             MacFrame::broadcast(64, "rreq"),
             &nt,
             only_node_1,
+            &mut buf,
         ) {
             ImmediateResult::Delivered(d) => {
-                assert_eq!(d.recipients, vec![NodeId::new(1)]);
+                assert_eq!(d.fanout.recipients(&buf), [NodeId::new(1)]);
+                assert!(d.fanout.overhearers(&buf).is_empty());
                 assert_eq!(d.receiver, None);
             }
             ImmediateResult::Failed(_) => panic!(),
@@ -297,11 +334,12 @@ mod tests {
     fn back_to_back_transmissions_serialize() {
         let nt = topology(&[0.0, 100.0]);
         let mut ch = channel(2);
-        let d1 = match ch.transmit(SimTime::ZERO, NodeId::new(0), uni(1), &nt, |_| true) {
+        let mut buf = Vec::new();
+        let d1 = match ch.transmit(SimTime::ZERO, NodeId::new(0), uni(1), &nt, |_| true, &mut buf) {
             ImmediateResult::Delivered(d) => d.at,
             _ => panic!(),
         };
-        let d2 = match ch.transmit(SimTime::ZERO, NodeId::new(0), uni(1), &nt, |_| true) {
+        let d2 = match ch.transmit(SimTime::ZERO, NodeId::new(0), uni(1), &nt, |_| true, &mut buf) {
             ImmediateResult::Delivered(d) => d.at,
             _ => panic!(),
         };
@@ -313,11 +351,12 @@ mod tests {
     fn distant_transmissions_do_not_interfere() {
         let nt = topology(&[0.0, 100.0, 5000.0, 5100.0]);
         let mut ch = channel(4);
-        let a = match ch.transmit(SimTime::ZERO, NodeId::new(0), uni(1), &nt, |_| true) {
+        let mut buf = Vec::new();
+        let a = match ch.transmit(SimTime::ZERO, NodeId::new(0), uni(1), &nt, |_| true, &mut buf) {
             ImmediateResult::Delivered(d) => d.at,
             _ => panic!(),
         };
-        let b = match ch.transmit(SimTime::ZERO, NodeId::new(2), uni(3), &nt, |_| true) {
+        let b = match ch.transmit(SimTime::ZERO, NodeId::new(2), uni(3), &nt, |_| true, &mut buf) {
             ImmediateResult::Delivered(d) => d.at,
             _ => panic!(),
         };
@@ -334,7 +373,8 @@ mod tests {
             ..MacConfig::default()
         };
         let mut ch = Channel::new(2, cfg, Phy::default(), StreamRng::from_seed(2));
-        match ch.transmit(SimTime::ZERO, NodeId::new(0), uni(1), &nt, |_| true) {
+        let mut buf = Vec::new();
+        match ch.transmit(SimTime::ZERO, NodeId::new(0), uni(1), &nt, |_| true, &mut buf) {
             ImmediateResult::Failed(f) => assert!(f.at > SimTime::ZERO),
             ImmediateResult::Delivered(_) => panic!("loss prob 1.0 must fail"),
         }

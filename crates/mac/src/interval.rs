@@ -27,6 +27,7 @@
 //! energy layer can integrate `P_awake × awake + P_sleep × sleep` —
 //! exactly the arithmetic the paper uses in Figure 5.
 
+use rcast_engine::pool::ScopedPool;
 use rcast_engine::rng::StreamRng;
 use rcast_engine::{NodeId, SimDuration, SimTime};
 use rcast_mobility::NeighborTable;
@@ -39,6 +40,39 @@ use crate::observe::{MacObserver, NullMacObserver};
 use crate::queue::TxQueue;
 use crate::wake::{PowerMode, WakePolicy};
 
+/// Where a delivery's receivers live inside the interval's shared
+/// fanout buffer ([`IntervalOutcome::fanout`], or the caller-supplied
+/// buffer for the immediate path): `recipients` node ids starting at
+/// `start`, immediately followed by `overhearers` node ids.
+///
+/// Keeping ranges instead of per-delivery `Vec`s removes two heap
+/// allocations per delivered frame from the hot loop and lets the
+/// sharded post-pass assemble all fanouts into one flat buffer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Fanout {
+    /// First index of this delivery's span in the fanout buffer.
+    pub start: u32,
+    /// Number of recipients (broadcast receivers, or 1 for unicast).
+    pub recipients: u32,
+    /// Number of overhearers (awake in-range non-addressees; unicast
+    /// only — broadcasts have none, every awake neighbor receives).
+    pub overhearers: u32,
+}
+
+impl Fanout {
+    /// The recipient slice within `buf`.
+    pub fn recipients<'a>(&self, buf: &'a [NodeId]) -> &'a [NodeId] {
+        let s = self.start as usize;
+        &buf[s..s + self.recipients as usize]
+    }
+
+    /// The overhearer slice within `buf`.
+    pub fn overhearers<'a>(&self, buf: &'a [NodeId]) -> &'a [NodeId] {
+        let s = self.start as usize + self.recipients as usize;
+        &buf[s..s + self.overhearers as usize]
+    }
+}
+
 /// A frame the MAC delivered during an interval (or immediately).
 #[derive(Debug, Clone)]
 pub struct Delivery<P> {
@@ -46,11 +80,8 @@ pub struct Delivery<P> {
     pub sender: NodeId,
     /// Addressed receiver; `None` for broadcast.
     pub receiver: Option<NodeId>,
-    /// Broadcast recipients (empty for unicast).
-    pub recipients: Vec<NodeId>,
-    /// Awake in-range nodes that overheard the transmission
-    /// (excludes the receiver; empty for broadcast).
-    pub overhearers: Vec<NodeId>,
+    /// Recipient/overhearer ranges into the interval's fanout buffer.
+    pub fanout: Fanout,
     /// When the exchange completed on the air.
     pub at: SimTime,
     /// When the frame entered the MAC queue (for delay accounting).
@@ -85,6 +116,9 @@ pub struct IntervalOutcome<P> {
     pub start: SimTime,
     /// Completed transfers, in on-air order.
     pub deliveries: Vec<Delivery<P>>,
+    /// Shared recipient/overhearer buffer the deliveries' [`Fanout`]
+    /// ranges index into, in on-air delivery order.
+    pub fanout: Vec<NodeId>,
     /// Broken-link frames returned to the network layer.
     pub failures: Vec<LinkFailure<P>>,
     /// Per node: was the radio on past the ATIM window for any reason?
@@ -110,6 +144,7 @@ impl<P> Default for IntervalOutcome<P> {
         IntervalOutcome {
             start: SimTime::ZERO,
             deliveries: Vec::new(),
+            fanout: Vec::new(),
             failures: Vec::new(),
             awake: Vec::new(),
             ps_awake: Vec::new(),
@@ -179,6 +214,7 @@ pub struct MacLayer<P> {
     rng: StreamRng,
     counters: MacCounters,
     scratch: IntervalScratch,
+    pool: ScopedPool,
 }
 
 /// One announced (acknowledged) advertisement awaiting its data phase.
@@ -204,7 +240,94 @@ struct IntervalScratch {
     atim_budget: AirtimeBudget,
     data_budget: AirtimeBudget,
     affected: Vec<NodeId>,
+    prepass: Vec<PrepassLane>,
+    merge: Vec<MergeLane>,
+}
+
+/// One shard's output of the ATIM prepass: the per-node destination
+/// lists and advertised levels, read off the queues before phase 1
+/// mutates them. Both are pure queue reads, so shards can scan node
+/// ranges concurrently; phase 1 then consumes the lanes in shard order,
+/// which is node order for contiguous chunks.
+#[derive(Debug, Clone, Default)]
+struct PrepassLane {
+    /// Per-node scratch for `destinations_into`.
     dests: Vec<Destination>,
+    /// `(sender, dest, strongest advertised level)` candidates.
+    out: Vec<(NodeId, Destination, Option<OverhearingLevel>)>,
+}
+
+/// One shard's output of the fanout/energy post-pass: concatenated
+/// recipient+overhearer ids with per-delivery counts for a contiguous
+/// delivery range, plus committed-awake durations for a contiguous node
+/// range. Everything here is a pure function of post-phase-2 `awake`
+/// and post-phase-3 doze bookkeeping, so shards run concurrently and
+/// the serial merge reassembles canonical order.
+#[derive(Debug, Clone, Default)]
+struct MergeLane {
+    fanout: Vec<NodeId>,
+    counts: Vec<(u32, u32)>,
+    committed: Vec<SimDuration>,
+}
+
+/// Appends `d`'s recipients-then-overhearers to `buf`; returns the
+/// `(recipients, overhearers)` counts. Pure in `awake`, which is final
+/// once phase 2 ends — phase 3 only advances doze bookkeeping — so the
+/// fanout can be resolved after the data phase, serially or sharded,
+/// with identical bytes.
+fn delivery_fanout<P>(
+    d: &Delivery<P>,
+    nt: &NeighborTable,
+    awake: &[bool],
+    buf: &mut Vec<NodeId>,
+) -> (u32, u32) {
+    match d.receiver {
+        Some(r) => {
+            buf.push(r);
+            let mut ovh = 0u32;
+            for &x in nt.neighbors(d.sender) {
+                if x != r && awake[x.index()] {
+                    buf.push(x);
+                    ovh += 1;
+                }
+            }
+            (1, ovh)
+        }
+        None => {
+            // Only awake neighbors receive: with the randomized-
+            // broadcast extension some may have chosen to sleep.
+            let mut rec = 0u32;
+            for &x in nt.neighbors(d.sender) {
+                if awake[x.index()] {
+                    buf.push(x);
+                    rec += 1;
+                }
+            }
+            (rec, 0)
+        }
+    }
+}
+
+/// Node `i`'s PSM-committed radio-on time for the interval — the
+/// doze-bookkeeping integration, pure in the final phase-3 state.
+#[allow(clippy::too_many_arguments)]
+fn committed_duration(
+    i: usize,
+    committed: &[bool],
+    full_wake: &[bool],
+    doze_at: &[SimTime],
+    start: SimTime,
+    aw: SimDuration,
+    bi: SimDuration,
+    doze_after_transfer: bool,
+) -> SimDuration {
+    if !committed[i] {
+        aw
+    } else if full_wake[i] || !doze_after_transfer {
+        bi
+    } else {
+        (doze_at[i] - start).max(aw).min(bi)
+    }
 }
 
 impl<P> MacLayer<P> {
@@ -224,7 +347,23 @@ impl<P> MacLayer<P> {
             rng,
             counters: MacCounters::default(),
             scratch: IntervalScratch::default(),
+            pool: ScopedPool::new(1),
         }
+    }
+
+    /// Sets how many shards interval resolution splits its node-indexed
+    /// prepass and fanout post-pass into (and up to as many worker
+    /// threads). Width 1 — the default — is the fully serial,
+    /// zero-allocation path; any width produces byte-identical
+    /// outcomes, so this is purely a throughput knob and deliberately
+    /// *not* part of [`MacConfig`] (scenario hashing must not see it).
+    pub fn set_shard_width(&mut self, width: usize) {
+        self.pool = ScopedPool::new(width);
+    }
+
+    /// The configured shard width.
+    pub fn shard_width(&self) -> usize {
+        self.pool.threads()
     }
 
     /// The MAC configuration.
@@ -338,7 +477,10 @@ impl<P> MacLayer<P> {
         start: SimTime,
         nt: &NeighborTable,
         policy: &mut dyn WakePolicy,
-    ) -> IntervalOutcome<P> {
+    ) -> IntervalOutcome<P>
+    where
+        P: Sync,
+    {
         let mut out = IntervalOutcome::default();
         self.run_interval_into(start, nt, policy, &mut out);
         out
@@ -356,7 +498,9 @@ impl<P> MacLayer<P> {
         nt: &NeighborTable,
         policy: &mut dyn WakePolicy,
         out: &mut IntervalOutcome<P>,
-    ) {
+    ) where
+        P: Sync,
+    {
         self.run_interval_observed(start, nt, policy, out, &mut NullMacObserver);
     }
 
@@ -371,7 +515,9 @@ impl<P> MacLayer<P> {
         policy: &mut dyn WakePolicy,
         out: &mut IntervalOutcome<P>,
         obs: &mut dyn MacObserver,
-    ) {
+    ) where
+        P: Sync,
+    {
         let n = self.queues.len();
         debug_assert_eq!(nt.len(), n, "neighbor table size mismatch");
 
@@ -380,6 +526,13 @@ impl<P> MacLayer<P> {
         let failures = &mut out.failures;
         deliveries.clear();
         failures.clear();
+
+        // Shard geometry: the prepass and post-pass chunk nodes (and
+        // deliveries) into `shards` contiguous ascending ranges, so
+        // consuming lanes in shard order is index order and the result
+        // is byte-identical for every width.
+        let shards = self.pool.threads().min(n.max(1));
+        let node_chunk = n.div_ceil(shards.max(1)).max(1);
 
         // Working state lives on `self` between intervals; detach it so
         // the resolver can borrow queues/counters/rng freely.
@@ -412,6 +565,30 @@ impl<P> MacLayer<P> {
         }
         let affected = &mut scr.affected;
 
+        // ---- Prepass: per-node advertisement candidates (sharded) ------
+        // `destinations_into` and `strongest_level_for` are pure reads
+        // of one node's queue; phase 1 only mutates the queue of the
+        // node it is processing, and evicting one destination's frames
+        // never changes another destination's strongest level. So the
+        // candidate lists can be read off the queues up front, shard-
+        // parallel, without changing a byte of phase 1's behavior.
+        scr.prepass.resize_with(shards, PrepassLane::default);
+        {
+            let queues = &self.queues;
+            self.pool.map_shards(&mut scr.prepass, |s, lane| {
+                lane.out.clear();
+                let lo = (s * node_chunk).min(n);
+                let hi = ((s + 1) * node_chunk).min(n);
+                for (i, q) in queues[lo..hi].iter().enumerate() {
+                    let sender = NodeId::new((lo + i) as u32);
+                    q.destinations_into(&mut lane.dests);
+                    for &dest in lane.dests.iter() {
+                        lane.out.push((sender, dest, q.strongest_level_for(dest)));
+                    }
+                }
+            });
+        }
+
         // ---- Phase 1: ATIM window -------------------------------------
         let atim_budget = &mut scr.atim_budget;
         atim_budget.reset(n, self.cfg.atim_window);
@@ -419,12 +596,10 @@ impl<P> MacLayer<P> {
         let atim_bc = self.atim_broadcast_time();
         let announcements = &mut scr.announcements;
         announcements.clear();
-        let dests = &mut scr.dests;
 
-        for i in 0..n {
-            let sender = NodeId::new(i as u32);
-            self.queues[i].destinations_into(dests);
-            for &dest in dests.iter() {
+        for lane in scr.prepass.iter() {
+            for &(sender, dest, advertised) in lane.out.iter() {
+                let i = sender.index();
                 match dest {
                     Destination::Broadcast => {
                         Self::affected_broadcast_into(nt, sender, affected);
@@ -437,9 +612,7 @@ impl<P> MacLayer<P> {
                             awake[i] = true;
                             committed[i] = true;
                             full_wake[i] = true;
-                            let level = self.queues[i]
-                                .strongest_level_for(dest)
-                                .unwrap_or(OverhearingLevel::Unconditional);
+                            let level = advertised.unwrap_or(OverhearingLevel::Unconditional);
                             for &x in nt.neighbors(sender) {
                                 // Standard PSM commits every neighbor to
                                 // the broadcast; the randomized level is
@@ -476,15 +649,16 @@ impl<P> MacLayer<P> {
                             let attempts = self.queues[i].bump_attempts_for(dest);
                             if attempts >= self.cfg.atim_retry_limit {
                                 self.counters.link_failures += 1;
-                                obs.link_broken(start + self.cfg.atim_window, sender, r);
-                                for q in self.queues[i].remove_all_for(dest) {
+                                let fail_at = start + self.cfg.atim_window;
+                                obs.link_broken(fail_at, sender, r);
+                                self.queues[i].remove_all_for_with(dest, |q| {
                                     failures.push(LinkFailure {
                                         sender,
                                         receiver: r,
-                                        at: start + self.cfg.atim_window,
+                                        at: fail_at,
                                         frame: q.frame,
                                     });
-                                }
+                                });
                             }
                             continue;
                         }
@@ -500,9 +674,7 @@ impl<P> MacLayer<P> {
                             awake[r.index()] = true;
                             committed[r.index()] = true;
                             self.queues[i].reset_attempts_for(dest);
-                            let level = self.queues[i]
-                                .strongest_level_for(dest)
-                                .unwrap_or(OverhearingLevel::None);
+                            let level = advertised.unwrap_or(OverhearingLevel::None);
                             announcements.push(Announcement {
                                 sender,
                                 dest,
@@ -569,21 +741,12 @@ impl<P> MacLayer<P> {
                                 obs.airtime_reserved(data_start + offset, a.sender, dur);
                                 let q = self.queues[qi].remove(idx);
                                 self.counters.broadcast_delivered += 1;
-                                // Only awake neighbors receive: with the
-                                // randomized-broadcast extension some may
-                                // have chosen to sleep.
-                                let recipients: Vec<NodeId> = nt
-                                    .neighbors(a.sender)
-                                    .iter()
-                                    .copied()
-                                    .filter(|&x| awake[x.index()])
-                                    .collect();
+                                // Recipients are resolved in the fanout
+                                // post-pass: `awake` is final by now.
                                 deliveries.push(Delivery {
                                     sender: a.sender,
                                     receiver: None,
-                                    recipients,
-                                    // det: hot-ok — empty Vec::new never allocates
-                                    overhearers: Vec::new(),
+                                    fanout: Fanout::default(),
                                     at: data_start + offset + dur,
                                     enqueued_at: q.enqueued_at,
                                     frame: q.frame,
@@ -629,17 +792,10 @@ impl<P> MacLayer<P> {
                                         doze_at[x.index()] = end;
                                     }
                                 }
-                                let overhearers: Vec<NodeId> = nt
-                                    .neighbors(a.sender)
-                                    .iter()
-                                    .copied()
-                                    .filter(|&x| x != r && awake[x.index()])
-                                    .collect();
                                 deliveries.push(Delivery {
                                     sender: a.sender,
                                     receiver: Some(r),
-                                    recipients: vec![r],
-                                    overhearers,
+                                    fanout: Fanout::default(),
                                     at: data_start + offset + dur,
                                     enqueued_at: q.enqueued_at,
                                     frame: q.frame,
@@ -660,21 +816,81 @@ impl<P> MacLayer<P> {
             }
         }
 
-        // Keep on-air ordering for downstream consumers.
+        // Keep on-air ordering for downstream consumers. Sorting
+        // happens *before* fanout resolution so the fanout buffer is
+        // laid out in on-air order for every shard width.
         deliveries.sort_by_key(|d| d.at);
 
+        // ---- Post-pass: fanout + committed-awake (sharded) -------------
+        // Both are pure functions of the settled phase-2 `awake` and
+        // phase-3 doze state, computed per delivery / per node.
         let bi = self.cfg.beacon_interval;
         let aw = self.cfg.atim_window;
+        let doze_after = self.cfg.doze_after_transfer;
+        let nd = deliveries.len();
+        out.fanout.clear();
         out.committed_awake.clear();
-        out.committed_awake.extend((0..n).map(|i| {
-            if !committed[i] {
-                aw
-            } else if full_wake[i] || !self.cfg.doze_after_transfer {
-                bi
-            } else {
-                (doze_at[i] - start).max(aw).min(bi)
+        let awake_r: &[bool] = awake;
+        let committed_r: &[bool] = committed;
+        let full_wake_r: &[bool] = full_wake;
+        let doze_at_r: &[SimTime] = doze_at;
+        if shards <= 1 {
+            // Serial fast path: write straight into the outcome, no
+            // lanes, no allocations.
+            for d in deliveries.iter_mut() {
+                let first = out.fanout.len() as u32;
+                let (rec, ovh) = delivery_fanout(d, nt, awake_r, &mut out.fanout);
+                d.fanout = Fanout {
+                    start: first,
+                    recipients: rec,
+                    overhearers: ovh,
+                };
             }
-        }));
+            out.committed_awake.extend((0..n).map(|i| {
+                committed_duration(
+                    i, committed_r, full_wake_r, doze_at_r, start, aw, bi, doze_after,
+                )
+            }));
+        } else {
+            scr.merge.resize_with(shards, MergeLane::default);
+            let delivery_chunk = nd.div_ceil(shards).max(1);
+            let deliveries_r: &[Delivery<P>] = deliveries;
+            self.pool.map_shards(&mut scr.merge, |s, lane| {
+                lane.fanout.clear();
+                lane.counts.clear();
+                lane.committed.clear();
+                let lo = (s * delivery_chunk).min(nd);
+                let hi = ((s + 1) * delivery_chunk).min(nd);
+                for d in &deliveries_r[lo..hi] {
+                    lane.counts.push(delivery_fanout(d, nt, awake_r, &mut lane.fanout));
+                }
+                let nlo = (s * node_chunk).min(n);
+                let nhi = ((s + 1) * node_chunk).min(n);
+                for i in nlo..nhi {
+                    lane.committed.push(committed_duration(
+                        i, committed_r, full_wake_r, doze_at_r, start, aw, bi, doze_after,
+                    ));
+                }
+            });
+            // Serial merge in shard order = delivery/node index order.
+            let mut di = 0usize;
+            for lane in scr.merge.iter() {
+                let mut off = out.fanout.len() as u32;
+                out.fanout.extend_from_slice(&lane.fanout);
+                for &(rec, ovh) in lane.counts.iter() {
+                    deliveries[di].fanout = Fanout {
+                        start: off,
+                        recipients: rec,
+                        overhearers: ovh,
+                    };
+                    off += rec + ovh;
+                    di += 1;
+                }
+                out.committed_awake.extend_from_slice(&lane.committed);
+            }
+            debug_assert_eq!(di, nd, "every delivery got its fanout");
+        }
+
         out.awake.clear();
         out.awake.extend_from_slice(awake);
         out.ps_awake.clear();
@@ -733,7 +949,7 @@ mod tests {
         let d = &out.deliveries[0];
         assert_eq!(d.sender, NodeId::new(1));
         assert_eq!(d.receiver, Some(NodeId::new(0)));
-        assert!(d.overhearers.is_empty());
+        assert!(d.fanout.overhearers(&out.fanout).is_empty());
         assert_eq!(out.awake, vec![true, true, false]);
         assert!(d.at > SimTime::ZERO + MacConfig::default().atim_window);
         assert_eq!(m.counters().data_delivered, 1);
@@ -751,7 +967,10 @@ mod tests {
         .unwrap();
         let out = m.run_interval(SimTime::ZERO, &nt, &mut ps(false));
         assert_eq!(out.awake, vec![true, true, true]);
-        assert_eq!(out.deliveries[0].overhearers, vec![NodeId::new(2)]);
+        assert_eq!(
+            out.deliveries[0].fanout.overhearers(&out.fanout),
+            [NodeId::new(2)]
+        );
     }
 
     #[test]
@@ -780,7 +999,10 @@ mod tests {
         assert_eq!(out.deliveries.len(), 1);
         let d = &out.deliveries[0];
         assert_eq!(d.receiver, None);
-        assert_eq!(d.recipients, vec![NodeId::new(0), NodeId::new(2)]);
+        assert_eq!(
+            d.fanout.recipients(&out.fanout),
+            [NodeId::new(0), NodeId::new(2)]
+        );
         // Everyone who must receive the broadcast stays awake.
         assert_eq!(out.awake, vec![true, true, true]);
         assert_eq!(m.counters().broadcast_delivered, 1);
@@ -822,7 +1044,7 @@ mod tests {
         let out = m.run_interval(SimTime::ZERO, &nt, &mut NeverReceive);
         assert_eq!(out.deliveries.len(), 1);
         assert!(
-            out.deliveries[0].recipients.is_empty(),
+            out.deliveries[0].fanout.recipients(&out.fanout).is_empty(),
             "all neighbors elected to sleep through the broadcast"
         );
         assert_eq!(out.awake, vec![false, true, false]);
@@ -942,7 +1164,10 @@ mod tests {
         assert_eq!(out.awake, vec![true, true, true]);
         // Node 2 is awake (AM), so it physically overhears even though
         // the sender requested no overhearing.
-        assert_eq!(out.deliveries[0].overhearers, vec![NodeId::new(2)]);
+        assert_eq!(
+            out.deliveries[0].fanout.overhearers(&out.fanout),
+            [NodeId::new(2)]
+        );
     }
 
     #[test]

@@ -129,19 +129,27 @@ impl<P> TxQueue<P> {
     }
 
     /// Removes every frame bound for `dest`, preserving FIFO order.
-    // det: hot-ok — link-failure eviction: runs when ATIM retries exhaust, not per settled interval
+    // det: hot-ok — convenience wrapper for tests; the resolver uses the
+    // allocation-free remove_all_for_with
     pub fn remove_all_for(&mut self, dest: Destination) -> Vec<Queued<P>> {
-        let mut kept = VecDeque::with_capacity(self.items.len());
         let mut out = Vec::new();
-        for q in self.items.drain(..) {
-            if q.frame.to == dest {
-                out.push(q);
+        self.remove_all_for_with(dest, |q| out.push(q));
+        out
+    }
+
+    /// Removes every frame bound for `dest` in FIFO order, handing each
+    /// to `f` — the in-place, allocation-free form of
+    /// [`remove_all_for`](Self::remove_all_for) the interval resolver
+    /// uses on link failure.
+    pub fn remove_all_for_with(&mut self, dest: Destination, mut f: impl FnMut(Queued<P>)) {
+        let mut i = 0;
+        while i < self.items.len() {
+            if self.items[i].frame.to == dest {
+                f(self.items.remove(i).expect("index in bounds"));
             } else {
-                kept.push_back(q);
+                i += 1;
             }
         }
-        self.items = kept;
-        out
     }
 
     /// Removes and returns every queued frame, preserving FIFO order —

@@ -65,7 +65,12 @@ fn main() {
             .map(|i| names[i])
             .collect();
         let d = &out.deliveries[0];
-        let overhearers: Vec<&str> = d.overhearers.iter().map(|o| names[o.index()]).collect();
+        let overhearers: Vec<&str> = d
+            .fanout
+            .overhearers(&out.fanout)
+            .iter()
+            .map(|o| names[o.index()])
+            .collect();
         println!("  awake past the ATIM window: {awake:?}");
         println!("  overheard by: {overhearers:?}\n");
     }

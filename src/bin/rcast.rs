@@ -26,7 +26,10 @@ fn main() -> ExitCode {
             print!("{}", cli::USAGE);
             ExitCode::SUCCESS
         }
-        Ok(Command::Run(run)) => match run_sim(run.config.clone()) {
+        Ok(Command::Run(run)) => match match run.threads {
+            Some(width) => randomcast::run_sim_with_width(run.config.clone(), width),
+            None => run_sim(run.config.clone()),
+        } {
             Ok(report) => {
                 if run.csv {
                     println!("{}", cli::csv_row(&report, &run.config));
@@ -194,6 +197,31 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
                 eprintln!("rcast bench: wrote {path}");
+            }
+            if let Some(path) = bench.check {
+                let text = match std::fs::read_to_string(&path) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("error: cannot read {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let baseline = match rcast_bench::perf::parse_baseline(&text) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        eprintln!("error in {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let failures = rcast_bench::perf::check_against(&results, &baseline);
+                if failures.is_empty() {
+                    eprintln!("rcast bench: within budget of {path}");
+                } else {
+                    for f in &failures {
+                        eprintln!("error: bench regression vs {path}: {f}");
+                    }
+                    return ExitCode::FAILURE;
+                }
             }
             if bench.smoke {
                 // CI gate: the ledger must stay free (off) and cheap (on).

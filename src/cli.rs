@@ -87,6 +87,10 @@ pub struct BenchArgs {
     pub smoke: bool,
     /// Also write the JSON report to this path (stdout always gets it).
     pub out: Option<String>,
+    /// Diff the run against this `rcast-bench/v1` baseline and fail on
+    /// a >25% `intervals_per_sec` regression or any
+    /// `allocs_per_interval` increase.
+    pub check: Option<String>,
 }
 
 /// Arguments of `rcast lint`.
@@ -112,6 +116,9 @@ pub struct RunArgs {
     pub config: SimConfig,
     /// Emit one CSV row instead of the human summary.
     pub csv: bool,
+    /// Intra-interval shard width (`None` = serial). The report is
+    /// byte-identical at any width; only wall-clock time changes.
+    pub threads: Option<usize>,
 }
 
 /// Arguments of `rcast compare`.
@@ -192,7 +199,8 @@ USAGE:
     rcast export-scenario [options]  print a scenario file for the flags
     rcast lint [--json | --sarif] [--root <d>] [--baseline <f>]
                                      run the determinism static analyzer
-    rcast bench [--smoke] [--out <f>] run the tracked perf benchmark
+    rcast bench [--smoke] [--out <f>] [--check <baseline>]
+                                     run the tracked perf benchmark
     rcast trace [options]            run once, export rcast-trace/v1 JSONL
     rcast sweep --spec <s> [options] run a sweep campaign (rcast-sweep/v1)
     rcast help                       show this text
@@ -217,6 +225,8 @@ COMMON OPTIONS (both subcommands):
 
 run-ONLY:
     --csv             print one CSV row (with header)
+    --threads <n>     shard each beacon interval across n workers
+                      (results are byte-identical at any width)
 
 compare-ONLY:
     --schemes <list>  comma list of schemes      [802.11,odpm,rcast]
@@ -224,6 +234,14 @@ compare-ONLY:
     --seeds <list>    comma list of seeds        [1,2,3]
     --threads <n>     worker threads per cell    [machine width]
                       (results are identical at any thread count)
+
+bench-ONLY:
+    --smoke           small workload only (the CI gate); also enforces
+                      the ledger-overhead budget
+    --out <f>         also write the JSON report to a file
+    --check <f>       diff against an rcast-bench/v1 baseline; fail on
+                      >25% intervals_per_sec regression or any
+                      allocs_per_interval increase
 
 lint-ONLY:
     --json            machine-readable JSON report
@@ -261,13 +279,27 @@ pub fn parse(args: &[String]) -> Result<Command, ParseCliError> {
         "run" => {
             let (config, extras) = parse_config(rest)?;
             let mut csv = false;
-            for e in extras {
+            let mut threads = None;
+            let mut it = extras.iter();
+            while let Some(e) = it.next() {
                 match e.as_str() {
                     "--csv" => csv = true,
+                    "--threads" => {
+                        let v = it.next().ok_or_else(|| err("--threads needs a value"))?;
+                        let n = parse_u64("--threads", v)? as usize;
+                        if n == 0 {
+                            return Err(err("--threads must be at least 1"));
+                        }
+                        threads = Some(n);
+                    }
                     other => return Err(err(format!("unknown option '{other}'"))),
                 }
             }
-            Ok(Command::Run(RunArgs { config, csv }))
+            Ok(Command::Run(RunArgs {
+                config,
+                csv,
+                threads,
+            }))
         }
         "scenario" => {
             let mut path = None;
@@ -314,6 +346,10 @@ pub fn parse(args: &[String]) -> Result<Command, ParseCliError> {
                     "--out" => {
                         let v = it.next().ok_or_else(|| err("--out needs a file path"))?;
                         bench.out = Some(v.clone());
+                    }
+                    "--check" => {
+                        let v = it.next().ok_or_else(|| err("--check needs a baseline file"))?;
+                        bench.check = Some(v.clone());
                     }
                     other => return Err(err(format!("unknown option '{other}'"))),
                 }
@@ -610,6 +646,18 @@ mod tests {
         assert_eq!(r.config.seed, 9);
         assert_eq!(r.config.area.width(), 800.0);
         assert!(r.csv);
+        assert_eq!(r.threads, None);
+    }
+
+    #[test]
+    fn run_threads_parse() {
+        let Command::Run(r) = parse(&args("run --threads 8")).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(r.threads, Some(8));
+        assert!(parse(&args("run --threads 0")).is_err());
+        assert!(parse(&args("run --threads many")).is_err());
+        assert!(parse(&args("run --threads")).is_err());
     }
 
     #[test]
@@ -720,16 +768,26 @@ mod tests {
     fn bench_flags_parse() {
         assert_eq!(
             parse(&args("bench")).unwrap(),
-            Command::Bench(BenchArgs { smoke: false, out: None })
+            Command::Bench(BenchArgs::default())
         );
         assert_eq!(
             parse(&args("bench --smoke --out BENCH_rcast.json")).unwrap(),
             Command::Bench(BenchArgs {
                 smoke: true,
-                out: Some("BENCH_rcast.json".into())
+                out: Some("BENCH_rcast.json".into()),
+                check: None,
+            })
+        );
+        assert_eq!(
+            parse(&args("bench --smoke --check BENCH_rcast.json")).unwrap(),
+            Command::Bench(BenchArgs {
+                smoke: true,
+                out: None,
+                check: Some("BENCH_rcast.json".into()),
             })
         );
         assert!(parse(&args("bench --out")).is_err());
+        assert!(parse(&args("bench --check")).is_err());
         assert!(parse(&args("bench --bogus")).is_err());
     }
 

@@ -90,16 +90,16 @@ impl Net {
             self.apply(n(i as u32), actions);
         }
         let out = self.mac.run_interval(t, &self.nt, &mut policy);
-        for d in out.deliveries {
+        for d in &out.deliveries {
             let sender = d.sender;
-            let payload = d.frame.payload;
+            let payload = &d.frame.payload;
             match d.receiver {
                 Some(r) => {
-                    let actions = self.nodes[r.index()].receive(payload, sender, d.at);
+                    let actions = self.nodes[r.index()].receive(payload.clone(), sender, d.at);
                     self.apply(r, actions);
                 }
                 None => {
-                    for &r in &d.recipients {
+                    for &r in d.fanout.recipients(&out.fanout) {
                         let actions =
                             self.nodes[r.index()].receive(payload.clone(), sender, d.at);
                         self.apply(r, actions);

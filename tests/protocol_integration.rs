@@ -89,20 +89,20 @@ impl Net {
             self.apply(n(i as u32), actions);
         }
         let out = self.mac.run_interval(t, &self.nt, &mut policy);
-        for d in out.deliveries {
+        for d in &out.deliveries {
             let sender = d.sender;
-            let payload = d.frame.payload;
-            for &o in &d.overhearers {
-                let actions = self.dsr[o.index()].overhear(&payload, sender, d.at);
+            let payload = &d.frame.payload;
+            for &o in d.fanout.overhearers(&out.fanout) {
+                let actions = self.dsr[o.index()].overhear(payload, sender, d.at);
                 self.apply(o, actions);
             }
             match d.receiver {
                 Some(r) => {
-                    let actions = self.dsr[r.index()].receive(payload, sender, d.at);
+                    let actions = self.dsr[r.index()].receive(payload.clone(), sender, d.at);
                     self.apply(r, actions);
                 }
                 None => {
-                    for &r in &d.recipients {
+                    for &r in d.fanout.recipients(&out.fanout) {
                         let actions =
                             self.dsr[r.index()].receive(payload.clone(), sender, d.at);
                         self.apply(r, actions);
