@@ -43,7 +43,7 @@ use rcast_mac::{
 };
 use rcast_mobility::{MobilityField, NeighborIndex, NeighborTable, Snapshot};
 use rcast_obs::{EventKind as ObsKind, Ledger, LedgerParams, PacketClass};
-use rcast_radio::{Battery, EnergyMeter, Phy, PowerState};
+use rcast_radio::{EnergyModel, Phy, PowerState};
 use rcast_metrics::{DeliveryTracker, EnergyReport, RoleNumbers, TimeSeries};
 use rcast_traffic::{Arrival, FlowSchedule};
 
@@ -178,6 +178,104 @@ struct Scratch {
     energy_sample: Vec<f64>,
 }
 
+/// Struct-of-arrays per-node hot state: the crash/power lane, the
+/// per-state energy-seconds lanes and the battery lanes, each one flat
+/// array indexed by node id.
+///
+/// The interval phases walk nodes in index order (serially or in
+/// contiguous shards); holding this state as lanes instead of
+/// per-node structs (`Vec<EnergyMeter>` + `Vec<Battery>` + `Vec<bool>`)
+/// turns the energy integration, fault scan and battery drain into
+/// sequential streams over small contiguous arrays. The arithmetic
+/// mirrors `EnergyMeter::accumulate`/`total_joules` and
+/// `Battery::drain` operation-for-operation — same adds, same order,
+/// same comparisons — so reports and ledger replays (which replay
+/// spans into real `EnergyMeter`s) stay bit-identical. `EnergyMeter`
+/// remains the single-node oracle type.
+struct NodeLanes {
+    /// Power draw per state; identical for every node.
+    model: EnergyModel,
+    /// Crashed (radio off) this interval.
+    down: Vec<bool>,
+    /// Seconds spent awake — meter slot 0.
+    awake_s: Vec<f64>,
+    /// Seconds spent dozing — meter slot 3.
+    sleep_s: Vec<f64>,
+    /// Seconds spent off — meter slot 4. Draws nothing; kept so the
+    /// per-node accounted wall-clock invariant stays checkable.
+    off_s: Vec<f64>,
+    /// Battery lanes; `None` when capacity is unlimited.
+    battery: Option<BatteryLanes>,
+}
+
+/// Finite-battery lanes mirroring `Battery` semantics per node.
+struct BatteryLanes {
+    capacity_j: f64,
+    consumed_j: Vec<f64>,
+    /// A depleted battery ignores further drains; the crossing is
+    /// reported exactly once.
+    depleted: Vec<bool>,
+}
+
+impl NodeLanes {
+    // det: cold — construction: runs once per simulation
+    fn new(n: usize, model: EnergyModel, battery_capacity_j: Option<f64>) -> Self {
+        NodeLanes {
+            model,
+            down: vec![false; n],
+            awake_s: vec![0.0; n],
+            sleep_s: vec![0.0; n],
+            off_s: vec![0.0; n],
+            battery: battery_capacity_j.map(|cap| {
+                assert!(
+                    cap.is_finite() && cap > 0.0,
+                    "invalid capacity {cap}"
+                );
+                BatteryLanes {
+                    capacity_j: cap,
+                    consumed_j: vec![0.0; n],
+                    depleted: vec![false; n],
+                }
+            }),
+        }
+    }
+
+    /// Number of nodes covered.
+    fn len(&self) -> usize {
+        self.down.len()
+    }
+
+    /// Node `i`'s total energy, bit-identical to
+    /// `EnergyMeter::total_joules` fed the same durations: the tx/rx
+    /// slots are never charged by the interval loop, and `x + 0.0 == x`
+    /// exactly for the finite non-negative products involved, so
+    /// dropping the two zero terms cannot change a bit.
+    fn total_joules(&self, i: usize) -> f64 {
+        self.awake_s[i] * self.model.idle_w + self.sleep_s[i] * self.model.sleep_w
+    }
+}
+
+impl BatteryLanes {
+    /// Mirrors `Battery::drain`: consumes `joules` (negative drains
+    /// ignored), reporting `now` if this drain crossed empty.
+    fn drain(&mut self, i: usize, joules: f64, now: SimTime) -> Option<SimTime> {
+        if self.depleted[i] {
+            return None;
+        }
+        self.consumed_j[i] += joules.max(0.0);
+        if self.consumed_j[i] >= self.capacity_j {
+            self.depleted[i] = true;
+            return Some(now);
+        }
+        None
+    }
+
+    /// Mirrors `Battery::remaining_fraction`.
+    fn remaining_fraction(&self, i: usize) -> f64 {
+        (self.capacity_j - self.consumed_j[i]).max(0.0) / self.capacity_j
+    }
+}
+
 /// The assembled network simulation.
 ///
 /// # Example
@@ -207,8 +305,9 @@ pub struct Simulation {
     routers: Vec<RouterNode>,
     odpm: OdpmState,
     rcast: RcastDecider,
-    meters: Vec<EnergyMeter>,
-    batteries: Option<Vec<Battery>>,
+    /// Per-node hot state as struct-of-arrays lanes (crash flag,
+    /// energy seconds, battery) — see [`NodeLanes`].
+    lanes: NodeLanes,
     tracker: DeliveryTracker,
     roles: RoleNumbers,
     schedule: FlowSchedule,
@@ -220,7 +319,6 @@ pub struct Simulation {
     /// `false` for a clean run: every fault hook short-circuits and the
     /// run is bit-identical to one built before faults existed.
     faults_active: bool,
-    down: Vec<bool>,
     fault_counters: FaultCounters,
     /// Position snapshot, refreshed in place each interval.
     snap: Snapshot,
@@ -292,10 +390,7 @@ impl Simulation {
                 .collect(),
             odpm: OdpmState::new(n, cfg.odpm),
             rcast: RcastDecider::new(n, cfg.factors, root.child("rcast")),
-            meters: (0..n).map(|_| EnergyMeter::new(cfg.energy)).collect(),
-            batteries: cfg
-                .battery_capacity_j
-                .map(|cap| (0..n).map(|_| Battery::new(cap)).collect()),
+            lanes: NodeLanes::new(n, cfg.energy, cfg.battery_capacity_j),
             tracker: DeliveryTracker::new(),
             roles: RoleNumbers::new(n),
             schedule,
@@ -313,7 +408,6 @@ impl Simulation {
             }),
             faults,
             faults_active,
-            down: vec![false; n],
             fault_counters: FaultCounters::default(),
             snap,
             neighbors,
@@ -387,25 +481,39 @@ impl Simulation {
             // double-buffered tables; shard it, then feed the decider
             // serially in node order so its state evolves identically
             // at every width.
+            // Carried-forward lists (no refill, no fault mutation) have
+            // zero churn by construction, so the symmetric-difference
+            // merge runs only for lists that actually changed — the
+            // decider still sees every node (its EWMA decays on 0).
             let shards = self.pool.threads().min(n.max(1));
             if shards <= 1 {
                 for i in 0..n {
                     let id = NodeId::new(i as u32);
-                    let changes = neighbors
-                        .current()
-                        .link_changes_since(neighbors.previous(), id);
+                    let changes = if neighbors.carried_forward(id) {
+                        0
+                    } else {
+                        neighbors
+                            .current()
+                            .link_changes_since(neighbors.previous(), id)
+                    };
                     self.rcast.note_link_changes(id, changes);
                 }
             } else {
                 let chunk = n.div_ceil(shards).max(1);
                 scratch.churn.resize_with(shards, Vec::new);
+                let nidx = &neighbors;
                 let (cur, prev) = (neighbors.current(), neighbors.previous());
                 self.pool.map_shards(&mut scratch.churn, |s, lane| {
                     lane.clear();
                     let lo = (s * chunk).min(n);
                     let hi = ((s + 1) * chunk).min(n);
                     for i in lo..hi {
-                        lane.push(cur.link_changes_since(prev, NodeId::new(i as u32)));
+                        let id = NodeId::new(i as u32);
+                        lane.push(if nidx.carried_forward(id) {
+                            0
+                        } else {
+                            cur.link_changes_since(prev, id)
+                        });
                     }
                 });
                 let mut i = 0u32;
@@ -422,7 +530,7 @@ impl Simulation {
 
         // 1. Routing timers (crashed nodes hold no timers).
         for i in 0..n {
-            if self.down[i] {
+            if self.lanes.down[i] {
                 continue;
             }
             let id = NodeId::new(i as u32);
@@ -435,6 +543,14 @@ impl Simulation {
         // 2. The PSM beacon interval.
         let used_psm = self.cfg.scheme.uses_psm_path();
         if used_psm {
+            if self.cfg.scheme == Scheme::Rcast {
+                // Batch this interval's randomized wake draws into one
+                // contiguous lane (one raw draw per node is ample for
+                // typical ATIM loads; overflow falls through to the
+                // stream, so the decision sequence is bit-identical to
+                // lazy per-decision draws).
+                self.rcast.prefill_draws(n);
+            }
             {
                 let mut policy = IntervalPolicy {
                     scheme: self.cfg.scheme,
@@ -463,7 +579,7 @@ impl Simulation {
             }
             for f in scratch.outcome.failures.drain(..) {
                 if self.faults_active
-                    && (self.down[f.receiver.index()]
+                    && (self.lanes.down[f.receiver.index()]
                         || self.faults.link_cut(f.sender, f.receiver, t))
                 {
                     self.fault_counters.rerrs_triggered += 1;
@@ -509,7 +625,7 @@ impl Simulation {
                     },
                 );
             }
-            if self.down[a.src.index()] {
+            if self.lanes.down[a.src.index()] {
                 // A crashed source generates nothing on the air; the
                 // packet is lost at birth.
                 self.tracker.record_fault_drop();
@@ -575,7 +691,7 @@ impl Simulation {
                 scratch.energy_sample.clear();
                 scratch
                     .energy_sample
-                    .extend(self.meters.iter().map(EnergyMeter::total_joules));
+                    .extend((0..n).map(|i| self.lanes.total_joules(i)));
                 series.push(t + bi, &scratch.energy_sample);
             }
         }
@@ -598,8 +714,9 @@ impl Simulation {
         let end = SimTime::ZERO + self.cfg.mac.beacon_interval * self.k;
         if let Some(series) = &mut self.energy_series {
             if series.times().last() != Some(&end) {
-                let sample: Vec<f64> =
-                    self.meters.iter().map(EnergyMeter::total_joules).collect();
+                let sample: Vec<f64> = (0..self.lanes.len())
+                    .map(|i| self.lanes.total_joules(i))
+                    .collect();
                 series.push(end, &sample);
             }
         }
@@ -633,7 +750,7 @@ impl Simulation {
         for i in 0..n {
             let id = NodeId::new(i as u32);
             let is_down = self.faults.is_down(id, t);
-            if is_down && !self.down[i] {
+            if is_down && !self.lanes.down[i] {
                 if self.faults.crash_scheduled(id, t) {
                     self.fault_counters.crashes += 1;
                 }
@@ -668,13 +785,13 @@ impl Simulation {
                         l.record_event(t, id, ObsKind::PacketDropped { flow, seq });
                     }
                 }
-            } else if !is_down && self.down[i] {
+            } else if !is_down && self.lanes.down[i] {
                 self.fault_counters.rejoins += 1;
                 if let Some(l) = obs.as_mut() {
                     l.record_event(t, id, ObsKind::Rejoin);
                 }
             }
-            self.down[i] = is_down;
+            self.lanes.down[i] = is_down;
             if is_down {
                 index.isolate(id);
             }
@@ -697,6 +814,9 @@ impl Simulation {
     /// per-node order — that is what makes
     /// [`rcast_obs::ObsReport::replay_energy`] reproduce the meters
     /// bit-for-bit.
+    // The loop drives five parallel lanes plus `committed_awake` off
+    // one index; an iterator over any single lane would obscure that.
+    #[allow(clippy::needless_range_loop)]
     fn account_energy(
         &mut self,
         t: SimTime,
@@ -707,12 +827,13 @@ impl Simulation {
         let bi = self.cfg.mac.beacon_interval;
         let aw = self.cfg.mac.atim_window;
         let n = self.cfg.nodes as usize;
+        let model = self.lanes.model;
         for i in 0..n {
             let id = NodeId::new(i as u32);
-            if self.down[i] {
+            if self.lanes.down[i] {
                 // A crashed node's radio is off for the whole interval:
                 // the wall clock still advances but nothing drains.
-                self.meters[i].accumulate(PowerState::Off, bi);
+                self.lanes.off_s[i] += bi.as_secs_f64();
                 if let Some(l) = obs.as_mut() {
                     l.record_span(t, id, PowerState::Off, bi);
                 }
@@ -732,17 +853,19 @@ impl Simulation {
                     committed_awake[i].max(aw.max(self.odpm.am_overlap(id, t, bi)))
                 }
             };
-            let meter = &mut self.meters[i];
-            meter.accumulate(PowerState::Awake, awake_dur);
-            meter.accumulate(PowerState::Sleep, bi - awake_dur);
+            // Same adds in the same order as `EnergyMeter::accumulate`
+            // (the ledger replay reconstructs real meters from the
+            // mirrored spans and must land on the same bits).
+            self.lanes.awake_s[i] += awake_dur.as_secs_f64();
+            self.lanes.sleep_s[i] += (bi - awake_dur).as_secs_f64();
             if let Some(l) = obs.as_mut() {
                 l.record_span(t, id, PowerState::Awake, awake_dur);
                 l.record_span(t, id, PowerState::Sleep, bi - awake_dur);
             }
-            if let Some(batteries) = &mut self.batteries {
-                let joules = awake_dur.as_secs_f64() * meter.model().idle_w
-                    + (bi - awake_dur).as_secs_f64() * meter.model().sleep_w;
-                if let Some(died) = batteries[i].drain(joules, t + bi) {
+            if let Some(bat) = &mut self.lanes.battery {
+                let joules = awake_dur.as_secs_f64() * model.idle_w
+                    + (bi - awake_dur).as_secs_f64() * model.sleep_w;
+                if let Some(died) = bat.drain(i, joules, t + bi) {
                     if self.first_depletion.is_none() {
                         self.first_depletion = Some(died);
                     }
@@ -753,7 +876,7 @@ impl Simulation {
                         }
                     }
                 }
-                self.rcast.note_battery(id, batteries[i].remaining_fraction());
+                self.rcast.note_battery(id, bat.remaining_fraction(i));
             }
         }
     }
@@ -865,7 +988,7 @@ impl Simulation {
                 }
                 ImmediateResult::Failed(f) => {
                     if self.faults_active
-                        && (self.down[f.receiver.index()]
+                        && (self.lanes.down[f.receiver.index()]
                             || self.faults.link_cut(f.sender, f.receiver, f.at))
                     {
                         self.fault_counters.rerrs_triggered += 1;
@@ -1136,7 +1259,9 @@ impl Simulation {
             seed: self.seed,
             duration: self.cfg.duration,
             energy: EnergyReport::new(
-                self.meters.iter().map(EnergyMeter::total_joules).collect(),
+                (0..self.lanes.len())
+                    .map(|i| self.lanes.total_joules(i))
+                    .collect(),
             ),
             delivery: self.tracker,
             roles: self.roles,

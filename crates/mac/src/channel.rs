@@ -179,6 +179,12 @@ impl Channel {
                 self.affected.push(r);
                 self.affected.extend_from_slice(nt.neighbors(sender));
                 self.affected.extend_from_slice(nt.neighbors(r));
+                // The two neighbor slices overlap in dense topologies (and
+                // contain s/r themselves); `channel_free_at` is a max-fold
+                // and `occupy` an idempotent max-write, so deduplicating
+                // here only removes redundant busy-table visits.
+                self.affected.sort_unstable();
+                self.affected.dedup();
 
                 let mut t = now;
                 for _attempt in 0..SHORT_RETRY_LIMIT {

@@ -211,6 +211,16 @@ pub struct MacLayer<P> {
     cfg: MacConfig,
     phy: Phy,
     queues: Vec<TxQueue<P>>,
+    /// Pending-traffic lane: `pending[i]` is false only when node `i`'s
+    /// queue is known empty. Maintained at every queue mutation site
+    /// (enqueue, purge, phase-1 evictions, phase-3 removals) so the
+    /// ATIM prepass can skip idle nodes without touching their queue at
+    /// all — at large n most nodes are idle in any given interval, and
+    /// an empty queue emits no candidates anyway, so the skip is
+    /// byte-identical. A stale `true` is harmless (the prepass just
+    /// reads an empty queue); a stale `false` would drop traffic, hence
+    /// the conservative refresh-after-mutation discipline.
+    pending: Vec<bool>,
     rng: StreamRng,
     counters: MacCounters,
     scratch: IntervalScratch,
@@ -344,6 +354,7 @@ impl<P> MacLayer<P> {
             cfg,
             phy,
             queues: (0..n).map(|_| TxQueue::new(cfg.queue_capacity)).collect(),
+            pending: vec![false; n],
             rng,
             counters: MacCounters::default(),
             scratch: IntervalScratch::default(),
@@ -405,6 +416,7 @@ impl<P> MacLayer<P> {
     /// what a crash does to buffered traffic. The frames are not counted
     /// as queue-full drops; the caller owns their accounting.
     pub fn purge_node(&mut self, node: NodeId) -> Vec<crate::queue::Queued<P>> {
+        self.pending[node.index()] = false;
         self.queues[node.index()].drain_all()
     }
 
@@ -417,7 +429,10 @@ impl<P> MacLayer<P> {
         now: SimTime,
     ) -> Result<(), MacFrame<P>> {
         match self.queues[from.index()].push(frame, now) {
-            Ok(()) => Ok(()),
+            Ok(()) => {
+                self.pending[from.index()] = true;
+                Ok(())
+            }
             Err(f) => {
                 self.counters.queue_drops += 1;
                 Err(f)
@@ -458,6 +473,11 @@ impl<P> MacLayer<P> {
         out.push(r);
         out.extend_from_slice(nt.neighbors(s));
         out.extend_from_slice(nt.neighbors(r));
+        // The sender and receiver neighbor slices overlap; the budget
+        // charges duplicates once, so deduplicating only trims the
+        // per-reservation scan.
+        out.sort_unstable();
+        out.dedup();
     }
 
     /// Fills `out` with the nodes whose channel a broadcast from `s`
@@ -575,11 +595,18 @@ impl<P> MacLayer<P> {
         scr.prepass.resize_with(shards, PrepassLane::default);
         {
             let queues = &self.queues;
+            let pending = &self.pending;
             self.pool.map_shards(&mut scr.prepass, |s, lane| {
                 lane.out.clear();
                 let lo = (s * node_chunk).min(n);
                 let hi = ((s + 1) * node_chunk).min(n);
                 for (i, q) in queues[lo..hi].iter().enumerate() {
+                    // Idle nodes emit no candidates; the pending lane
+                    // lets the scan skip them without touching the
+                    // queue's storage at all.
+                    if !pending[lo + i] {
+                        continue;
+                    }
                     let sender = NodeId::new((lo + i) as u32);
                     q.destinations_into(&mut lane.dests);
                     for &dest in lane.dests.iter() {
@@ -659,6 +686,7 @@ impl<P> MacLayer<P> {
                                         frame: q.frame,
                                     });
                                 });
+                                self.pending[i] = !self.queues[i].is_empty();
                             }
                             continue;
                         }
@@ -814,6 +842,9 @@ impl<P> MacLayer<P> {
                     }
                 }
             }
+            // Phase 3 removed frames for this sender; refresh its
+            // pending-traffic flag for the next interval's prepass.
+            self.pending[qi] = !self.queues[qi].is_empty();
         }
 
         // Keep on-air ordering for downstream consumers. Sorting

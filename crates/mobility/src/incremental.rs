@@ -68,6 +68,14 @@ pub struct NeighborIndex {
     dirty_cells: Vec<bool>,
     current: NeighborTable,
     previous: NeighborTable,
+    /// Whether the last [`advance`](Self::advance) recomputed each
+    /// node's list from geometry (`true`) or carried it forward
+    /// verbatim from the previous table (`false`). A carried-forward
+    /// list is byte-equal to the previous interval's, so its link
+    /// churn is zero by construction — consumers can skip the
+    /// symmetric-difference scan entirely (see
+    /// [`carried_forward`](Self::carried_forward)).
+    refilled: Vec<bool>,
     /// Set by [`isolate`](Self::isolate) / [`cut_link`](Self::cut_link);
     /// forces a full geometric refill on the next advance.
     mutated: bool,
@@ -100,6 +108,7 @@ impl NeighborIndex {
             moved: vec![false; n],
             previous: current.clone(),
             current,
+            refilled: vec![true; n],
             mutated: false,
         }
     }
@@ -166,6 +175,7 @@ impl NeighborIndex {
                     }
                 }
             }
+            self.refilled[i] = refill;
             if refill {
                 grid.neighbors_into(NodeId::new(i as u32), snapshot, self.range_m, list);
             } else {
@@ -176,6 +186,19 @@ impl NeighborIndex {
             }
         }
         self.mutated = false;
+    }
+
+    /// `true` when `node`'s current list is a verbatim carry-forward of
+    /// the previous interval's — i.e. the last [`advance`](Self::advance)
+    /// skipped the geometric refill for it and no fault mutation has
+    /// touched the table since. In that case
+    /// [`NeighborTable::link_changes_since`] against
+    /// [`previous`](Self::previous) is zero by construction, so callers
+    /// can skip the per-node symmetric-difference merge: churn scanning
+    /// becomes proportional to the number of lists that actually
+    /// changed, not to n.
+    pub fn carried_forward(&self, node: NodeId) -> bool {
+        !self.mutated && !self.refilled[node.index()]
     }
 
     /// The maintained table for the current snapshot.
@@ -307,6 +330,49 @@ mod tests {
                 assert_eq!(oracle.link_changes_since(&oracle, id), 0);
             }
         }
+    }
+
+    #[test]
+    fn carried_forward_implies_zero_link_churn() {
+        // Long pauses give a mixed population: paused nodes whose 3×3
+        // neighborhoods are quiet carry their lists forward, movers
+        // refill — both paths must agree with the churn oracle.
+        let cfg = WaypointConfig {
+            pause_secs: 20.0,
+            ..WaypointConfig::default()
+        };
+        let mut field = MobilityField::random_waypoint(
+            60,
+            Area::paper_default(),
+            cfg,
+            StreamRng::from_seed(12),
+        );
+        let mut snap = field.snapshot(SimTime::ZERO);
+        let mut index = NeighborIndex::new(&snap, 250.0);
+        let mut skipped = 0usize;
+        for k in 1..120u64 {
+            field.snapshot_into(SimTime::from_millis(k * 250), &mut snap);
+            index.advance(&snap);
+            for i in 0..60 {
+                let id = NodeId::new(i as u32);
+                if index.carried_forward(id) {
+                    skipped += 1;
+                    assert_eq!(
+                        index.current().link_changes_since(index.previous(), id),
+                        0,
+                        "carried-forward node {i} reported churn"
+                    );
+                }
+            }
+            if k % 10 == 0 {
+                index.isolate(NodeId::new((k % 60) as u32));
+                // A mutated table must disable the skip for every node.
+                for i in 0..60 {
+                    assert!(!index.carried_forward(NodeId::new(i as u32)));
+                }
+            }
+        }
+        assert!(skipped > 0, "skip path never exercised");
     }
 
     #[test]

@@ -177,6 +177,85 @@ fn incremental_index_matches_rebuilt_table() {
     });
 }
 
+/// The grid-backed fan-out — the set the MAC's broadcast/overhearing
+/// path visits via [`NeighborIndex`] — equals the brute-force pairwise
+/// oracle when positions straddle grid-cell boundaries. Coordinates
+/// are snapped to exact multiples of the cell size (the radio range)
+/// and then nudged by "exactly on the line", "a hair off" or "clearly
+/// inside" offsets: where an open/closed cell-assignment bug or a
+/// missed ring of the 3×3 cell neighborhood would first show. Exact
+/// distance == range pairs arise whenever two un-nudged points sit one
+/// cell apart on the same line.
+#[test]
+fn boundary_straddling_fanout_matches_pairwise_oracle() {
+    Check::new("boundary_straddling_fanout_matches_pairwise_oracle").run(|g| {
+        let range = g.f64_range(60.0, 250.0);
+        let area = Area::new(2_000.0, 600.0);
+        let boundary_coord = |g: &mut Gen, cells: u32, base: f64| {
+            let snapped = f64::from(g.u32_range(0, cells)) * base;
+            let nudge = match g.u32_range(0, 2) {
+                0 => 0.0,
+                1 => g.f64_range(-1e-9, 1e-9),
+                _ => g.f64_range(-2.0, 2.0),
+            };
+            snapped + nudge
+        };
+        let points = g.vec(2, 60, |g: &mut Gen| {
+            (
+                boundary_coord(g, 8, range),
+                boundary_coord(g, 2, range),
+            )
+        });
+        let positions: Vec<Vec2> = points
+            .iter()
+            .map(|&(x, y)| area.clamp(Vec2::new(x, y)))
+            .collect();
+        let brute = |positions: &[Vec2], i: usize| {
+            let mut out: Vec<NodeId> = (0..positions.len())
+                .filter(|&j| j != i && positions[i].distance_to(positions[j]) <= range)
+                .map(|j| NodeId::new(j as u32))
+                .collect();
+            out.sort_unstable();
+            out
+        };
+        let snap = Snapshot::from_positions(positions.clone(), area, SimTime::ZERO);
+        let mut index = NeighborIndex::new(&snap, range);
+        for i in 0..positions.len() {
+            let id = NodeId::new(i as u32);
+            prop_assert_eq!(
+                index.current().neighbors(id),
+                &brute(&positions, i)[..],
+                "fan-out of node {i} at t=0"
+            );
+        }
+        // Jitter every node across (or onto) a nearby boundary and
+        // exercise the incremental advance path against the same oracle.
+        let moved: Vec<Vec2> = positions
+            .iter()
+            .map(|p| {
+                let dx = match g.u32_range(0, 2) {
+                    0 => 0.0,
+                    1 => g.f64_range(-1e-9, 1e-9),
+                    _ => g.f64_range(-range, range),
+                };
+                let dy = g.f64_range(-3.0, 3.0);
+                area.clamp(Vec2::new(p.x + dx, p.y + dy))
+            })
+            .collect();
+        let snap2 = Snapshot::from_positions(moved.clone(), area, SimTime::from_secs(1));
+        index.advance(&snap2);
+        for i in 0..moved.len() {
+            let id = NodeId::new(i as u32);
+            prop_assert_eq!(
+                index.current().neighbors(id),
+                &brute(&moved, i)[..],
+                "fan-out of node {i} after advance"
+            );
+        }
+        Ok(())
+    });
+}
+
 /// Link-change counting is zero against itself and symmetric in
 /// total count between two arbitrary snapshots.
 #[test]

@@ -515,12 +515,30 @@ pub fn preset(name: &str) -> Option<SweepSpec> {
             spec.pauses = vec![600.0, 1125.0];
             Some(spec)
         }
+        "scale" => {
+            // Not a figure: the node-count scaling campaign, companion
+            // to `rcast bench --large`. The bench gate tracks simulator
+            // wall time per interval at constant density; this campaign
+            // tracks what the *protocol* does as the large tier's
+            // 7200 × 720 m field fills from 300 to 1200 nodes (energy,
+            // PDR, EPB per cell). Rcast only, three seeds, nominal
+            // rate, short pause so the population actually mixes.
+            let mut spec = SweepSpec::paper_default("scale");
+            spec.schemes = vec![Scheme::Rcast];
+            spec.nodes = vec![300, 600, 1200];
+            spec.pauses = vec![60.0];
+            spec.seeds = (1..=3).collect();
+            spec.base.area = Area::new(7200.0, 720.0);
+            spec.base.duration = SimDuration::from_secs(240);
+            spec.base.traffic.flows = 30;
+            Some(spec)
+        }
         _ => None,
     }
 }
 
 /// The built-in preset names, for help text and errors.
-pub const PRESETS: [&str; 4] = ["fig5", "fig6", "fig7", "fig8"];
+pub const PRESETS: [&str; 5] = ["fig5", "fig6", "fig7", "fig8", "scale"];
 
 #[cfg(test)]
 mod tests {
@@ -542,6 +560,20 @@ mod tests {
         }
         assert!(preset("fig9").is_none());
         assert!(preset("").is_none());
+    }
+
+    #[test]
+    fn scale_preset_doubles_nodes_on_the_large_field() {
+        let scale = preset("scale").unwrap().normalized().unwrap();
+        assert_eq!(scale.schemes, vec![Scheme::Rcast]);
+        assert_eq!(scale.nodes, vec![300, 600, 1200]);
+        assert_eq!(scale.base.area, Area::new(7200.0, 720.0));
+        assert_eq!(scale.base.traffic.flows, 30);
+        // 1 scheme × 1 rate × 1 pause × 3 node counts × 1 fault plan.
+        assert_eq!(scale.expand().len(), 3);
+        assert_eq!(scale.total_runs(), 9);
+        // The smoke transform still collapses it to a cheap grid.
+        assert!(scale.smoke().normalized().is_ok());
     }
 
     #[test]

@@ -188,9 +188,20 @@ fn main() -> ExitCode {
             }
         }
         Ok(Command::Bench(bench)) => {
-            let results = rcast_bench::perf::run_suite(bench.smoke);
+            let results = rcast_bench::perf::run_suite_with(bench.smoke, bench.large);
             let json = rcast_bench::perf::to_json(&results);
             print!("{json}");
+            if bench.large {
+                // stderr, so `rcast bench > file` keeps the table visible.
+                eprint!("{}", rcast_bench::perf::scaling_table(&results));
+                let failures = rcast_bench::perf::scaling_failures(&results);
+                if !failures.is_empty() {
+                    for f in &failures {
+                        eprintln!("error: scaling gate: {f}");
+                    }
+                    return ExitCode::FAILURE;
+                }
+            }
             if let Some(path) = bench.out {
                 if let Err(e) = std::fs::write(&path, &json) {
                     eprintln!("error: cannot write {path}: {e}");
@@ -213,7 +224,12 @@ fn main() -> ExitCode {
                         return ExitCode::FAILURE;
                     }
                 };
-                let failures = rcast_bench::perf::check_against(&results, &baseline);
+                let tolerance = bench
+                    .tolerance
+                    .map(|pct| pct / 100.0)
+                    .unwrap_or(rcast_bench::perf::CHECK_SPEED_TOLERANCE);
+                let failures =
+                    rcast_bench::perf::check_against_with_tolerance(&results, &baseline, tolerance);
                 if failures.is_empty() {
                     eprintln!("rcast bench: within budget of {path}");
                 } else {

@@ -52,8 +52,8 @@ pub enum Command {
 /// Arguments of `rcast sweep`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SweepArgs {
-    /// A preset name (`fig5`–`fig8`) or a spec-file path; the binary
-    /// resolves presets first.
+    /// A preset name (`fig5`–`fig8`, `scale`) or a spec-file path;
+    /// the binary resolves presets first.
     pub spec: String,
     /// Worker threads for the cell × seed fan-out (`None` = machine
     /// width). Artifacts are byte-identical at any width.
@@ -81,16 +81,23 @@ pub struct TraceArgs {
 }
 
 /// Arguments of `rcast bench`.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct BenchArgs {
     /// Small workload only — the CI regression gate.
     pub smoke: bool,
+    /// Also run the large scaling tier (600- and 1200-node Rcast
+    /// cells) and print the nodes-doubling scaling table; the
+    /// near-linearity gate fails the run past a 2.5× doubling ratio.
+    pub large: bool,
     /// Also write the JSON report to this path (stdout always gets it).
     pub out: Option<String>,
     /// Diff the run against this `rcast-bench/v1` baseline and fail on
-    /// a >25% `intervals_per_sec` regression or any
-    /// `allocs_per_interval` increase.
+    /// an `intervals_per_sec` regression beyond the tolerance
+    /// (default 25%) or any `allocs_per_interval` increase.
     pub check: Option<String>,
+    /// Speed tolerance for `--check` as a percentage (e.g. 10 for
+    /// ±10%); `None` keeps the built-in default.
+    pub tolerance: Option<f64>,
 }
 
 /// Arguments of `rcast lint`.
@@ -199,8 +206,8 @@ USAGE:
     rcast export-scenario [options]  print a scenario file for the flags
     rcast lint [--json | --sarif] [--root <d>] [--baseline <f>]
                                      run the determinism static analyzer
-    rcast bench [--smoke] [--out <f>] [--check <baseline>]
-                                     run the tracked perf benchmark
+    rcast bench [--smoke] [--large] [--out <f>] [--check <baseline>]
+                [--tolerance <pct>]  run the tracked perf benchmark
     rcast trace [options]            run once, export rcast-trace/v1 JSONL
     rcast sweep --spec <s> [options] run a sweep campaign (rcast-sweep/v1)
     rcast help                       show this text
@@ -238,10 +245,14 @@ compare-ONLY:
 bench-ONLY:
     --smoke           small workload only (the CI gate); also enforces
                       the ledger-overhead budget
+    --large           add the 600/1200-node Rcast scaling tier; prints
+                      the nodes-doubling table and fails past a 2.5x
+                      per-doubling wall-time ratio or the alloc budget
     --out <f>         also write the JSON report to a file
     --check <f>       diff against an rcast-bench/v1 baseline; fail on
-                      >25% intervals_per_sec regression or any
-                      allocs_per_interval increase
+                      intervals_per_sec regression beyond the tolerance
+                      (default 25%) or any allocs_per_interval increase
+    --tolerance <pct> speed tolerance for --check, percent in [0,100)
 
 lint-ONLY:
     --json            machine-readable JSON report
@@ -257,7 +268,7 @@ trace-ONLY:
     --out <file>          write the JSONL to a file instead of stdout
 
 sweep-ONLY:
-    --spec <s>        figure preset (fig5 | fig6 | fig7 | fig8) or a
+    --spec <s>        preset (fig5 | fig6 | fig7 | fig8 | scale) or a
                       sweep spec file (required)
     --threads <n>     worker threads across cells x seeds [machine width]
                       (artifacts are byte-identical at any width)
@@ -343,6 +354,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseCliError> {
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--smoke" => bench.smoke = true,
+                    "--large" => bench.large = true,
                     "--out" => {
                         let v = it.next().ok_or_else(|| err("--out needs a file path"))?;
                         bench.out = Some(v.clone());
@@ -351,8 +363,25 @@ pub fn parse(args: &[String]) -> Result<Command, ParseCliError> {
                         let v = it.next().ok_or_else(|| err("--check needs a baseline file"))?;
                         bench.check = Some(v.clone());
                     }
+                    "--tolerance" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| err("--tolerance needs a percentage"))?;
+                        let pct: f64 = v
+                            .parse()
+                            .map_err(|_| err(format!("bad --tolerance '{v}'")))?;
+                        if !pct.is_finite() || !(0.0..100.0).contains(&pct) {
+                            return Err(err(format!(
+                                "--tolerance must be in [0, 100), got '{v}'"
+                            )));
+                        }
+                        bench.tolerance = Some(pct);
+                    }
                     other => return Err(err(format!("unknown option '{other}'"))),
                 }
+            }
+            if bench.tolerance.is_some() && bench.check.is_none() {
+                return Err(err("--tolerance only applies with --check"));
             }
             Ok(Command::Bench(bench))
         }
@@ -422,7 +451,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseCliError> {
                 }
             }
             let spec = spec.ok_or_else(|| {
-                err("sweep needs --spec <fig5|fig6|fig7|fig8|file>")
+                err("sweep needs --spec <fig5|fig6|fig7|fig8|scale|file>")
             })?;
             Ok(Command::Sweep(SweepArgs {
                 spec,
@@ -775,20 +804,35 @@ mod tests {
             Command::Bench(BenchArgs {
                 smoke: true,
                 out: Some("BENCH_rcast.json".into()),
-                check: None,
+                ..BenchArgs::default()
             })
         );
         assert_eq!(
             parse(&args("bench --smoke --check BENCH_rcast.json")).unwrap(),
             Command::Bench(BenchArgs {
                 smoke: true,
-                out: None,
                 check: Some("BENCH_rcast.json".into()),
+                ..BenchArgs::default()
+            })
+        );
+        assert_eq!(
+            parse(&args("bench --large --check BENCH_rcast.json --tolerance 10")).unwrap(),
+            Command::Bench(BenchArgs {
+                large: true,
+                check: Some("BENCH_rcast.json".into()),
+                tolerance: Some(10.0),
+                ..BenchArgs::default()
             })
         );
         assert!(parse(&args("bench --out")).is_err());
         assert!(parse(&args("bench --check")).is_err());
         assert!(parse(&args("bench --bogus")).is_err());
+        // --tolerance: needs --check, a numeric value, and [0, 100).
+        assert!(parse(&args("bench --tolerance 10")).is_err());
+        assert!(parse(&args("bench --check B.json --tolerance")).is_err());
+        assert!(parse(&args("bench --check B.json --tolerance ten")).is_err());
+        assert!(parse(&args("bench --check B.json --tolerance 100")).is_err());
+        assert!(parse(&args("bench --check B.json --tolerance -1")).is_err());
     }
 
     #[test]

@@ -87,6 +87,32 @@ fn rcast_sharded_interval_is_byte_identical() {
     assert_sharded_matches_serial(Scheme::Rcast);
 }
 
+/// Large-n fingerprint: the `large` bench tier's 600-node geometry
+/// (density-matched to the medium workload) must shard byte-identically
+/// too. The small configs above never fill more than a few grid cells,
+/// so this is the only differential point where the spatial fan-out,
+/// the churn-scan skip and the per-interval RNG lane run at the
+/// populations the scaling gate measures. Short duration: enough
+/// intervals for routes, queues and wake cycles to interact, cheap
+/// enough for a debug-build CI run. (1200 nodes is bench-only — the
+/// hot paths it exercises are identical, just bigger.)
+#[test]
+fn large_network_sharded_interval_is_byte_identical() {
+    let mut cfg = SimConfig::paper(Scheme::Rcast, 7, 0.4, 60.0);
+    cfg.nodes = 600;
+    cfg.area = randomcast::mobility::Area::new(3600.0, 720.0);
+    cfg.duration = SimDuration::from_secs(10);
+    cfg.traffic.flows = 30;
+    let serial = format!("{:?}", run_at(&cfg, 1));
+    for width in WIDTHS {
+        let sharded = format!("{:?}", run_at(&cfg, width));
+        assert_eq!(
+            serial, sharded,
+            "600-node Rcast: width {width} diverged from serial"
+        );
+    }
+}
+
 /// The ledger's energy replay must close against the meters at every
 /// width — and produce the same bits across widths (DESIGN.md §11's
 /// ordering contract survives the shard merge).
